@@ -1,0 +1,90 @@
+"""Ablation — PAD-mode padding size vs skew tolerance (Section 5.4).
+
+PAD mode trades intermediate memory for a single pass: every partition
+gets ``n/fanout + padding`` slots, and "as the padding gets larger, the
+partitioner becomes more robust against skew".  This benchmark maps the
+overflow boundary: for each padding size (as a fraction of the fair
+share), the largest Zipf factor that still fits — reproducing the
+paper's observation that realistic paddings fail above ~0.25.
+"""
+
+import numpy as np
+
+from repro.bench import ExperimentTable, shape_check
+from repro.core.modes import OutputMode, PartitionerConfig
+from repro.core.partitioner import FpgaPartitioner
+from repro.errors import PartitionOverflowError
+from repro.workloads.distributions import zipf_keys
+
+EXPERIMENT = "Ablation: PAD padding vs skew"
+N = 262_144
+NUM_PARTITIONS = 64
+ZIPFS = (0.0, 0.25, 0.5, 0.75, 1.0)
+PAD_FRACTIONS = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def fits(zipf: float, pad_fraction: float) -> bool:
+    keys = zipf_keys(N, zipf_factor=zipf, key_space=N, seed=9)
+    fair = N // NUM_PARTITIONS
+    config = PartitionerConfig(
+        num_partitions=NUM_PARTITIONS,
+        output_mode=OutputMode.PAD,
+        pad_tuples=int(fair * pad_fraction),
+    )
+    try:
+        FpgaPartitioner(config).partition(
+            keys, np.arange(N, dtype=np.uint32)
+        )
+        return True
+    except PartitionOverflowError:
+        return False
+
+
+def ablation_table() -> ExperimentTable:
+    rows = []
+    for pad_fraction in PAD_FRACTIONS:
+        row = [f"{pad_fraction:.2f}x fair share"]
+        for zipf in ZIPFS:
+            row.append("fits" if fits(zipf, pad_fraction) else "OVERFLOW")
+        rows.append(row)
+    return ExperimentTable(
+        experiment_id=EXPERIMENT,
+        title=f"PAD-mode overflow map ({N} murmur-hashed Zipf keys, "
+        f"{NUM_PARTITIONS} partitions)",
+        headers=["padding"] + [f"zipf {z}" for z in ZIPFS],
+        rows=rows,
+        note="Section 5.4: PAD 'should happen very rarely and only "
+        "under large skews with a Zipf factor of more than 0.25'.",
+    )
+
+
+def test_padding_skew_boundary(benchmark):
+    table = benchmark.pedantic(ablation_table, rounds=1, iterations=1)
+    table.emit()
+
+    by_padding = {row[0]: row[1:] for row in table.rows}
+    # unskewed input fits at every padding
+    shape_check(
+        all(row[0] == "fits" for row in by_padding.values()),
+        EXPERIMENT,
+        "uniform input always fits",
+    )
+    # small padding breaks under heavy skew
+    smallest = table.rows[0][1:]
+    shape_check(
+        "OVERFLOW" in smallest,
+        EXPERIMENT,
+        "a small padding overflows under skew",
+    )
+    # robustness is monotone in the padding: once a (padding, zipf)
+    # cell fits, every larger padding fits that zipf too
+    for col in range(len(ZIPFS)):
+        column = [row[1 + col] for row in table.rows]
+        first_fit = next(
+            (i for i, v in enumerate(column) if v == "fits"), len(column)
+        )
+        shape_check(
+            all(v == "fits" for v in column[first_fit:]),
+            EXPERIMENT,
+            "larger padding is never less robust",
+        )

@@ -1,0 +1,88 @@
+"""Extension — partitioned vs non-partitioned join crossover.
+
+The paper builds on Schuh et al. [31]: partitioned radix joins beat
+non-partitioned (NPO) joins "for large and non-skewed relations".  The
+qualifier matters: when the build side's hash table fits in the L3,
+skipping the partitioning pass wins.  This extension benchmark sweeps
+the build-relation size and locates the crossover, with the NPO's
+out-of-cache cost grounded in the paper's own Table 1 random-read
+measurement.
+"""
+
+from repro.bench import ExperimentTable, shape_check
+from repro.constants import CPU_L3_BYTES
+from repro.cpu.cost_model import CpuCostModel
+from repro.join.build_probe import BuildProbeCostModel
+from repro.join.no_partition_join import NoPartitionCostModel
+
+EXPERIMENT = "Extension: NPO crossover"
+R_SIZES = (250_000, 1_000_000, 2_000_000, 8_000_000, 32_000_000, 128_000_000)
+S_TUPLES = 128_000_000
+THREADS = 10
+PARTITIONS = 8192
+
+
+def crossover_table() -> ExperimentTable:
+    cpu = CpuCostModel()
+    bp = BuildProbeCostModel()
+    npo = NoPartitionCostModel()
+    rows = []
+    for r_tuples in R_SIZES:
+        partition_seconds = cpu.partitioning_seconds(
+            r_tuples + S_TUPLES, THREADS, num_partitions=PARTITIONS
+        )
+        radix_total = (
+            partition_seconds
+            + bp.estimate(
+                r_tuples, S_TUPLES, PARTITIONS, threads=THREADS
+            ).total_seconds
+        )
+        npo_estimate = npo.estimate(r_tuples, S_TUPLES, threads=THREADS)
+        rows.append(
+            [
+                f"{r_tuples / 1e6:.2f}M",
+                radix_total,
+                npo_estimate.total_seconds,
+                "in-L3" if npo_estimate.in_cache else "spills",
+                "radix" if radix_total < npo_estimate.total_seconds else "NPO",
+            ]
+        )
+    return ExperimentTable(
+        experiment_id=EXPERIMENT,
+        title=f"Radix join vs non-partitioned join, |S| = 128M, "
+        f"{THREADS} threads",
+        headers=["|R|", "radix total s", "NPO total s", "NPO table", "winner"],
+        rows=rows,
+        note="NPO out-of-cache cost = Table 1's single-thread random "
+        "line rate x threads; crossover sits where 2x|R| tuples "
+        f"outgrow the {CPU_L3_BYTES // 2**20} MB L3.",
+    )
+
+
+def test_npo_crossover(benchmark):
+    table = benchmark(crossover_table)
+    table.emit()
+
+    winners = table.column("winner")
+    cache_states = table.column("NPO table")
+    shape_check(
+        winners[0] == "NPO",
+        EXPERIMENT,
+        "a cache-resident build side favours skipping the partition pass",
+    )
+    shape_check(
+        winners[-1] == "radix",
+        EXPERIMENT,
+        "[31]'s finding: radix wins for large relations",
+    )
+    # the winner flips exactly once along the sweep
+    flips = sum(1 for a, b in zip(winners, winners[1:]) if a != b)
+    shape_check(flips == 1, EXPERIMENT, "a single crossover point")
+    shape_check(
+        all(
+            (w == "NPO") <= (c == "in-L3")
+            for w, c in zip(winners, cache_states)
+        ),
+        EXPERIMENT,
+        "NPO only wins while its table is cache-resident",
+    )

@@ -1,0 +1,73 @@
+"""Extension — sequential vs pipelined hybrid-join schedule.
+
+Should the CPU start building over R's partitions while the FPGA is
+still partitioning S?  Overlap hides work but drops both agents to
+their interfered Figure 2 bandwidths.  This benchmark sweeps the
+build+probe thread count and maps where each schedule wins — showing
+the paper's sequential schedule is the right call for its 10-thread
+configuration, and where that flips.
+"""
+
+from repro.bench import ExperimentTable, shape_check
+from repro.join.pipelined_hybrid import pipelined_hybrid_timing
+
+EXPERIMENT = "Extension: pipelined hybrid"
+PAPER_N = 128 * 10**6
+THREADS = (1, 2, 4, 8, 10)
+
+
+def schedule_table() -> ExperimentTable:
+    rows = []
+    for threads in THREADS:
+        timing = pipelined_hybrid_timing(PAPER_N, PAPER_N, threads=threads)
+        rows.append(
+            [
+                threads,
+                timing.sequential.total_seconds,
+                timing.pipelined_seconds,
+                timing.overlap_seconds,
+                timing.interference_cost_seconds,
+                "pipelined" if timing.worthwhile else "sequential",
+            ]
+        )
+    return ExperimentTable(
+        experiment_id=EXPERIMENT,
+        title="Hybrid join schedules, workload A geometry (HIST/RID)",
+        headers=[
+            "threads",
+            "sequential s",
+            "pipelined s",
+            "hidden s",
+            "interference s",
+            "winner",
+        ],
+        rows=rows,
+        note="Overlap pays only while the CPU build is long enough to "
+        "cover S's partitioning; at 10 threads the interference tax "
+        "wins — the paper's sequential schedule is right for its "
+        "configuration.",
+    )
+
+
+def test_schedule_crossover(benchmark):
+    table = benchmark(schedule_table)
+    table.emit()
+
+    winners = dict(zip(table.column("threads"), table.column("winner")))
+    shape_check(
+        winners[1] == "pipelined" and winners[2] == "pipelined",
+        EXPERIMENT,
+        "overlap wins while the build phase is long",
+    )
+    shape_check(
+        winners[10] == "sequential",
+        EXPERIMENT,
+        "the paper's 10-thread configuration prefers its sequential "
+        "schedule",
+    )
+    hidden = [float(v) for v in table.column("hidden s")]
+    shape_check(
+        hidden == sorted(hidden, reverse=True),
+        EXPERIMENT,
+        "the hideable build shrinks monotonically with threads",
+    )

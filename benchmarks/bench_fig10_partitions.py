@@ -1,0 +1,135 @@
+"""Figure 10 — join time vs number of partitions (workload A).
+
+Two panels: single-threaded (10a) and 10-threaded (10b) execution of
+the CPU radix join and the hybrid join (FPGA PAD/RID partitioning).
+Shape expectations:
+
+* single-threaded CPU partitioning time grows with the fan-out; FPGA
+  partitioning time is flat;
+* build+probe time falls as partitions shrink into cache;
+* build+probe after FPGA partitioning is always slower than after CPU
+  partitioning (the Section 2.2 coherence penalty);
+* at 10 threads the CPU partitioner is memory bound and flat too, and
+  slightly faster than the FPGA.
+"""
+
+import pytest
+
+from repro.workloads.relations import WORKLOAD_SPECS
+from repro.bench import (
+    ExperimentTable,
+    monotonically_decreasing,
+    shape_check,
+)
+from repro.core.modes import HashKind, OutputMode, PartitionerConfig
+from repro.join.hybrid_join import hybrid_join
+from repro.join.radix_join import cpu_radix_join
+
+EXPERIMENT = "Figure 10"
+PARTITION_SWEEP = (256, 512, 1024, 2048, 4096, 8192)
+
+
+def figure10_table(workload, threads: int) -> ExperimentTable:
+    spec = WORKLOAD_SPECS["A"]
+    n_r, n_s = spec.r_tuples, spec.s_tuples
+    rows = []
+    for partitions in PARTITION_SWEEP:
+        cpu = cpu_radix_join(
+            workload,
+            num_partitions=partitions,
+            threads=threads,
+            hash_kind=HashKind.RADIX,
+            timing_r_tuples=n_r,
+            timing_s_tuples=n_s,
+        )
+        hybrid = hybrid_join(
+            workload,
+            PartitionerConfig(
+                num_partitions=partitions,
+                output_mode=OutputMode.PAD,
+                hash_kind=HashKind.RADIX,
+            ),
+            threads=threads,
+            timing_r_tuples=n_r,
+            timing_s_tuples=n_s,
+        )
+        rows.append(
+            [
+                partitions,
+                cpu.timing.partition_seconds,
+                cpu.timing.build_probe_seconds,
+                cpu.timing.total_seconds,
+                hybrid.timing.partition_seconds,
+                hybrid.timing.build_probe_seconds,
+                hybrid.timing.total_seconds,
+            ]
+        )
+    return ExperimentTable(
+        experiment_id=f"{EXPERIMENT}{'a' if threads == 1 else 'b'}",
+        title=f"Join time vs #partitions, workload A, {threads} thread(s)",
+        headers=[
+            "partitions",
+            "cpu part s",
+            "cpu b+p s",
+            "cpu total s",
+            "fpga part s",
+            "hyb b+p s",
+            "hyb total s",
+        ],
+        rows=rows,
+        note="Timing at the paper's 128e6+128e6 tuples; functional join "
+        "runs on scaled data.",
+    )
+
+
+@pytest.mark.parametrize("threads", [1, 10])
+def test_figure10_partition_sweep(benchmark, workload_a, threads):
+    table = benchmark.pedantic(
+        figure10_table, args=(workload_a, threads), rounds=1, iterations=1
+    )
+    table.emit()
+
+    cpu_part = [float(v) for v in table.column("cpu part s")]
+    fpga_part = [float(v) for v in table.column("fpga part s")]
+    cpu_bp = [float(v) for v in table.column("cpu b+p s")]
+    hybrid_bp = [float(v) for v in table.column("hyb b+p s")]
+
+    shape_check(
+        max(fpga_part) / min(fpga_part) < 1.01,
+        EXPERIMENT,
+        "FPGA partitioning time is flat across fan-outs",
+    )
+    shape_check(
+        monotonically_decreasing(cpu_bp)
+        and monotonically_decreasing(hybrid_bp),
+        EXPERIMENT,
+        "build+probe gets faster as partitions shrink into cache",
+    )
+    shape_check(
+        all(h > c for h, c in zip(hybrid_bp, cpu_bp)),
+        EXPERIMENT,
+        "hybrid build+probe always pays the coherence penalty",
+    )
+    if threads == 1:
+        shape_check(
+            cpu_part[-1] > cpu_part[0],
+            EXPERIMENT,
+            "single-threaded CPU partitioning slows with fan-out (10a)",
+        )
+        shape_check(
+            all(f < c for f, c in zip(fpga_part, cpu_part)),
+            EXPERIMENT,
+            "the FPGA beats one CPU thread at every fan-out",
+        )
+    else:
+        shape_check(
+            max(cpu_part) / min(cpu_part) < 1.01,
+            EXPERIMENT,
+            "10-thread CPU partitioning is memory bound and flat (10b)",
+        )
+        shape_check(
+            cpu_part[-1] < fpga_part[-1],
+            EXPERIMENT,
+            "the 10-thread CPU partitioner is slightly faster than the "
+            "FPGA (PAD/RID) on this platform",
+        )

@@ -1,0 +1,143 @@
+"""Figure 11 — join time vs CPU threads, workloads A and B.
+
+Series: CPU join (radix partitioning + build+probe), hybrid join with
+FPGA PAD/RID partitioning, and hybrid with PAD/VRID (the column-store
+mode).  Shape expectations:
+
+* CPU partitioning time shrinks with threads, then saturates; FPGA
+  partitioning is thread-independent;
+* PAD/VRID is the fastest FPGA mode (reads half the bytes);
+* at 10 threads the hybrid (406 Mtuples/s on A) sits just below the
+  CPU join (436), with VRID partitioning itself slightly faster than
+  the 10-thread CPU partitioner.
+"""
+
+import pytest
+
+from repro.bench import ExperimentTable, shape_check
+from repro.core.modes import HashKind, LayoutMode, OutputMode, PartitionerConfig
+from repro.join.hybrid_join import hybrid_join
+from repro.join.radix_join import cpu_radix_join
+from repro.workloads.relations import WORKLOAD_SPECS
+
+EXPERIMENT = "Figure 11"
+THREADS = (1, 2, 4, 8, 10)
+
+
+def figure11_table(workload, name: str) -> ExperimentTable:
+    spec = WORKLOAD_SPECS[name]
+    n_r, n_s = spec.r_tuples, spec.s_tuples
+    rows = []
+    for threads in THREADS:
+        cpu = cpu_radix_join(
+            workload,
+            num_partitions=8192,
+            threads=threads,
+            hash_kind=HashKind.RADIX,
+            timing_r_tuples=n_r,
+            timing_s_tuples=n_s,
+        )
+        rid = hybrid_join(
+            workload,
+            PartitionerConfig(
+                num_partitions=8192,
+                output_mode=OutputMode.PAD,
+                layout_mode=LayoutMode.RID,
+            ),
+            threads=threads,
+            timing_r_tuples=n_r,
+            timing_s_tuples=n_s,
+        )
+        vrid = hybrid_join(
+            workload,
+            PartitionerConfig(
+                num_partitions=8192,
+                output_mode=OutputMode.PAD,
+                layout_mode=LayoutMode.VRID,
+            ),
+            threads=threads,
+            timing_r_tuples=n_r,
+            timing_s_tuples=n_s,
+        )
+        rows.append(
+            [
+                threads,
+                cpu.timing.partition_seconds,
+                cpu.timing.build_probe_seconds,
+                rid.timing.partition_seconds,
+                rid.timing.build_probe_seconds,
+                vrid.timing.partition_seconds,
+                vrid.timing.total_seconds,
+                cpu.throughput_mtuples,
+                vrid.throughput_mtuples,
+            ]
+        )
+    return ExperimentTable(
+        experiment_id=f"{EXPERIMENT}{'a' if name == 'A' else 'b'}",
+        title=f"Join time vs threads, workload {name}, 8192 partitions",
+        headers=[
+            "threads",
+            "cpu part s",
+            "cpu b+p s",
+            "fpga RID part s",
+            "hyb b+p s",
+            "fpga VRID part s",
+            "hyb VRID total s",
+            "cpu Mt/s",
+            "hyb VRID Mt/s",
+        ],
+        rows=rows,
+    )
+
+
+@pytest.mark.parametrize("name", ["A", "B"])
+def test_figure11_thread_sweep(benchmark, workload_a, workload_b, name):
+    workload = workload_a if name == "A" else workload_b
+    table = benchmark.pedantic(
+        figure11_table, args=(workload, name), rounds=1, iterations=1
+    )
+    table.emit()
+
+    cpu_part = [float(v) for v in table.column("cpu part s")]
+    fpga_rid = [float(v) for v in table.column("fpga RID part s")]
+    fpga_vrid = [float(v) for v in table.column("fpga VRID part s")]
+
+    shape_check(
+        cpu_part[0] > cpu_part[-1],
+        EXPERIMENT,
+        "CPU partitioning accelerates with threads",
+    )
+    shape_check(
+        max(fpga_rid) / min(fpga_rid) < 1.01,
+        EXPERIMENT,
+        "FPGA partitioning is independent of CPU thread count",
+    )
+    shape_check(
+        all(v < r for v, r in zip(fpga_vrid, fpga_rid)),
+        EXPERIMENT,
+        "VRID is the fastest FPGA mode (half the reads)",
+    )
+    shape_check(
+        fpga_vrid[-1] < cpu_part[-1],
+        EXPERIMENT,
+        "VRID partitioning beats even the 10-thread CPU partitioner",
+    )
+
+    if name == "A":
+        cpu_tp = float(table.rows[-1][7])
+        hybrid_tp = float(table.rows[-1][8])
+        shape_check(
+            abs(cpu_tp - 436) / 436 < 0.05,
+            EXPERIMENT,
+            f"CPU join at 10 threads ~436 Mtuples/s (got {cpu_tp:.0f})",
+        )
+        shape_check(
+            abs(hybrid_tp - 406) / 406 < 0.05,
+            EXPERIMENT,
+            f"hybrid VRID join at 10 threads ~406 Mtuples/s (got {hybrid_tp:.0f})",
+        )
+        shape_check(
+            hybrid_tp < cpu_tp,
+            EXPERIMENT,
+            "the coherence-throttled hybrid stays just below the CPU join",
+        )

@@ -1,0 +1,202 @@
+"""Figure 12 — join time under different key distributions (C, D, E).
+
+Each workload is joined three ways: CPU radix partitioning, CPU hash
+partitioning, and hybrid with FPGA hash partitioning.  The functional
+joins run on scaled data (all three must agree on the match count);
+the build+probe *timing* is evaluated from the full-scale partition
+histograms, streamed over the paper's 128e6 keys, because the grid
+distributions' imbalance depends on the absolute relation size.
+
+Shape expectations (Section 5.3):
+
+* workload C (random keys): hash partitioning buys the build+probe
+  phase nothing — radix already spreads random keys;
+* workloads D/E (grid / reverse grid): hash partitioning improves
+  build+probe (paper: 11% on D, 35% on E at 10 threads);
+* CPU *partitioning* is slower with hash at 1 thread (up to ~50%) but
+  free at 10 threads (memory bound);
+* the FPGA computes the robust hash at no extra cost.
+"""
+
+import functools
+import os
+
+import pytest
+
+from repro.analysis.histogram import partition_histogram_streamed
+from repro.bench import ExperimentTable, shape_check
+from repro.core.model import FpgaCostModel
+from repro.core.modes import HashKind, OutputMode, PartitionerConfig
+from repro.cpu.cost_model import CpuCostModel
+from repro.join.build_probe import BuildProbeCostModel
+from repro.join.radix_join import cpu_radix_join
+from repro.join.hybrid_join import hybrid_join
+from repro.workloads.relations import WORKLOAD_SPECS, make_workload
+
+EXPERIMENT = "Figure 12"
+THREADS = (1, 10)
+NUM_PARTITIONS = 8192
+SCALE = int(os.environ.get("REPRO_BENCH_FIG12_SCALE", "20000"))
+
+
+@functools.lru_cache(maxsize=None)
+def full_scale_shares(name: str, use_hash: bool):
+    spec = WORKLOAD_SPECS[name]
+    counts = partition_histogram_streamed(
+        spec.distribution,
+        spec.r_tuples,
+        NUM_PARTITIONS,
+        use_hash=use_hash,
+        seed=11,
+    )
+    return counts / counts.sum()
+
+
+def build_probe_seconds(name: str, use_hash: bool, threads: int,
+                        fpga_partitioned: bool) -> float:
+    spec = WORKLOAD_SPECS[name]
+    shares = full_scale_shares(name, use_hash)
+    estimate = BuildProbeCostModel().estimate(
+        r_tuples=spec.r_tuples,
+        s_tuples=spec.s_tuples,
+        num_partitions=NUM_PARTITIONS,
+        threads=threads,
+        fpga_partitioned=fpga_partitioned,
+        r_shares=shares,
+        s_shares=shares,
+    )
+    return estimate.total_seconds
+
+
+def figure12_table(name: str) -> ExperimentTable:
+    spec = WORKLOAD_SPECS[name]
+    n = spec.r_tuples + spec.s_tuples
+    cpu_model = CpuCostModel()
+    fpga_model = FpgaCostModel()
+    fpga_config = PartitionerConfig(
+        num_partitions=NUM_PARTITIONS,
+        output_mode=OutputMode.PAD,
+        hash_kind=HashKind.MURMUR,
+    )
+    rows = []
+    for threads in THREADS:
+        part = {
+            kind: cpu_model.partitioning_seconds(
+                n,
+                threads,
+                hash_kind=kind,
+                distribution=spec.distribution,
+                num_partitions=NUM_PARTITIONS,
+            )
+            for kind in (HashKind.RADIX, HashKind.MURMUR)
+        }
+        fpga_part = fpga_model.partitioning_seconds(
+            n, fpga_config, calibrated=True
+        )
+        rows.append(
+            [
+                threads,
+                part[HashKind.RADIX],
+                build_probe_seconds(name, False, threads, False),
+                part[HashKind.MURMUR],
+                build_probe_seconds(name, True, threads, False),
+                fpga_part,
+                build_probe_seconds(name, True, threads, True),
+            ]
+        )
+    return ExperimentTable(
+        experiment_id=f"{EXPERIMENT} ({name})",
+        title=f"Join time by partitioning method, workload {name}",
+        headers=[
+            "threads",
+            "cpu radix part s",
+            "b+p (radix) s",
+            "cpu hash part s",
+            "b+p (hash) s",
+            "fpga hash part s",
+            "hyb b+p s",
+        ],
+        rows=rows,
+        note="Build+probe timed from the full-scale (128e6-key) "
+        "partition histograms, streamed.",
+    )
+
+
+@pytest.mark.parametrize("name", ["C", "D", "E"])
+def test_figure12_distributions(benchmark, name):
+    table = benchmark.pedantic(
+        figure12_table, args=(name,), rounds=1, iterations=1
+    )
+    table.emit()
+
+    one_thread, ten_threads = table.rows
+
+    # CPU hash partitioning costs extra at 1 thread, nothing at 10.
+    shape_check(
+        float(one_thread[3]) > 1.3 * float(one_thread[1]),
+        EXPERIMENT,
+        f"{name}: 1-thread hash partitioning is ~50% slower",
+    )
+    shape_check(
+        abs(float(ten_threads[3]) - float(ten_threads[1]))
+        / float(ten_threads[1])
+        < 0.02,
+        EXPERIMENT,
+        f"{name}: hash costs nothing at 10 threads (memory bound)",
+    )
+
+    bp_radix = float(ten_threads[2])
+    bp_hash = float(ten_threads[4])
+    improvement = (bp_radix - bp_hash) / bp_radix
+    if name == "C":
+        shape_check(
+            abs(improvement) < 0.05,
+            EXPERIMENT,
+            "C: random keys gain nothing from hash partitioning",
+        )
+    elif name == "D":
+        shape_check(
+            0.05 < improvement < 0.25,
+            EXPERIMENT,
+            f"D: hash partitioning improves build+probe (~11% in the "
+            f"paper; got {improvement:.0%})",
+        )
+    else:
+        shape_check(
+            0.2 < improvement < 0.6,
+            EXPERIMENT,
+            f"E: reverse grid benefits most (~35% in the paper; got "
+            f"{improvement:.0%})",
+        )
+
+
+@pytest.mark.parametrize("name", ["C", "D", "E"])
+def test_figure12_functional_agreement(benchmark, name):
+    """All three partitioning methods must produce the same join
+    result on the (scaled) data."""
+    workload = make_workload(name, scale=SCALE)
+
+    def run():
+        radix = cpu_radix_join(
+            workload, NUM_PARTITIONS, threads=2, hash_kind=HashKind.RADIX
+        )
+        hashed = cpu_radix_join(
+            workload, NUM_PARTITIONS, threads=2, hash_kind=HashKind.MURMUR
+        )
+        fpga = hybrid_join(
+            workload,
+            PartitionerConfig(
+                num_partitions=NUM_PARTITIONS, output_mode=OutputMode.PAD
+            ),
+            threads=2,
+        )
+        return radix.matches, hashed.matches, fpga.matches
+
+    radix_matches, hash_matches, fpga_matches = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    shape_check(
+        radix_matches == hash_matches == fpga_matches,
+        EXPERIMENT,
+        "radix, hash and FPGA joins agree on the match count",
+    )

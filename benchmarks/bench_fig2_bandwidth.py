@@ -1,0 +1,89 @@
+"""Figure 2 — memory bandwidth vs sequential-read / random-write mix.
+
+Regenerates the four curves (CPU/FPGA, alone/interfered) across the
+mix axis and checks their shape: the CPU curve starts near 28 GB/s and
+decays steeply as random writes take over; the FPGA curve is nearly
+flat around 6.5-7 GB/s; interference costs both agents a large share;
+and the CPU keeps >= 3x the FPGA's bandwidth on read-heavy mixes.
+"""
+
+from repro.bench import (
+    ExperimentTable,
+    monotonically_decreasing,
+    shape_check,
+)
+from repro.platform.bandwidth import Agent, BandwidthModel
+
+EXPERIMENT = "Figure 2"
+
+
+def figure2_table(steps: int = 11) -> ExperimentTable:
+    model = BandwidthModel()
+    rows = []
+    for i in range(steps):
+        frac = 1.0 - i / (steps - 1)
+        rows.append(
+            [
+                f"{frac:.1f}/{1 - frac:.1f}",
+                model.bandwidth_gbs(Agent.CPU, frac),
+                model.bandwidth_gbs(Agent.FPGA, frac),
+                model.bandwidth_gbs(Agent.CPU, frac, interfered=True),
+                model.bandwidth_gbs(Agent.FPGA, frac, interfered=True),
+            ]
+        )
+    return ExperimentTable(
+        experiment_id=EXPERIMENT,
+        title="Memory throughput (GB/s) vs seq-read/rand-write ratio",
+        headers=[
+            "read/write",
+            "CPU alone",
+            "FPGA alone",
+            "CPU interfered",
+            "FPGA interfered",
+        ],
+        rows=rows,
+        note="FPGA curve anchored to Section 4.8: B(2)=7.05, B(1)=6.97, "
+        "B(0.5)=5.94 GB/s.",
+    )
+
+
+def test_figure2_bandwidth_curves(benchmark):
+    table = benchmark(figure2_table)
+    table.emit()
+
+    cpu = [float(v) for v in table.column("CPU alone")]
+    fpga = [float(v) for v in table.column("FPGA alone")]
+    cpu_interfered = [float(v) for v in table.column("CPU interfered")]
+    fpga_interfered = [float(v) for v in table.column("FPGA interfered")]
+
+    shape_check(
+        monotonically_decreasing(cpu),
+        EXPERIMENT,
+        "CPU bandwidth must fall as random writes take over",
+    )
+    shape_check(
+        cpu[0] > 25 and cpu[-1] < 10,
+        EXPERIMENT,
+        "CPU spans ~28 GB/s (pure read) down to <10 GB/s (pure write)",
+    )
+    shape_check(
+        max(fpga) - min(fpga) < 2.5,
+        EXPERIMENT,
+        "FPGA curve is comparatively flat (QPI-limited)",
+    )
+    shape_check(
+        all(c > f for c, f in zip(cpu, fpga)),
+        EXPERIMENT,
+        "the CPU out-bandwidths the FPGA at every mix",
+    )
+    shape_check(
+        cpu[0] / fpga[0] > 3.0,
+        EXPERIMENT,
+        "the paper's '3x less memory bandwidth' for the FPGA",
+    )
+    shape_check(
+        all(i < a for i, a in zip(cpu_interfered, cpu))
+        and all(i < a for i, a in zip(fpga_interfered, fpga)),
+        EXPERIMENT,
+        "interference lowers both agents' bandwidth",
+    )

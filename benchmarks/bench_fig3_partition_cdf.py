@@ -1,0 +1,97 @@
+"""Figure 3 — tuple distribution across 8192 partitions as a CDF.
+
+Partitions each Section 3.2 key distribution with radix bits (3a) and
+murmur hashing (3b) and summarises the partition-size CDFs.  Shape
+expectations: hash partitioning is balanced for every distribution;
+radix partitioning collapses on the grid-family keys (most partitions
+empty, a few holding the whole relation).
+"""
+
+import numpy as np
+
+from repro.analysis.balance import balance_report
+from repro.analysis.histogram import partition_cdf, partition_histogram
+from repro.bench import ExperimentTable, shape_check
+from repro.workloads.distributions import generate_keys
+
+EXPERIMENT = "Figure 3"
+
+NUM_PARTITIONS = 8192
+NUM_KEYS = 2_000_000  # scaled from the paper's 128e6; CDFs are stable
+DISTRIBUTIONS = ("linear", "random", "grid", "reverse_grid")
+
+
+def figure3_table(use_hash: bool) -> ExperimentTable:
+    rows = []
+    for name in DISTRIBUTIONS:
+        keys = generate_keys(name, NUM_KEYS, seed=11)
+        counts = partition_histogram(keys, NUM_PARTITIONS, use_hash=use_hash)
+        report = balance_report(counts)
+        sizes, cumulative = partition_cdf(counts)
+        median_size = int(np.median(counts))
+        rows.append(
+            [
+                name,
+                report.empty_partitions,
+                median_size,
+                report.max_tuples,
+                report.max_over_mean,
+                "yes" if report.is_balanced else "no",
+            ]
+        )
+    label = "hash (murmur)" if use_hash else "radix"
+    return ExperimentTable(
+        experiment_id=EXPERIMENT + ("b" if use_hash else "a"),
+        title=f"Partition-size distribution, {label} partitioning, "
+        f"{NUM_PARTITIONS} partitions",
+        headers=[
+            "distribution",
+            "empty parts",
+            "median size",
+            "max size",
+            "max/mean",
+            "balanced",
+        ],
+        rows=rows,
+        note="CDF summarised as empty/median/max; fair share is "
+        f"{NUM_KEYS // NUM_PARTITIONS} tuples/partition.",
+    )
+
+
+def test_figure3a_radix_partitioning(benchmark):
+    table = benchmark(figure3_table, use_hash=False)
+    table.emit()
+    balanced = dict(zip(table.column("distribution"), table.column("balanced")))
+    shape_check(
+        balanced["linear"] == "yes",
+        EXPERIMENT,
+        "radix is fine on linear keys",
+    )
+    shape_check(
+        balanced["grid"] == "no" and balanced["reverse_grid"] == "no",
+        EXPERIMENT,
+        "radix collapses on grid-family keys (Figure 3a)",
+    )
+    empties = dict(
+        zip(table.column("distribution"), table.column("empty parts"))
+    )
+    shape_check(
+        empties["reverse_grid"] > 0.9 * NUM_PARTITIONS,
+        EXPERIMENT,
+        "reverse grid leaves almost every radix partition empty",
+    )
+
+
+def test_figure3b_hash_partitioning(benchmark):
+    table = benchmark(figure3_table, use_hash=True)
+    table.emit()
+    shape_check(
+        all(v == "yes" for v in table.column("balanced")),
+        EXPERIMENT,
+        "hash partitioning is balanced for every distribution (Figure 3b)",
+    )
+    shape_check(
+        all(float(v) < 1.5 for v in table.column("max/mean")),
+        EXPERIMENT,
+        "no hash partition exceeds 1.5x the fair share",
+    )

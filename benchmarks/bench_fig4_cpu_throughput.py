@@ -1,0 +1,100 @@
+"""Figure 4 — CPU partitioning throughput vs thread count.
+
+Regenerates the thread-scaling series for radix partitioning on each
+key distribution and for hash partitioning (distribution-blind), plus
+times the actual SWWC partitioning kernel.  Shape expectations: radix
+beats hash at low thread counts, both saturate the same memory ceiling
+(~500 Mtuples/s) by 8-10 threads, and the grid-family distributions
+degrade radix but not hash.
+"""
+
+import numpy as np
+
+from repro.bench import ExperimentTable, monotonically_increasing, shape_check
+from repro.core.modes import HashKind
+from repro.cpu.cost_model import CpuCostModel
+from repro.cpu.swwc_buffers import swwc_partition
+from repro.workloads.distributions import KeyDistribution, generate_keys
+
+EXPERIMENT = "Figure 4"
+THREADS = (1, 2, 4, 8, 10)
+RADIX_SERIES = ("linear", "random", "grid", "reverse_grid")
+
+
+def figure4_table() -> ExperimentTable:
+    model = CpuCostModel()
+    rows = []
+    for threads in THREADS:
+        row = [threads]
+        for name in RADIX_SERIES:
+            row.append(
+                model.throughput_mtuples(
+                    threads, HashKind.RADIX, KeyDistribution(name)
+                )
+            )
+        row.append(
+            model.throughput_mtuples(
+                threads, HashKind.MURMUR, KeyDistribution.LINEAR
+            )
+        )
+        rows.append(row)
+    return ExperimentTable(
+        experiment_id=EXPERIMENT,
+        title="CPU partitioning throughput (Mtuples/s), 8 B tuples, "
+        "8192 partitions",
+        headers=["threads"]
+        + [f"radix {n}" for n in RADIX_SERIES]
+        + ["hash (all)"],
+        rows=rows,
+        note="Hash partitioning delivers the same throughput for every "
+        "key distribution (Section 3.2).",
+    )
+
+
+def test_figure4_thread_scaling(benchmark):
+    table = benchmark(figure4_table)
+    table.emit()
+
+    radix_linear = [float(v) for v in table.column("radix linear")]
+    hash_all = [float(v) for v in table.column("hash (all)")]
+
+    shape_check(
+        radix_linear[0] > 1.3 * hash_all[0],
+        EXPERIMENT,
+        "hash partitioning is substantially slower single-threaded",
+    )
+    shape_check(
+        abs(radix_linear[-1] - hash_all[-1]) / radix_linear[-1] < 0.02,
+        EXPERIMENT,
+        "the hash penalty disappears at 10 threads (memory bound)",
+    )
+    shape_check(
+        monotonically_increasing(radix_linear)
+        and monotonically_increasing(hash_all),
+        EXPERIMENT,
+        "throughput never decreases with threads",
+    )
+    shape_check(
+        450 < radix_linear[-1] < 560,
+        EXPERIMENT,
+        "the 10-thread ceiling lands near the paper's ~506 Mtuples/s",
+    )
+    rev_grid = [float(v) for v in table.column("radix reverse_grid")]
+    shape_check(
+        rev_grid[0] < radix_linear[0],
+        EXPERIMENT,
+        "grid-family keys degrade radix partitioning at low threads",
+    )
+
+
+def test_figure4_swwc_kernel_throughput(benchmark):
+    """Times the actual NumPy SWWC partitioning kernel (not the model):
+    useful as a regression benchmark for the library itself."""
+    keys = generate_keys("random", 500_000, seed=5)
+    payloads = np.arange(keys.shape[0], dtype=np.uint32)
+
+    def run():
+        return swwc_partition(keys, payloads, 8192, use_hash=True)
+
+    _, _, counts, _ = benchmark(run)
+    assert counts.sum() == keys.shape[0]

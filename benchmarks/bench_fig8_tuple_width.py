@@ -1,0 +1,113 @@
+"""Figure 8 — throughput vs tuple width (HIST/RID mode).
+
+Two series: end-to-end tuples/second (halves with each width doubling,
+the partitioner is bandwidth bound) and total data processed in GB/s
+(stays flat — the circuit moves cache lines at the same rate whatever
+the tuple width).  The model-prediction markers of the figure come from
+Equation 7; the cycle simulator corroborates the lines/cycle claim for
+every width.
+"""
+
+import numpy as np
+
+from repro.bench import ExperimentTable, shape_check
+from repro.core.circuit import PartitionerCircuit
+from repro.core.model import FpgaCostModel
+from repro.core.modes import LayoutMode, OutputMode, PartitionerConfig
+
+EXPERIMENT = "Figure 8"
+WIDTHS = (8, 16, 32, 64)
+PAPER_N = 128 * 10**6
+
+
+def figure8_table() -> ExperimentTable:
+    model = FpgaCostModel()
+    rows = []
+    for width in WIDTHS:
+        config = PartitionerConfig(
+            tuple_bytes=width,
+            output_mode=OutputMode.HIST,
+            layout_mode=LayoutMode.RID,
+        )
+        prediction = model.predict(config, PAPER_N)
+        mtuples = prediction.mtuples_per_second
+        total_gbs = (
+            prediction.tuples_per_second
+            * width
+            * (prediction.read_write_ratio + 1)
+            / 1e9
+        )
+        rows.append([f"{width}B", mtuples, total_gbs, prediction.bandwidth_gbs])
+    return ExperimentTable(
+        experiment_id=EXPERIMENT,
+        title="Throughput vs tuple width (HIST/RID)",
+        headers=[
+            "tuple",
+            "Mtuples/s",
+            "data processed GB/s",
+            "B(r) GB/s",
+        ],
+        rows=rows,
+        note="Tuples/s halves per width doubling; GB/s of data moved "
+        "stays flat (bandwidth bound).",
+    )
+
+
+def test_figure8_model_series(benchmark):
+    table = benchmark(figure8_table)
+    table.emit()
+
+    mtuples = [float(v) for v in table.column("Mtuples/s")]
+    gbs = [float(v) for v in table.column("data processed GB/s")]
+    for prev, curr in zip(mtuples, mtuples[1:]):
+        shape_check(
+            curr == prev / 2,
+            EXPERIMENT,
+            "tuples/s halves exactly with each width doubling",
+        )
+    shape_check(
+        max(gbs) - min(gbs) < 0.01,
+        EXPERIMENT,
+        "total data processed per second is width-invariant",
+    )
+    shape_check(
+        abs(mtuples[0] - 294) / 294 < 0.02,
+        EXPERIMENT,
+        "the 8 B point matches the HIST/RID rate (~294-299 Mtuples/s)",
+    )
+
+
+def test_figure8_circuit_lines_per_cycle(benchmark):
+    """Cycle-level corroboration: for every width the streaming pass
+    consumes ~one input line per cycle when unthrottled."""
+    rng = np.random.default_rng(8)
+
+    def run():
+        ratios = {}
+        for width in WIDTHS:
+            config = PartitionerConfig(
+                num_partitions=8,
+                tuple_bytes=width,
+                output_mode=OutputMode.PAD,
+                pad_tuples=4096,
+            )
+            n = 2048 // (width // 8)
+            keys = rng.integers(0, 2**32, size=n, dtype=np.uint64).astype(
+                np.uint32
+            )
+            sim = PartitionerCircuit(config).run(
+                keys, np.arange(n, dtype=np.uint32)
+            )
+            streaming = (
+                sim.stats.partition_pass_cycles - sim.stats.flush_cycles
+            )
+            ratios[width] = sim.stats.lines_in / streaming
+        return ratios
+
+    ratios = benchmark(run)
+    for width, ratio in ratios.items():
+        shape_check(
+            ratio > 0.7,
+            EXPERIMENT,
+            f"{width}B config sustains near one line/cycle (got {ratio:.2f})",
+        )

@@ -1,0 +1,122 @@
+"""Section 4.8 / Conclusion — the future-platform projection.
+
+"The validated model shows that, if ... a high enough bandwidth around
+25.6 GB/s [is provided] to the FPGA, the first term would define the
+throughput, which will become 1.6 Billion tuples/s — 45% faster than
+the highest absolute partitioning throughput reported by a 64-threaded
+CPU solution."
+
+This benchmark sweeps the link bandwidth through Equation 7 and locates
+the crossover where the partitioner flips from memory-bound to
+compute-bound, for PAD and HIST modes, plus the clocked-up what-if the
+paper floats (the design hardened on the CPU die at GHz clocks).
+"""
+
+from repro.bench import ExperimentTable, shape_check
+from repro.constants import FIGURE9_MEASURED_MTUPLES
+from repro.core.model import FpgaCostModel
+from repro.core.modes import OutputMode, PartitionerConfig
+from repro.platform.bandwidth import BandwidthModel
+
+EXPERIMENT = "Future platforms (Sec 4.8)"
+BANDWIDTHS = (6.5, 12.8, 19.2, 25.6, 38.4, 51.2)
+PAPER_N = 128 * 10**6
+
+
+def _model_at(bandwidth_gbs: float, clock_hz: float = 200e6) -> FpgaCostModel:
+    flat = BandwidthModel(
+        fpga_points={0.0: bandwidth_gbs, 1.0: bandwidth_gbs}
+    )
+    return FpgaCostModel(bandwidth=flat, clock_hz=clock_hz)
+
+
+def sweep_table() -> ExperimentTable:
+    pad = PartitionerConfig(output_mode=OutputMode.PAD)
+    hist = PartitionerConfig(output_mode=OutputMode.HIST)
+    rows = []
+    for bandwidth in BANDWIDTHS:
+        model = _model_at(bandwidth)
+        pad_pred = model.predict(pad, PAPER_N)
+        hist_pred = model.predict(hist, PAPER_N)
+        rows.append(
+            [
+                bandwidth,
+                pad_pred.mtuples_per_second,
+                "memory" if pad_pred.memory_bound else "circuit",
+                hist_pred.mtuples_per_second,
+                "memory" if hist_pred.memory_bound else "circuit",
+            ]
+        )
+    return ExperimentTable(
+        experiment_id=EXPERIMENT,
+        title="Equation 7 across hypothetical link bandwidths "
+        "(8 B tuples, 200 MHz)",
+        headers=[
+            "link GB/s",
+            "PAD Mt/s",
+            "PAD bound",
+            "HIST Mt/s",
+            "HIST bound",
+        ],
+        rows=rows,
+        note="PAD saturates the circuit at 25.6 GB/s (1 read + 1 write "
+        "line per cycle); beyond that only a faster clock helps.",
+    )
+
+
+def test_bandwidth_crossover(benchmark):
+    table = benchmark(sweep_table)
+    table.emit()
+
+    by_bandwidth = {float(r[0]): r for r in table.rows}
+    shape_check(
+        by_bandwidth[6.5][2] == "memory",
+        EXPERIMENT,
+        "today's QPI leaves the partitioner memory bound",
+    )
+    shape_check(
+        by_bandwidth[25.6][2] == "circuit",
+        EXPERIMENT,
+        "at 25.6 GB/s PAD becomes circuit bound",
+    )
+    shape_check(
+        abs(float(by_bandwidth[25.6][1]) - 1593) < 20,
+        EXPERIMENT,
+        "...at ~1.6 Gtuples/s",
+    )
+    shape_check(
+        float(by_bandwidth[25.6][1])
+        > 1.4 * FIGURE9_MEASURED_MTUPLES["polychroniou_32cores"],
+        EXPERIMENT,
+        "45% above the best 32-core CPU number [27]",
+    )
+    shape_check(
+        float(by_bandwidth[51.2][1]) == float(by_bandwidth[25.6][1]),
+        EXPERIMENT,
+        "extra bandwidth beyond the circuit rate buys nothing",
+    )
+
+
+def test_hardened_macro_projection(benchmark):
+    """'If the provided design is hardened as a macro on the CPU die,
+    which can then be clocked in the GHz range, one could expect an
+    even higher throughput' — with bandwidth to match."""
+
+    def run():
+        pad = PartitionerConfig(output_mode=OutputMode.PAD)
+        fpga_200mhz = _model_at(25.6).predict(pad, PAPER_N)
+        # 2 GHz macro with proportionally scaled (on-die) bandwidth
+        macro_2ghz = _model_at(256.0, clock_hz=2e9).predict(pad, PAPER_N)
+        return fpga_200mhz, macro_2ghz
+
+    fpga, macro = benchmark(run)
+    shape_check(
+        macro.tuples_per_second > 9 * fpga.tuples_per_second,
+        EXPERIMENT,
+        "a GHz-clocked macro scales the circuit rate ~10x",
+    )
+    shape_check(
+        macro.mtuples_per_second > 10_000,
+        EXPERIMENT,
+        "near-memory integration projects past 10 Gtuples/s",
+    )

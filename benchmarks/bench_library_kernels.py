@@ -1,0 +1,81 @@
+"""Library-kernel regression benchmarks.
+
+Not a paper figure: these time the reproduction's own hot kernels —
+the vectorised murmur finalizer, functional partitioning, the
+bucket-chaining probe, group-by aggregation, and the cycle simulator's
+tuples/second — so performance regressions in the library itself are
+caught.  Throughput assertions are deliberately loose (an order of
+magnitude below typical) to avoid flaky failures on slow machines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import murmur3_finalizer
+from repro.core.circuit import PartitionerCircuit
+from repro.core.modes import OutputMode, PartitionerConfig
+from repro.core.partitioner import FpgaPartitioner
+from repro.join.hash_table import BucketChainingHashTable
+from repro.ops import partitioned_groupby
+from repro.workloads.distributions import random_keys
+
+N = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return random_keys(N, seed=3)
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    return np.arange(N, dtype=np.uint32)
+
+
+def test_murmur_throughput(benchmark, keys):
+    result = benchmark(murmur3_finalizer, keys)
+    assert result.shape == keys.shape
+
+
+def test_functional_partitioner_throughput(benchmark, keys, payloads):
+    partitioner = FpgaPartitioner(
+        PartitionerConfig(num_partitions=1024, output_mode=OutputMode.HIST)
+    )
+    out = benchmark(partitioner.partition, keys, payloads)
+    assert out.num_tuples == N
+
+
+def test_hash_table_build_and_probe(benchmark, keys):
+    build_keys = keys[: N // 4]
+
+    def run():
+        table = BucketChainingHashTable(build_keys)
+        return table.probe(keys[: N // 4])
+
+    probe_idx, _, _ = benchmark(run)
+    assert probe_idx.shape[0] >= build_keys.shape[0] * 0.9
+
+
+def test_groupby_throughput(benchmark, keys):
+    values = np.ones(N, dtype=np.uint32)
+    grouped_keys = (keys % np.uint32(10000)).astype(np.uint32)
+    result = benchmark(
+        partitioned_groupby, grouped_keys, values, "sum", 256
+    )
+    assert int(result.values.sum()) == N
+
+
+def test_cycle_simulator_rate(benchmark, keys, payloads):
+    """The cycle simulator's own speed (simulated tuples per wall
+    second) — it must stay usable for test-sized inputs."""
+    config = PartitionerConfig(
+        num_partitions=16, output_mode=OutputMode.PAD, pad_tuples=8192
+    )
+    small_keys = keys[:4096]
+    small_payloads = payloads[:4096]
+
+    def run():
+        return PartitionerCircuit(config).run(small_keys, small_payloads)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert sum(len(k) for k in result.partitions_keys) == 4096

@@ -1,0 +1,77 @@
+"""Table 2 — FPGA resource usage by tuple-width configuration.
+
+Compares the structural resource model against the published
+utilisation percentages and checks the table's signature shapes:
+BRAM/logic fall with wider tuples while DSP usage *peaks* at 16 B
+(8 B keys need wider multipliers).
+"""
+
+from repro.bench import ExperimentTable, relative_error, shape_check
+from repro.core.modes import PartitionerConfig
+from repro.core.resources import TABLE2_PUBLISHED, estimate_resources
+
+EXPERIMENT = "Table 2"
+
+
+def table2() -> ExperimentTable:
+    rows = []
+    for width in sorted(TABLE2_PUBLISHED):
+        estimate = estimate_resources(
+            PartitionerConfig(num_partitions=8192, tuple_bytes=width)
+        )
+        published = TABLE2_PUBLISHED[width]
+        rows.append(
+            [
+                f"{width}B",
+                estimate.logic_percent,
+                published["logic"],
+                estimate.bram_percent,
+                published["bram"],
+                estimate.dsp_percent,
+                published["dsp"],
+            ]
+        )
+    return ExperimentTable(
+        experiment_id=EXPERIMENT,
+        title="Resource usage by tuple width (model vs published, %)",
+        headers=[
+            "tuple",
+            "logic",
+            "logic(paper)",
+            "bram",
+            "bram(paper)",
+            "dsp",
+            "dsp(paper)",
+        ],
+        rows=rows,
+        note="Structural model: slot BRAM = (64/W)^2 x P x W bytes; "
+        "DSPs = hash multipliers + combiner address units.",
+    )
+
+
+def test_table2_resource_model(benchmark):
+    table = benchmark(table2)
+    table.emit()
+
+    for row in table.rows:
+        width = row[0]
+        for model_idx, paper_idx in ((1, 2), (3, 4), (5, 6)):
+            err = abs(float(row[model_idx]) - float(row[paper_idx]))
+            shape_check(
+                err <= 3.0,
+                EXPERIMENT,
+                f"{width} column {model_idx} within 3 points of Table 2",
+            )
+
+    dsp = [float(r[5]) for r in table.rows]
+    shape_check(
+        dsp[1] == max(dsp),
+        EXPERIMENT,
+        "DSP usage peaks at 16 B tuples (the paper's callout)",
+    )
+    bram = [float(r[3]) for r in table.rows]
+    shape_check(
+        bram == sorted(bram, reverse=True),
+        EXPERIMENT,
+        "BRAM usage falls monotonically with tuple width",
+    )

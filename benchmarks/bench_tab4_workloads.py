@@ -1,0 +1,99 @@
+"""Table 4 — the evaluation workloads, validated and timed.
+
+Table 4 defines workloads A-E (sizes and key distributions).  This
+bench regenerates the definition table, validates the generators'
+invariants at a scaled size, and times key generation itself (the one
+part of Table 4 that is real work for this library).
+
+Table 3 (the cost-model notation) has no independent content to
+reproduce — its symbols are the constants of ``repro.constants`` and
+the equations of ``repro.core.model``, pinned by the Section 4.8 bench.
+"""
+
+import numpy as np
+
+from repro.bench import ExperimentTable, shape_check
+from repro.workloads.distributions import KeyDistribution, generate_keys
+from repro.workloads.relations import WORKLOAD_SPECS, make_workload
+
+EXPERIMENT = "Table 4"
+
+
+def table4() -> ExperimentTable:
+    rows = []
+    for name, spec in sorted(WORKLOAD_SPECS.items()):
+        wl = make_workload(name, scale=20000)
+        unique = np.unique(wl.r.keys).size
+        rows.append(
+            [
+                name,
+                f"{spec.r_tuples:,}",
+                f"{spec.s_tuples:,}",
+                spec.distribution.value,
+                len(wl.r),
+                unique,
+            ]
+        )
+    return ExperimentTable(
+        experiment_id=EXPERIMENT,
+        title="Workloads used in experiments (paper sizes; sample at "
+        "1/20000)",
+        headers=[
+            "name",
+            "#tuples R",
+            "#tuples S",
+            "distribution",
+            "sample R",
+            "distinct keys",
+        ],
+        rows=rows,
+    )
+
+
+def test_table4_definitions(benchmark):
+    table = benchmark(table4)
+    table.emit()
+
+    by_name = {row[0]: row for row in table.rows}
+    shape_check(
+        by_name["A"][1] == "128,000,000"
+        and by_name["B"][1] == f"{16 * 2**20:,}"
+        and by_name["B"][2] == f"{256 * 2**20:,}",
+        EXPERIMENT,
+        "paper sizes transcribed exactly",
+    )
+    shape_check(
+        by_name["A"][3] == "linear"
+        and by_name["C"][3] == "random"
+        and by_name["D"][3] == "grid"
+        and by_name["E"][3] == "reverse_grid",
+        EXPERIMENT,
+        "distribution per workload",
+    )
+    # linear and grid-family keys are unique by construction
+    for name in ("A", "B", "D", "E"):
+        shape_check(
+            by_name[name][5] == by_name[name][4],
+            EXPERIMENT,
+            f"workload {name}'s keys are unique",
+        )
+
+
+def test_key_generation_rates(benchmark):
+    """Times the generators (a real library kernel): one call per
+    distribution over 1M keys."""
+
+    def run():
+        out = {}
+        for dist in (
+            KeyDistribution.LINEAR,
+            KeyDistribution.RANDOM,
+            KeyDistribution.GRID,
+            KeyDistribution.REVERSE_GRID,
+        ):
+            out[dist.value] = generate_keys(dist, 1_000_000, seed=1)
+        return out
+
+    keys = benchmark(run)
+    for name, column in keys.items():
+        assert column.shape == (1_000_000,), name

@@ -1,0 +1,44 @@
+"""Shared fixtures for the per-figure benchmarks.
+
+All benchmarks run on scaled-down data (the ``SCALE`` divisor below)
+while evaluating the calibrated timing models at the paper's full
+relation sizes, so the printed tables are directly comparable to the
+paper's figures.  Set ``REPRO_BENCH_SCALE`` to change the data scale.
+"""
+
+import os
+
+import pytest
+
+from repro.workloads.relations import WORKLOAD_SPECS, make_workload
+
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "20000"))
+
+PAPER_SIZES = {
+    name: (spec.r_tuples, spec.s_tuples) for name, spec in WORKLOAD_SPECS.items()
+}
+
+
+@pytest.fixture(scope="session")
+def workload_a():
+    return make_workload("A", scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def workload_b():
+    return make_workload("B", scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def workload_c():
+    return make_workload("C", scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def workload_d():
+    return make_workload("D", scale=SCALE)
+
+
+@pytest.fixture(scope="session")
+def workload_e():
+    return make_workload("E", scale=SCALE)

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Drive the cycle-level circuit simulator directly.
+
+The paper's architectural claims — fully pipelined, no internal stalls
+or locks, one 64 B cache line consumed and produced per clock cycle —
+are statements about clock-level behaviour, so this example watches the
+clock.  It runs the simulated circuit of Figure 5 on adversarial inputs
+and across QPI bandwidths, printing cycles, stalls, forwarding
+activity and the resulting lines-per-cycle rate.
+
+Run:  python examples/cycle_simulation.py
+"""
+
+import numpy as np
+
+from repro import HashKind, OutputMode, PartitionerConfig
+from repro.core.circuit import PartitionerCircuit
+from repro.core.tracer import CircuitTracer
+
+N = 2048
+
+
+def run(label, keys, qpi_bandwidth_gbs=None, config=None):
+    config = config or PartitionerConfig(
+        num_partitions=16,
+        output_mode=OutputMode.PAD,
+        hash_kind=HashKind.RADIX,
+        pad_tuples=2 * N,
+    )
+    circuit = PartitionerCircuit(config, qpi_bandwidth_gbs=qpi_bandwidth_gbs)
+    result = circuit.run(keys, np.arange(len(keys), dtype=np.uint32))
+    stats = result.stats
+    streaming = stats.partition_pass_cycles - stats.flush_cycles
+    print(
+        f"{label:32} {stats.cycles:7d} cycles "
+        f"({stats.lines_in / max(1, streaming):.2f} lines/cycle streaming) "
+        f"| stalls: {stats.combiner_stall_cycles:3d} "
+        f"| forwarding hits: {stats.forwarding_hits:5d} "
+        f"| back-pressure: {stats.input_backpressure_cycles:5d}"
+    )
+    return result
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    uniform = rng.integers(0, 16, N, dtype=np.uint64).astype(np.uint32)
+    burst = np.full(N, 5, dtype=np.uint32)           # one partition
+    alternating = np.tile(np.array([3, 7], dtype=np.uint32), N // 2)
+
+    print(f"=== input patterns, unthrottled link ({N} 8 B tuples) ===")
+    run("uniform random", uniform)
+    run("single-partition burst", burst)
+    run("two partitions alternating", alternating)
+    print("\nno pattern stalls the pipeline — the forwarding registers "
+          "absorb the\nfill-rate BRAM's 2-cycle latency (Section 4.2).")
+
+    print("\n=== QPI bandwidth sweep (uniform input) ===")
+    for bandwidth in (25.6, 12.8, 6.97, 3.0):
+        run(f"link = {bandwidth:5.2f} GB/s", uniform,
+            qpi_bandwidth_gbs=bandwidth)
+    print("\nthe circuit wants one line read AND one written per cycle — "
+          "2 x 64 B x 200 MHz\n= 25.6 GB/s, exactly the bandwidth of the "
+          "paper's 'raw FPGA' wrapper (Section 4.7).\nAnything less "
+          "back-pressures the reads; the Xeon+FPGA's real QPI gives "
+          "~6.5-7 GB/s.")
+
+    print("\n=== HIST vs PAD pass structure ===")
+    pad = run("PAD (one pass)", uniform)
+    hist_config = PartitionerConfig(
+        num_partitions=16, output_mode=OutputMode.HIST,
+        hash_kind=HashKind.RADIX,
+    )
+    hist = run("HIST (two passes)", uniform, config=hist_config)
+    print(
+        f"\nHIST spent {hist.stats.histogram_pass_cycles} extra cycles on "
+        f"its histogram pass and wrote tuples to\nexact prefix-sum "
+        f"addresses — its regions are sized to the tuple, where PAD\n"
+        f"reserves fixed-size regions up front.  Both flush the same "
+        f"partially filled\nwrite-combiner lines at the end "
+        f"({hist.stats.dummy_slots_out} dummy slots here)."
+    )
+
+    print("\n=== waveform: where back-pressure lives (link = 6.97 GB/s) ===")
+    tracer = CircuitTracer()
+    config = PartitionerConfig(
+        num_partitions=16,
+        output_mode=OutputMode.PAD,
+        hash_kind=HashKind.RADIX,
+        pad_tuples=2 * N,
+    )
+    PartitionerCircuit(config, qpi_bandwidth_gbs=6.97).run(
+        uniform, np.arange(N, dtype=np.uint32), on_cycle=tracer
+    )
+    print(tracer.render(width=64,
+                        signals=["lane0.in", "lane0.out", "last-stage"]))
+    print("\nthe last-stage FIFO rides the link's duty cycle and "
+          "saturates during the\nflush burst; the first-stage FIFOs stay "
+          "empty because the issue logic\nthrottles reads before they "
+          "could overflow (Section 4.3's guarantee).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Rack-scale partitioning for distributed joins — the second
+Section 6 future-work use case.
+
+"The second one is to have the FPGA partitioner directly connected to
+the network to distribute the data across machines using RDMA for
+highly scaled distributed joins" (following Barthels et al. [6, 7]).
+
+This example splits a relation over a 4-node cluster, has every node
+hash-partition its chunk with the FPGA partitioner model, plans the
+all-to-all exchange (who ships how many bytes to whom), executes it,
+and verifies the reassembled result equals single-node partitioning.
+It then compares the per-node partitioning rate against an FDR
+InfiniBand link to show why a partitioner at the NIC runs at line rate.
+
+Run:  python examples/distributed_partitioning.py
+"""
+
+import numpy as np
+
+from repro import FpgaPartitioner, PartitionerConfig, make_relation
+from repro.ops.distributed import DistributedPartitioner
+
+NODES = 4
+N = 400_000
+
+
+def main() -> None:
+    relation = make_relation(N, "random", seed=99)
+    config = PartitionerConfig(num_partitions=256)
+    cluster = DistributedPartitioner(NODES, config, link_gbs=4.5)
+
+    chunks = cluster.split_relation(relation)
+    print(f"{N:,} tuples dealt over {NODES} nodes "
+          f"({len(chunks[0]):,} each)")
+
+    plan = cluster.plan(chunks)
+    print("\nexchange matrix (MB sent, row = sender, col = receiver):")
+    for sender in range(NODES):
+        cells = "  ".join(
+            f"{plan.bytes_matrix[sender, receiver] / 1e6:6.3f}"
+            for receiver in range(NODES)
+        )
+        print(f"  node {sender}: {cells}")
+    print(f"cross-node traffic: {plan.total_bytes / 1e6:.2f} MB "
+          f"({100 * plan.total_bytes / relation.total_bytes:.0f}% of the "
+          f"relation — the (n-1)/n all-to-all share)")
+    print(f"receive imbalance : {plan.receive_imbalance:.3f} "
+          "(murmur keeps the owners balanced)")
+
+    result = cluster.execute(chunks)
+    single = FpgaPartitioner(config).partition(relation)
+    for p in range(config.num_partitions):
+        owner = cluster.owner_of(p)
+        got = result.node_partition_keys[owner].get(
+            p, np.empty(0, dtype=np.uint32)
+        )
+        assert sorted(map(int, got)) == sorted(
+            map(int, single.partition_keys[p])
+        )
+    print("\nreassembled cluster result == single-node partitioning: ok")
+    for node in range(NODES):
+        print(f"  node {node} owns {len(result.node_partition_keys[node])} "
+              f"partitions, {result.node_tuples(node):,} tuples")
+
+    partition_s, exchange_s = cluster.estimate_seconds(128 * 10**6)
+    print(f"\nper node, at the paper's 128M-tuple scale:")
+    print(f"  FPGA partitioning : {partition_s:.3f} s "
+          f"(~{128e6 * 8 / partition_s / 1e9:.1f} GB/s)")
+    print(f"  RDMA exchange     : {exchange_s:.3f} s at 4.5 GB/s")
+    print("the partitioner runs at network line rate — partitioning "
+          "overlaps the exchange\ninstead of preceding it, which is the "
+          "point of putting it on the NIC.")
+
+
+if __name__ == "__main__":
+    main()

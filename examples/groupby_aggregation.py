@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Partitioned group-by aggregation — the Section 6 extension.
+
+The paper closes by noting the partitioner generalises beyond joins:
+"the partitioning we have described can also be used for a hardware
+conscious group by aggregation".  This example computes a revenue
+report — SUM(amount) GROUP BY customer — by hash-partitioning the fact
+table with the FPGA partitioner model and aggregating each cache-sized
+partition independently, then cross-checks against a plain dictionary.
+
+It also shows why the *robust* hash matters for aggregation: customer
+ids are structured (grid-like) keys, and radix partitioning would pile
+them into a few partitions.
+
+Run:  python examples/groupby_aggregation.py
+"""
+
+import numpy as np
+
+from repro import (
+    FpgaPartitioner,
+    HashKind,
+    PartitionerConfig,
+    balance_report,
+    partition_histogram,
+)
+from repro.ops import partitioned_groupby
+from repro.workloads.distributions import grid_keys
+
+N = 500_000
+NUM_CUSTOMERS = 20_000
+NUM_PARTITIONS = 256
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    # structured customer ids (grid keys resemble real id schemes)
+    customer_ids = grid_keys(NUM_CUSTOMERS)
+    customers = rng.choice(customer_ids, size=N, replace=True)
+    amounts = rng.integers(1, 500, size=N).astype(np.uint32)
+
+    result = partitioned_groupby(
+        customers.astype(np.uint32),
+        amounts,
+        aggregate="sum",
+        num_partitions=NUM_PARTITIONS,
+    )
+    print(f"aggregated {N:,} rows into {result.num_groups:,} customer "
+          f"groups across {result.num_partitions_used} partitions")
+
+    # cross-check against a reference
+    reference = {}
+    for c, a in zip(customers[:5000], amounts[:5000]):
+        reference[int(c)] = reference.get(int(c), 0) + int(a)
+    got = result.as_dict()
+    sample_ok = all(got[c] >= v for c, v in reference.items())
+    print(f"reference cross-check on a 5000-row sample: "
+          f"{'ok' if sample_ok else 'MISMATCH'}")
+    total = int(result.values.sum())
+    assert total == int(amounts.sum(dtype=np.int64))
+    print(f"grand total preserved: {total:,}")
+
+    top = np.argsort(result.values)[::-1][:5]
+    print("\ntop five customers by revenue:")
+    for rank, i in enumerate(top, 1):
+        print(f"  {rank}. customer {int(result.keys[i]):>10}: "
+              f"{int(result.values[i]):>8,}")
+
+    # why the robust hash matters here (Section 3.2):
+    print("\npartition balance for these structured ids "
+          f"({NUM_PARTITIONS} partitions):")
+    for kind, use_hash in ((HashKind.RADIX, False), (HashKind.MURMUR, True)):
+        counts = partition_histogram(
+            customers.astype(np.uint32), NUM_PARTITIONS, use_hash=use_hash
+        )
+        report = balance_report(counts)
+        print(f"  {kind.value:7}: max/mean = {report.max_over_mean:5.1f}, "
+              f"empty partitions = {report.empty_partitions}")
+    print("radix bits pile grid-structured ids into a fraction of the "
+          "partitions;\nthe murmur hash (free on the FPGA) keeps every "
+          "partition cache-sized.")
+
+    # other aggregates ride the same partitioning
+    means = partitioned_groupby(
+        customers.astype(np.uint32), amounts, aggregate="mean",
+        num_partitions=NUM_PARTITIONS,
+    )
+    print(f"\nmean order value of customer {int(means.keys[0])}: "
+          f"{float(means.values[0]):.2f}")
+
+
+if __name__ == "__main__":
+    main()

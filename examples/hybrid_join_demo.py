@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""The paper's headline experiment: CPU join vs hybrid FPGA/CPU join.
+
+Joins workload A (two 128e6-tuple linear-keyed relations, scaled down
+for the data plane) with:
+
+* the pure CPU radix hash join (partition + build + probe on the CPU);
+* the hybrid join: FPGA partitions (PAD/VRID, its fastest mode), CPU
+  builds and probes — paying the Section 2.2 coherence penalty for
+  reading FPGA-written partitions.
+
+The functional join runs on the scaled relations; the phase timings are
+evaluated by the calibrated cost models at the paper's full size, so
+the printed numbers are directly comparable to Figure 11a and the
+Section 5.2 discussion (CPU ~436 Mtuples/s, hybrid ~406).
+
+Run:  python examples/hybrid_join_demo.py
+"""
+
+from repro import (
+    LayoutMode,
+    OutputMode,
+    PartitionerConfig,
+    cpu_radix_join,
+    hybrid_join,
+    make_workload,
+)
+from repro.workloads.relations import WORKLOAD_SPECS
+
+SCALE = 2000  # data plane runs at 1/2000 of the paper's size
+
+
+def main() -> None:
+    workload = make_workload("A", scale=SCALE)
+    spec = WORKLOAD_SPECS["A"]
+    print(
+        f"workload A: |R| = |S| = {spec.r_tuples:,} tuples (paper scale); "
+        f"joined here at 1/{SCALE} = {len(workload.r):,} tuples"
+    )
+
+    print(f"\n{'threads':>7} | {'CPU join':^33} | {'hybrid (PAD/VRID)':^33}")
+    print(f"{'':>7} | {'part s':>9} {'b+p s':>9} {'Mt/s':>9} "
+          f"| {'part s':>9} {'b+p s':>9} {'Mt/s':>9}")
+    for threads in (1, 2, 4, 8, 10):
+        cpu = cpu_radix_join(
+            workload,
+            num_partitions=8192,
+            threads=threads,
+            timing_r_tuples=spec.r_tuples,
+            timing_s_tuples=spec.s_tuples,
+        )
+        hybrid = hybrid_join(
+            workload,
+            PartitionerConfig(
+                num_partitions=8192,
+                output_mode=OutputMode.PAD,
+                layout_mode=LayoutMode.VRID,
+            ),
+            threads=threads,
+            timing_r_tuples=spec.r_tuples,
+            timing_s_tuples=spec.s_tuples,
+        )
+        assert cpu.matches == hybrid.matches, "joins must agree"
+        print(
+            f"{threads:>7} | {cpu.timing.partition_seconds:9.3f} "
+            f"{cpu.timing.build_probe_seconds:9.3f} "
+            f"{cpu.throughput_mtuples:9.0f} "
+            f"| {hybrid.timing.partition_seconds:9.3f} "
+            f"{hybrid.timing.build_probe_seconds:9.3f} "
+            f"{hybrid.throughput_mtuples:9.0f}"
+        )
+
+    print(
+        f"\nboth joins found {cpu.matches:,} matches on the scaled data."
+    )
+    print(
+        "note how the FPGA partitioning time is constant while the CPU's"
+        "\nshrinks with threads — and how the hybrid build+probe is always"
+        "\nslower: the CPU's random probes into FPGA-written partitions are"
+        "\nsnooped on the FPGA socket (Table 1: ~2.2x on random reads)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Skew handling: PAD-mode overflow and the HIST/CPU fallbacks.
+
+Section 5.4 of the paper: PAD mode preassigns fixed-size partition
+regions, which fails "under large skews with a Zipf factor of more than
+0.25"; when a region overflows, the run aborts and the system falls
+back — to the two-pass HIST mode (robust against any skew) or to the
+CPU partitioner.
+
+This script sweeps the Zipf factor and shows, per factor, whether PAD
+fits, what the fallback costs, and how the skew flows through to the
+join's build+probe phase.
+
+Run:  python examples/skew_and_fallback.py
+"""
+
+import numpy as np
+
+from repro import (
+    FpgaPartitioner,
+    OutputMode,
+    PartitionerConfig,
+    PartitionOverflowError,
+    balance_report,
+    hybrid_join,
+    make_workload,
+)
+from repro.workloads.distributions import zipf_keys
+from repro.workloads.relations import WORKLOAD_SPECS
+
+N = 200_000
+NUM_PARTITIONS = 256
+
+
+def main() -> None:
+    fair = N // NUM_PARTITIONS
+    pad_config = PartitionerConfig(
+        num_partitions=NUM_PARTITIONS,
+        output_mode=OutputMode.PAD,
+        pad_tuples=fair // 2,  # a realistic 50% padding
+    )
+
+    print(f"{N} tuples, {NUM_PARTITIONS} partitions, padding = 50% of "
+          f"the fair share ({fair} tuples)\n")
+    print(f"{'zipf':>5} {'max/mean':>9} {'PAD result':>22} "
+          f"{'extra traffic':>14}")
+    for zipf in (0.0, 0.25, 0.5, 0.75, 1.0, 1.5):
+        keys = zipf_keys(N, zipf_factor=zipf, key_space=N, seed=1)
+        payloads = np.arange(N, dtype=np.uint32)
+        report = balance_report(
+            np.bincount(
+                np.asarray(
+                    FpgaPartitioner(pad_config)
+                    .partition(keys, payloads, on_overflow="hist")
+                    .counts
+                ),
+            )
+        )
+
+        partitioner = FpgaPartitioner(pad_config)
+        try:
+            out = partitioner.partition(keys, payloads)
+            verdict = "fits in one pass"
+            extra = "-"
+        except PartitionOverflowError as error:
+            out = partitioner.partition(keys, payloads, on_overflow="hist")
+            verdict = f"overflow@p{error.partition} -> HIST"
+            # HIST costs a second scan plus the aborted PAD scan
+            extra = f"{out.bytes_read / (N * 8):.1f}x reads"
+        hashed = FpgaPartitioner(
+            PartitionerConfig(
+                num_partitions=NUM_PARTITIONS, output_mode=OutputMode.HIST
+            )
+        ).partition(keys, payloads)
+        print(
+            f"{zipf:5.2f} "
+            f"{hashed.counts.max() / hashed.counts.mean():9.1f} "
+            f"{verdict:>22} {extra:>14}"
+        )
+
+    # The skew also throttles the join's build+probe (Figure 13):
+    spec = WORKLOAD_SPECS["A"]
+    print("\njoin on workload A with Zipf-skewed S (10 threads, "
+          "FPGA HIST/RID):")
+    for zipf in (0.25, 1.0, 1.75):
+        workload = make_workload("A", scale=2000, skew_s_zipf=zipf)
+        result = hybrid_join(
+            workload,
+            PartitionerConfig(num_partitions=8192,
+                              output_mode=OutputMode.HIST),
+            threads=10,
+            timing_r_tuples=spec.r_tuples,
+            timing_s_tuples=spec.s_tuples,
+        )
+        print(
+            f"  zipf {zipf:4.2f}: partition {result.timing.partition_seconds:.3f} s, "
+            f"build+probe {result.timing.build_probe_seconds:.3f} s, "
+            f"{result.matches:,} matches"
+        )
+    print("\nHIST partitioning time is skew-blind (two fixed scans); the "
+          "skew surfaces in the probe phase instead.")
+
+
+if __name__ == "__main__":
+    main()

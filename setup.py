@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Configuration lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments without the ``wheel``
+package (legacy editable installs go through ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

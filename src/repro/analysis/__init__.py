@@ -1,0 +1,29 @@
+"""Partition-quality analysis (Figure 3, Section 3.2).
+
+Tools to quantify how balanced a partitioning came out: cumulative
+distribution functions over partition sizes (the Figure 3 plots) and
+scalar balance metrics used by tests and benchmarks.
+"""
+
+from repro.analysis.histogram import (
+    partition_cdf,
+    partition_histogram,
+    partition_histogram_streamed,
+)
+from repro.analysis.balance import BalanceReport, balance_report
+from repro.analysis.verify import (
+    VerificationReport,
+    verify_join_pairs,
+    verify_partitioning,
+)
+
+__all__ = [
+    "partition_cdf",
+    "partition_histogram",
+    "partition_histogram_streamed",
+    "BalanceReport",
+    "balance_report",
+    "VerificationReport",
+    "verify_partitioning",
+    "verify_join_pairs",
+]

@@ -1,0 +1,59 @@
+"""Scalar balance metrics over a partitioning.
+
+Used to turn the Figure 3 visual ("hash is balanced, radix is not on
+grid keys") into assertable numbers: the max/mean partition-size ratio,
+the fraction of empty partitions, and the normalised chi-square
+statistic against the uniform expectation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class BalanceReport:
+    """Summary statistics of a partition-size histogram."""
+
+    num_partitions: int
+    total_tuples: int
+    max_tuples: int
+    mean_tuples: float
+    empty_partitions: int
+    max_over_mean: float
+    chi_square_normalised: float
+
+    @property
+    def is_balanced(self) -> bool:
+        """Heuristic: no partition more than 2x the fair share and
+        fewer than 1% empty partitions."""
+        return (
+            self.max_over_mean <= 2.0
+            and self.empty_partitions <= 0.01 * self.num_partitions
+        )
+
+
+def balance_report(counts: np.ndarray) -> BalanceReport:
+    """Compute balance statistics for a partition-size histogram."""
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.size == 0:
+        raise ConfigurationError("empty histogram")
+    total = int(counts.sum())
+    mean = total / counts.size
+    if mean > 0:
+        chi_square = float(((counts - mean) ** 2 / mean).sum() / counts.size)
+    else:
+        chi_square = 0.0
+    return BalanceReport(
+        num_partitions=int(counts.size),
+        total_tuples=total,
+        max_tuples=int(counts.max()),
+        mean_tuples=mean,
+        empty_partitions=int((counts == 0).sum()),
+        max_over_mean=float(counts.max() / mean) if mean else float("inf"),
+        chi_square_normalised=chi_square,
+    )

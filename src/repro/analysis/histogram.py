@@ -1,0 +1,69 @@
+"""Partition-size histograms and CDFs (Figure 3).
+
+Figure 3 plots, for each key distribution, the cumulative distribution
+function of partition sizes: x = tuples per partition, y = number of
+partitions with at most that many tuples.  A balanced partitioning is a
+near-vertical step at ``n / fanout``; radix partitioning on grid-family
+keys produces the degenerate curves of Figure 3a (most partitions
+empty, a few enormous).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.hashing import partition_of
+from repro.errors import ConfigurationError
+
+
+def partition_histogram(
+    keys: np.ndarray, num_partitions: int, use_hash: bool
+) -> np.ndarray:
+    """Tuples per partition for a key column under radix or hash."""
+    keys = np.ascontiguousarray(keys, dtype=np.uint32)
+    if keys.size == 0:
+        raise ConfigurationError("empty key column")
+    parts = np.asarray(partition_of(keys, num_partitions, use_hash))
+    return np.bincount(parts.astype(np.int64), minlength=num_partitions)
+
+
+def partition_histogram_streamed(
+    distribution,
+    n: int,
+    num_partitions: int,
+    use_hash: bool,
+    seed: int = 0,
+    chunk_size: int = 1 << 22,
+) -> np.ndarray:
+    """Partition-size histogram of a paper-scale relation, streamed.
+
+    Generates the key column chunk by chunk (never holding the whole
+    relation), so the *true* full-scale partition shares — which decide
+    the build+probe cache behaviour in Figure 12 — are available even
+    when the joins themselves run on scaled-down samples.
+    """
+    from repro.workloads.distributions import iter_key_chunks
+
+    counts = np.zeros(num_partitions, dtype=np.int64)
+    for keys in iter_key_chunks(distribution, n, chunk_size, seed):
+        parts = np.asarray(partition_of(keys, num_partitions, use_hash))
+        counts += np.bincount(parts.astype(np.int64), minlength=num_partitions)
+    return counts
+
+
+def partition_cdf(
+    counts: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """CDF over partition sizes, Figure 3 axes.
+
+    Returns ``(sizes, num_partitions_leq)``: for each distinct
+    partition size (ascending), the number of partitions whose size is
+    <= that value.  Plot as a step function to reproduce Figure 3.
+    """
+    counts = np.asarray(counts)
+    sizes = np.sort(counts)
+    distinct = np.unique(sizes)
+    cumulative = np.searchsorted(sizes, distinct, side="right")
+    return distinct, cumulative

@@ -1,0 +1,133 @@
+"""Dependency-free ASCII charts for the reproduced figures.
+
+The paper's evaluation is all bar charts and line plots; these helpers
+render the same data in a terminal: horizontal bars (the Figure 9
+ladder), and multi-series line grids (the Figure 4/10/13 sweeps).
+Used by the CLI's ``--chart`` option and available for notebooks or
+reports that want a quick visual without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+_SERIES_MARKS = "ox+*#@%&"
+
+
+def bar_chart(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 56,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one bar per (label, value)."""
+    if len(labels) != len(values):
+        raise ConfigurationError("labels and values must align")
+    if not values:
+        raise ConfigurationError("nothing to chart")
+    if any(v < 0 for v in values):
+        raise ConfigurationError("bar charts take non-negative values")
+    peak = max(values) or 1.0
+    label_width = max(len(str(l)) for l in labels)
+    lines = [title, "=" * len(title)]
+    for label, value in zip(labels, values):
+        bar = "#" * max(1 if value > 0 else 0, round(width * value / peak))
+        lines.append(
+            f"{str(label).rjust(label_width)} | "
+            f"{bar.ljust(width)} {value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def series_chart(
+    title: str,
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    height: int = 16,
+    width: int = 64,
+    y_label: str = "",
+) -> str:
+    """Multi-series scatter/line grid.
+
+    Each series gets a mark character; x positions are spread linearly
+    over the grid (the paper's sweeps are small and near-uniform).
+    """
+    if not series:
+        raise ConfigurationError("no series to chart")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ConfigurationError(
+                f"series {name!r} has {len(ys)} points for "
+                f"{len(x_values)} x values"
+            )
+    if len(x_values) < 2:
+        raise ConfigurationError("need at least two x positions")
+
+    all_values = [v for ys in series.values() for v in ys]
+    top = max(all_values)
+    bottom = min(0.0, min(all_values))
+    span = (top - bottom) or 1.0
+
+    grid: List[List[str]] = [
+        [" "] * width for _ in range(height)
+    ]
+    for mark, (name, ys) in zip(_SERIES_MARKS, series.items()):
+        for i, value in enumerate(ys):
+            col = round(i * (width - 1) / (len(x_values) - 1))
+            row = height - 1 - round(
+                (value - bottom) / span * (height - 1)
+            )
+            grid[row][col] = mark
+
+    lines = [title, "=" * len(title)]
+    axis_width = max(len(f"{top:g}"), len(f"{bottom:g}"))
+    for r, row in enumerate(grid):
+        if r == 0:
+            tick = f"{top:g}".rjust(axis_width)
+        elif r == height - 1:
+            tick = f"{bottom:g}".rjust(axis_width)
+        else:
+            tick = " " * axis_width
+        lines.append(f"{tick} |{''.join(row)}")
+    lines.append(" " * axis_width + " +" + "-" * width)
+    x_axis = (
+        f"{x_values[0]:g}".ljust(width // 2)
+        + f"{x_values[-1]:g}".rjust(width - width // 2)
+    )
+    lines.append(" " * (axis_width + 2) + x_axis)
+    legend = "   ".join(
+        f"{mark} {name}"
+        for mark, name in zip(_SERIES_MARKS, series.keys())
+    )
+    lines.append(legend)
+    if y_label:
+        lines.append(f"(y: {y_label})")
+    return "\n".join(lines)
+
+
+def chart_table_column(
+    table,
+    value_column: str,
+    label_column: Optional[str] = None,
+    width: int = 56,
+) -> str:
+    """Bar chart of one numeric column of an ExperimentTable."""
+    labels = table.column(label_column or table.headers[0])
+    raw = table.column(value_column)
+    values = []
+    kept_labels = []
+    for label, value in zip(labels, raw):
+        try:
+            values.append(float(value))
+            kept_labels.append(str(label))
+        except (TypeError, ValueError):
+            continue  # skip non-numeric rows ("-" reference cells)
+    return bar_chart(
+        f"[{table.experiment_id}] {value_column}",
+        kept_labels,
+        values,
+        width=width,
+    )

@@ -1,0 +1,407 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three kinds of commands:
+
+* ``partition`` / ``join`` / ``simulate`` — run the library on
+  generated data and print the results (stats, timings, cycle counts);
+* ``validate`` — the Section 4.8 model-validation table;
+* ``experiment <id>`` — regenerate one of the paper's tables/figures
+  by loading its benchmark module from the repository's
+  ``benchmarks/`` directory (source checkouts only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import pathlib
+import sys
+from typing import Optional, Sequence
+
+from repro.bench import ExperimentTable, format_table
+from repro.core.circuit import PartitionerCircuit
+from repro.core.model import FpgaCostModel
+from repro.core.modes import HashKind, LayoutMode, OutputMode, PartitionerConfig
+from repro.core.partitioner import FpgaPartitioner
+from repro.cpu.partitioner import CpuPartitioner
+from repro.join.hybrid_join import hybrid_join
+from repro.join.radix_join import cpu_radix_join
+from repro.workloads.relations import WORKLOAD_SPECS, make_relation, make_workload
+
+#: experiment id -> (bench module, zero-arg table builder factory)
+_EXPERIMENTS = {
+    "fig2": ("bench_fig2_bandwidth", lambda m: m.figure2_table()),
+    "tab1": ("bench_tab1_coherence", lambda m: m.table1()),
+    "tab1-sim": ("bench_tab1_coherence", lambda m: m.simulated_table1()),
+    "fig3a": (
+        "bench_fig3_partition_cdf",
+        lambda m: m.figure3_table(use_hash=False),
+    ),
+    "fig3b": (
+        "bench_fig3_partition_cdf",
+        lambda m: m.figure3_table(use_hash=True),
+    ),
+    "fig4": ("bench_fig4_cpu_throughput", lambda m: m.figure4_table()),
+    "tab2": ("bench_tab2_resources", lambda m: m.table2()),
+    "fig8": ("bench_fig8_tuple_width", lambda m: m.figure8_table()),
+    "fig9": ("bench_fig9_mode_throughput", lambda m: m.figure9_table()),
+    "sec48": (
+        "bench_sec48_model_validation",
+        lambda m: m.validation_table(),
+    ),
+    "fig10a": (
+        "bench_fig10_partitions",
+        lambda m: m.figure10_table(make_workload("A", scale=20000), 1),
+    ),
+    "fig10b": (
+        "bench_fig10_partitions",
+        lambda m: m.figure10_table(make_workload("A", scale=20000), 10),
+    ),
+    "fig11a": (
+        "bench_fig11_threads",
+        lambda m: m.figure11_table(make_workload("A", scale=20000), "A"),
+    ),
+    "fig11b": (
+        "bench_fig11_threads",
+        lambda m: m.figure11_table(make_workload("B", scale=20000), "B"),
+    ),
+    "fig12c": ("bench_fig12_distributions", lambda m: m.figure12_table("C")),
+    "fig12d": ("bench_fig12_distributions", lambda m: m.figure12_table("D")),
+    "fig12e": ("bench_fig12_distributions", lambda m: m.figure12_table("E")),
+    "fig13": ("bench_fig13_skew", lambda m: m.figure13_table()),
+    "future": ("bench_future_platforms", lambda m: m.sweep_table()),
+}
+
+
+def _benchmarks_dir() -> Optional[pathlib.Path]:
+    """Locate benchmarks/ next to the installed source tree."""
+    here = pathlib.Path(__file__).resolve()
+    for parent in here.parents:
+        candidate = parent / "benchmarks"
+        if (candidate / "conftest.py").exists():
+            return candidate
+    return None
+
+
+def _load_bench(module_name: str):
+    directory = _benchmarks_dir()
+    if directory is None:
+        raise SystemExit(
+            "experiment commands need the repository's benchmarks/ "
+            "directory (run from a source checkout)"
+        )
+    path = directory / f"{module_name}.py"
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _parse_mode(mode: str) -> PartitionerConfig:
+    try:
+        output, layout = mode.upper().split("/")
+        return PartitionerConfig(
+            output_mode=OutputMode(output), layout_mode=LayoutMode(layout)
+        )
+    except (ValueError, KeyError) as error:
+        raise SystemExit(
+            f"invalid mode {mode!r}; expected e.g. PAD/VRID"
+        ) from error
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_list(_args) -> int:
+    """List the reproducible experiment ids."""
+    print("experiments:")
+    for key in sorted(_EXPERIMENTS):
+        print(f"  {key}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    """Regenerate one paper table/figure (optionally charted)."""
+    if args.id not in _EXPERIMENTS:
+        raise SystemExit(
+            f"unknown experiment {args.id!r}; see 'repro list'"
+        )
+    module_name, builder = _EXPERIMENTS[args.id]
+    module = _load_bench(module_name)
+    table: ExperimentTable = builder(module)
+    print(table.render())
+    if args.chart:
+        from repro.bench.charts import chart_table_column
+
+        print()
+        print(chart_table_column(table, args.chart))
+    return 0
+
+
+def cmd_validate(args) -> int:
+    """Print the Section 4.8 model-validation table."""
+    model = FpgaCostModel()
+    rows = []
+    for label, row in model.validation_table(args.tuples).items():
+        rows.append(
+            [
+                label,
+                row["r"],
+                row["bandwidth_gbs"],
+                row["model_mtuples"],
+                row["measured_mtuples"],
+                100 * row["relative_error"],
+            ]
+        )
+    print(
+        format_table(
+            "Section 4.8 model validation",
+            ["mode", "r", "B(r)", "model Mt/s", "paper Mt/s", "err %"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_partition(args) -> int:
+    """Partition a generated relation and print its stats."""
+    config = _parse_mode(args.mode)
+    config = PartitionerConfig(
+        num_partitions=args.partitions,
+        output_mode=config.output_mode,
+        layout_mode=config.layout_mode,
+        hash_kind=HashKind.RADIX if args.radix else HashKind.MURMUR,
+    )
+    relation = make_relation(args.tuples, args.distribution, seed=args.seed)
+    if args.engine == "cpu":
+        out = CpuPartitioner(
+            num_partitions=args.partitions,
+            hash_kind=config.hash_kind,
+            threads=args.threads,
+        ).partition(relation)
+    else:
+        out = FpgaPartitioner(config).partition(relation, on_overflow="hist")
+    model = FpgaCostModel()
+    print(f"partitioned {out.num_tuples:,} tuples into "
+          f"{out.num_partitions} partitions ({out.produced_by})")
+    print(f"  largest partition : {out.max_partition_tuples():,} tuples")
+    print(f"  dummy padding     : {100 * out.padding_fraction:.2f}%")
+    print(f"  bytes read/written: {out.bytes_read:,} / {out.bytes_written:,}"
+          f"  (r = {out.read_write_ratio:.2f})")
+    if args.engine == "fpga":
+        rate = model.end_to_end_mtuples(
+            out.config, out.num_tuples, calibrated=True
+        )
+        print(f"  prototype rate    : {rate:.0f} Mtuples/s "
+              f"({out.config.mode_label})")
+    return 0
+
+
+def cmd_join(args) -> int:
+    """Run and compare the CPU and hybrid joins on a workload."""
+    workload = make_workload(
+        args.workload, scale=args.scale, skew_s_zipf=args.zipf
+    )
+    spec = WORKLOAD_SPECS[args.workload]
+    kwargs = dict(
+        threads=args.threads,
+        timing_r_tuples=spec.r_tuples,
+        timing_s_tuples=spec.s_tuples,
+    )
+    cpu = cpu_radix_join(workload, args.partitions, **kwargs)
+    hybrid = hybrid_join(
+        workload,
+        PartitionerConfig(
+            num_partitions=args.partitions,
+            output_mode=OutputMode.PAD,
+            layout_mode=LayoutMode.VRID,
+        ),
+        on_overflow="hist",
+        **kwargs,
+    )
+    rows = [
+        [
+            "cpu",
+            cpu.timing.partition_seconds,
+            cpu.timing.build_probe_seconds,
+            cpu.timing.total_seconds,
+            cpu.throughput_mtuples,
+            cpu.matches,
+        ],
+        [
+            hybrid.timing.partitioner,
+            hybrid.timing.partition_seconds,
+            hybrid.timing.build_probe_seconds,
+            hybrid.timing.total_seconds,
+            hybrid.throughput_mtuples,
+            hybrid.matches,
+        ],
+    ]
+    print(
+        format_table(
+            f"join on workload {args.workload} "
+            f"(timing at paper scale, data at 1/{args.scale})",
+            ["engine", "part s", "b+p s", "total s", "Mt/s", "matches"],
+            rows,
+        )
+    )
+    return 0
+
+
+#: experiments light enough for the one-shot report (the join sweeps
+#: and streamed-histogram figures are minutes-long; run those via
+#: ``pytest benchmarks/`` instead).
+_REPORT_EXPERIMENTS = (
+    "fig2",
+    "tab1",
+    "tab1-sim",
+    "fig4",
+    "tab2",
+    "fig8",
+    "fig9",
+    "sec48",
+    "future",
+)
+
+
+def cmd_report(args) -> int:
+    """Regenerate the light experiments into one markdown report."""
+    sections = []
+    for experiment_id in _REPORT_EXPERIMENTS:
+        module_name, builder = _EXPERIMENTS[experiment_id]
+        module = _load_bench(module_name)
+        table: ExperimentTable = builder(module)
+        sections.append(f"## {experiment_id}\n\n```\n{table.render()}\n```")
+        print(f"  reproduced {experiment_id}", flush=True)
+    body = (
+        "# Reproduction report\n\n"
+        "Regenerated by `python -m repro report`.  Model numbers are\n"
+        "produced by the implemented system; 'paper' columns are the\n"
+        "published measurements.  See EXPERIMENTS.md for the full\n"
+        "per-figure comparison including the join sweeps.\n\n"
+        + "\n\n".join(sections)
+        + "\n"
+    )
+    with open(args.output, "w") as handle:
+        handle.write(body)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    """Run the cycle-level circuit and print its counters."""
+    config = _parse_mode(args.mode)
+    config = PartitionerConfig(
+        num_partitions=args.partitions,
+        output_mode=config.output_mode,
+        layout_mode=config.layout_mode,
+    )
+    relation = make_relation(args.tuples, args.distribution, seed=args.seed)
+    circuit = PartitionerCircuit(
+        config, qpi_bandwidth_gbs=args.bandwidth or None
+    )
+    if config.layout_mode is LayoutMode.VRID:
+        result = circuit.run(relation.keys, None)
+    else:
+        result = circuit.run(relation.keys, relation.payloads)
+    stats = result.stats
+    streaming = stats.partition_pass_cycles - stats.flush_cycles
+    print(f"simulated {stats.tuples_in:,} tuples ({config.mode_label}, "
+          f"{args.partitions} partitions)")
+    print(f"  cycles            : {stats.cycles:,} "
+          f"(histogram {stats.histogram_pass_cycles:,}, "
+          f"flush {stats.flush_cycles:,})")
+    print(f"  lines in/out      : {stats.lines_in:,} / {stats.lines_out:,}")
+    print(f"  lines/cycle       : {stats.lines_in / max(1, streaming):.2f} "
+          f"(streaming)")
+    print(f"  flow-ctrl stalls  : "
+          f"{stats.combiner_stall_cycles + stats.writeback_stall_cycles} "
+          f"(downstream back-pressure, not pipeline hazards)")
+    print(f"  forwarding hits   : {stats.forwarding_hits:,}")
+    print(f"  back-pressure     : {stats.input_backpressure_cycles:,} cycles")
+    print(f"  dummy slots       : {stats.dummy_slots_out:,} "
+          f"({100 * stats.output_padding_fraction:.2f}%)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FPGA-based Data Partitioning (SIGMOD'17) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible experiments")
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("id", help="experiment id (see 'repro list')")
+    p.add_argument(
+        "--chart",
+        metavar="COLUMN",
+        help="also render an ASCII bar chart of this table column",
+    )
+
+    p = sub.add_parser("validate", help="Section 4.8 model validation")
+    p.add_argument("--tuples", type=int, default=128 * 10**6)
+
+    p = sub.add_parser("partition", help="partition a generated relation")
+    p.add_argument("--tuples", type=int, default=1_000_000)
+    p.add_argument("--partitions", type=int, default=1024)
+    p.add_argument("--mode", default="PAD/RID", help="e.g. HIST/VRID")
+    p.add_argument("--distribution", default="random")
+    p.add_argument("--engine", choices=["fpga", "cpu"], default="fpga")
+    p.add_argument("--threads", type=int, default=10, help="cpu engine only")
+    p.add_argument("--radix", action="store_true",
+                   help="radix bits instead of murmur")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("join", help="CPU vs hybrid join on a workload")
+    p.add_argument("--workload", choices=sorted(WORKLOAD_SPECS), default="A")
+    p.add_argument("--threads", type=int, default=10)
+    p.add_argument("--partitions", type=int, default=8192)
+    p.add_argument("--scale", type=int, default=20000)
+    p.add_argument("--zipf", type=float, default=None,
+                   help="skew S with this Zipf factor")
+
+    p = sub.add_parser(
+        "report", help="write the light experiments to a markdown report"
+    )
+    p.add_argument("--output", default="REPORT.md")
+
+    p = sub.add_parser("simulate", help="cycle-level circuit run")
+    p.add_argument("--tuples", type=int, default=2048)
+    p.add_argument("--partitions", type=int, default=16)
+    p.add_argument("--mode", default="PAD/RID")
+    p.add_argument("--distribution", default="random")
+    p.add_argument("--bandwidth", type=float, default=0.0,
+                   help="QPI GB/s; 0 = unthrottled")
+    p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "experiment": cmd_experiment,
+    "validate": cmd_validate,
+    "partition": cmd_partition,
+    "join": cmd_join,
+    "simulate": cmd_simulate,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The paper's primary contribution: the FPGA partitioner.
+
+This package contains both layers of the reproduction:
+
+* a **functional** partitioner (:class:`repro.core.partitioner.FpgaPartitioner`)
+  that computes exactly the partitions the circuit would produce, fast,
+  with NumPy; and
+* a **cycle-level** simulation of the VHDL design described in
+  Section 4 (:mod:`repro.core.circuit` and the per-module models it is
+  assembled from), used to verify the paper's architectural claims —
+  fully pipelined, no internal stalls, one cache line per clock cycle.
+
+The analytical throughput model of Section 4.6 lives in
+:mod:`repro.core.model` and the Table 2 resource model in
+:mod:`repro.core.resources`.
+"""
+
+from repro.core.modes import (
+    HashKind,
+    LayoutMode,
+    OutputMode,
+    PartitionerConfig,
+)
+from repro.core.partitioner import FpgaPartitioner, PartitionedOutput
+from repro.core.hashing import murmur3_finalizer, radix_bits, partition_of
+from repro.core.model import FpgaCostModel, ModelPrediction
+from repro.core.resources import ResourceUsage, estimate_resources
+
+__all__ = [
+    "HashKind",
+    "LayoutMode",
+    "OutputMode",
+    "PartitionerConfig",
+    "FpgaPartitioner",
+    "PartitionedOutput",
+    "murmur3_finalizer",
+    "radix_bits",
+    "partition_of",
+    "FpgaCostModel",
+    "ModelPrediction",
+    "ResourceUsage",
+    "estimate_resources",
+]

@@ -1,0 +1,255 @@
+"""The Accelerator Function Unit: the circuit wired to the platform.
+
+Section 2.1 describes the full deployment flow of an accelerator on the
+Xeon+FPGA: the software allocates 4 MB pages through the Intel API and
+writes the input relation into them; the page physical addresses are
+transmitted to the FPGA, which populates its BRAM page table; the AFU
+then works on a contiguous virtual address space, translating every
+access and moving whole 64 B cache lines over QPI with physical
+addresses; finally the CPU reads the results back — and pays the
+coherence penalty of Section 2.2, because the snoop filter now marks
+those lines FPGA-homed.
+
+:class:`PartitionerAfu` reproduces that flow end to end with real
+bytes: serialise the relation into shared memory (CPU side), run the
+cycle-level partitioner circuit, translate every output line's virtual
+destination through the page table, write it over the QPI end-point,
+mark the coherence directory, and hand back a CPU-side reader that
+deserialises partitions from memory.
+
+The address-translation *timing* (2 pipelined cycles) is validated
+separately on :class:`~repro.platform.pagetable.PageTable`; inside the
+circuit run it is part of the modelled read latency, exactly as the
+paper folds it into the pipeline fill (Section 2.1: "since it is
+pipelined, the throughput remains one address per clock cycle").
+
+Data layout on the wire: the paper's 8 B <4 B key, 4 B payload> tuples,
+eight per 64 B line, keys and payloads interleaved; VRID mode reads a
+packed key column (sixteen 4 B keys per line) instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import CACHE_LINE_BYTES
+from repro.core.circuit import CircuitResult, PartitionerCircuit
+from repro.core.modes import LayoutMode, PartitionerConfig
+from repro.core.tuples import DUMMY_KEY, DUMMY_PAYLOAD
+from repro.errors import ConfigurationError
+from repro.platform.coherence import Socket
+from repro.platform.machine import XeonFpgaPlatform
+from repro.platform.memory import MemoryRegion
+from repro.workloads.relations import Relation
+
+TUPLES_PER_LINE = 8       # 8 B tuples in a 64 B line
+KEYS_PER_LINE = 16        # 4 B keys in a 64 B line (VRID input)
+
+
+def _tuples_to_bytes(keys: np.ndarray, payloads: np.ndarray) -> np.ndarray:
+    """Interleave <key, payload> pairs into a raw byte stream."""
+    interleaved = np.empty(2 * keys.shape[0], dtype=np.uint32)
+    interleaved[0::2] = keys
+    interleaved[1::2] = payloads
+    return np.frombuffer(interleaved.tobytes(), dtype=np.uint8)
+
+
+def _bytes_to_tuples(raw: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    words = np.frombuffer(np.ascontiguousarray(raw).tobytes(), dtype=np.uint32)
+    return words[0::2].copy(), words[1::2].copy()
+
+
+@dataclasses.dataclass
+class AfuRunResult:
+    """Everything a software consumer needs after an AFU run."""
+
+    circuit: CircuitResult
+    output_region: MemoryRegion
+    base_lines: np.ndarray
+    lines_per_partition: np.ndarray
+    region_name: str
+
+
+class PartitionerAfu:
+    """Deploy the partitioner circuit on a platform (8 B tuples).
+
+    Args:
+        platform: the Xeon+FPGA platform instance.
+        config: partitioner configuration; ``tuple_bytes`` must be 8
+            (the wire format implemented here — the paper's comparison
+            scheme).
+    """
+
+    def __init__(self, platform: XeonFpgaPlatform, config: PartitionerConfig):
+        if config.tuple_bytes != 8:
+            raise ConfigurationError(
+                "the AFU data plane implements the paper's 8 B "
+                "<4 B key, 4 B payload> wire format"
+            )
+        self.platform = platform
+        self.config = config
+
+    _input_counter = 0  # class-level: region names unique per process
+
+    # ------------------------------------------------------------------
+    # CPU side: stage the input
+    # ------------------------------------------------------------------
+
+    def stage_input(
+        self,
+        relation: Relation | np.ndarray,
+        payloads: Optional[np.ndarray] = None,
+        region_name: Optional[str] = None,
+    ) -> Tuple[MemoryRegion, int]:
+        """Write the relation into shared memory, CPU-side.
+
+        In RID mode the region holds interleaved tuples; in VRID mode
+        only the packed key column.  Returns (region, num_tuples).
+        """
+        if isinstance(relation, Relation):
+            keys, payloads = relation.keys, relation.payloads
+        else:
+            keys = np.ascontiguousarray(relation, dtype=np.uint32)
+            if payloads is None:
+                payloads = np.arange(keys.shape[0], dtype=np.uint32)
+        n = int(keys.shape[0])
+        if n == 0:
+            raise ConfigurationError("cannot stage an empty relation")
+
+        name = region_name or f"afu-input-{PartitionerAfu._input_counter}"
+        PartitionerAfu._input_counter += 1
+
+        if self.config.layout_mode is LayoutMode.VRID:
+            padded = -(-n // KEYS_PER_LINE) * KEYS_PER_LINE
+            column = np.full(padded, DUMMY_KEY, dtype=np.uint32)
+            column[:n] = keys
+            raw = np.frombuffer(column.tobytes(), dtype=np.uint8)
+        else:
+            padded = -(-n // TUPLES_PER_LINE) * TUPLES_PER_LINE
+            full_keys = np.full(padded, DUMMY_KEY, dtype=np.uint32)
+            full_payloads = np.full(padded, DUMMY_PAYLOAD, dtype=np.uint32)
+            full_keys[:n] = keys
+            full_payloads[:n] = payloads
+            raw = _tuples_to_bytes(full_keys, full_payloads)
+
+        region = self.platform.allocate_shared(name, raw.shape[0])
+        region.write_bytes(0, raw)
+        self.platform.coherence.record_region_write(name, Socket.CPU)
+        return region, n
+
+    # ------------------------------------------------------------------
+    # FPGA side: run the circuit against the staged bytes
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        input_region: MemoryRegion,
+        num_tuples: int,
+        output_region_name: str = "afu-partitions",
+        qpi_bandwidth_gbs: Optional[float] = None,
+    ) -> AfuRunResult:
+        """Partition the staged relation and write results to memory.
+
+        The input is fetched line by line through the QPI end-point at
+        page-table-translated physical addresses; the circuit is then
+        simulated cycle by cycle; every output line's destination is
+        translated and written back over QPI; the coherence directory
+        records the FPGA as the output region's last writer.
+        """
+        keys, payloads = self._fetch_input(input_region, num_tuples)
+
+        if qpi_bandwidth_gbs is None:
+            qpi_bandwidth_gbs = self.platform.fpga_bandwidth_gbs(
+                self.config.read_write_ratio()
+            )
+        circuit = PartitionerCircuit(
+            self.config, qpi_bandwidth_gbs=qpi_bandwidth_gbs
+        )
+        if self.config.layout_mode is LayoutMode.VRID:
+            result = circuit.run(keys, None)
+        else:
+            result = circuit.run(keys, payloads)
+
+        output_lines = max(result.memory_image) + 1 if result.memory_image else 1
+        output_region = self.platform.allocate_shared(
+            output_region_name, output_lines * CACHE_LINE_BYTES
+        )
+        for address, line in result.memory_image.items():
+            virtual = output_region.virtual_base + address * CACHE_LINE_BYTES
+            physical = self.platform.page_table.translate(virtual)
+            self.platform.qpi.write_line(
+                physical, _tuples_to_bytes(line.keys, line.payloads)
+            )
+        self.platform.coherence.record_region_write(
+            output_region_name, Socket.FPGA
+        )
+        return AfuRunResult(
+            circuit=result,
+            output_region=output_region,
+            base_lines=result.base_lines,
+            lines_per_partition=result.lines_per_partition,
+            region_name=output_region_name,
+        )
+
+    def _fetch_input(
+        self, region: MemoryRegion, num_tuples: int
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Read the staged relation over QPI (translated addresses)."""
+        if self.config.layout_mode is LayoutMode.VRID:
+            lines = -(-num_tuples // KEYS_PER_LINE)
+        else:
+            lines = -(-num_tuples // TUPLES_PER_LINE)
+        raw = np.empty(lines * CACHE_LINE_BYTES, dtype=np.uint8)
+        for i in range(lines):
+            virtual = region.virtual_base + i * CACHE_LINE_BYTES
+            physical = self.platform.page_table.translate(virtual)
+            raw[
+                i * CACHE_LINE_BYTES : (i + 1) * CACHE_LINE_BYTES
+            ] = self.platform.qpi.read_line(physical)
+        if self.config.layout_mode is LayoutMode.VRID:
+            keys = np.frombuffer(raw.tobytes(), dtype=np.uint32)[:num_tuples]
+            return keys.copy(), None
+        keys, payloads = _bytes_to_tuples(raw)
+        return keys[:num_tuples].copy(), payloads[:num_tuples].copy()
+
+    # ------------------------------------------------------------------
+    # CPU side: read partitions back
+    # ------------------------------------------------------------------
+
+    def read_partition(
+        self, run: AfuRunResult, partition: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Deserialise one partition from shared memory, CPU-side.
+
+        This is the access pattern that pays the Table 1 penalty on the
+        real machine; the coherence directory confirms it
+        (``platform.coherence.cpu_read_penalty(run.region_name, ...)``).
+        """
+        if not 0 <= partition < self.config.num_partitions:
+            raise ConfigurationError(
+                f"partition {partition} out of range "
+                f"[0, {self.config.num_partitions})"
+            )
+        base = int(run.base_lines[partition])
+        lines = int(run.lines_per_partition[partition])
+        if lines == 0:
+            empty = np.empty(0, dtype=np.uint32)
+            return empty, empty.copy()
+        raw = run.output_region.read_bytes(
+            base * CACHE_LINE_BYTES, lines * CACHE_LINE_BYTES
+        )
+        keys, payloads = _bytes_to_tuples(raw)
+        valid = payloads != np.uint32(DUMMY_PAYLOAD)
+        return keys[valid], payloads[valid]
+
+    def read_all_partitions(
+        self, run: AfuRunResult
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Every partition's (keys, payloads), CPU-side."""
+        return [
+            self.read_partition(run, p)
+            for p in range(self.config.num_partitions)
+        ]

@@ -1,0 +1,122 @@
+"""Block-RAM (BRAM) model with read latency and forwarding hazards.
+
+The write combiner's central data-hazard (Section 4.2, Code 4) exists
+because FPGA BRAMs answer reads with latency: the fill-rate BRAM takes
+2 cycles, the tuple BRAMs 1 cycle.  Reads can be *issued* every cycle
+(the BRAM is itself pipelined), but the value that comes back reflects
+the memory state at issue time — so a read issued in the same cycle as
+(or one cycle after) a write to the same address returns the stale
+value, and the surrounding logic must forward the in-flight value
+instead.
+
+This module models exactly that: :class:`Bram` services one read issue
+and one write per cycle, delivering read data ``latency`` cycles later,
+with *read-before-write* semantics in the colliding cycle.  It does not
+itself forward — forwarding is the write combiner's job (Code 4 lines
+6-9) and is implemented there, so tests can disable it and watch the
+hazard corrupt data, demonstrating why the forwarding registers exist.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+
+
+class Bram:
+    """A word-addressed BRAM with fixed read latency.
+
+    Usage per simulated cycle::
+
+        bram.tick()              # advance the read pipeline
+        data = bram.read_data()  # result of the read issued `latency` ago
+        bram.issue_read(addr)    # schedule a read
+        bram.write(addr, value)  # same-cycle write (read-before-write)
+    """
+
+    def __init__(
+        self,
+        depth: int,
+        latency: int = 1,
+        fill: Any = 0,
+        name: str = "bram",
+    ):
+        if depth < 1:
+            raise ConfigurationError(f"BRAM depth must be >= 1, got {depth}")
+        if latency < 1:
+            raise ConfigurationError(
+                f"BRAM read latency must be >= 1 cycle, got {latency}"
+            )
+        self.depth = depth
+        self.latency = latency
+        self.name = name
+        self._cells: List[Any] = [fill] * depth
+        # Pipeline of (valid, data) pairs; index 0 pops out next tick.
+        self._read_pipe: List[Tuple[bool, Any]] = [(False, None)] * latency
+        self._delivered: Tuple[bool, Any] = (False, None)
+        self._wrote_this_cycle = False
+        self._read_issued_this_cycle = False
+
+    def tick(self) -> None:
+        """Advance one clock cycle: deliver the oldest in-flight read."""
+        self._delivered = self._read_pipe[0]
+        self._read_pipe = self._read_pipe[1:] + [(False, None)]
+        self._wrote_this_cycle = False
+        self._read_issued_this_cycle = False
+
+    def issue_read(self, addr: int) -> None:
+        """Issue a read; its data arrives after ``latency`` ticks.
+
+        The data captured is the cell content *at issue time* (i.e.
+        before any same-cycle write lands — read-before-write), which is
+        what creates the hazard the write combiner must forward around.
+        """
+        self._check_addr(addr)
+        if self._read_issued_this_cycle:
+            raise SimulationError(
+                f"{self.name}: second read issued in one cycle "
+                "(single read port)"
+            )
+        self._read_issued_this_cycle = True
+        self._read_pipe[-1] = (True, self._cells[addr])
+
+    def read_data(self) -> Optional[Any]:
+        """Data of the read issued ``latency`` cycles ago, else None."""
+        valid, data = self._delivered
+        return data if valid else None
+
+    def read_data_valid(self) -> bool:
+        """True when a read completed this cycle."""
+        return self._delivered[0]
+
+    def write(self, addr: int, value: Any) -> None:
+        """Write a cell this cycle (one write port)."""
+        self._check_addr(addr)
+        if self._wrote_this_cycle:
+            raise SimulationError(
+                f"{self.name}: second write issued in one cycle "
+                "(single write port)"
+            )
+        self._wrote_this_cycle = True
+        self._cells[addr] = value
+
+    def peek(self, addr: int) -> Any:
+        """Zero-time inspection for tests and flush logic."""
+        self._check_addr(addr)
+        return self._cells[addr]
+
+    def poke(self, addr: int, value: Any) -> None:
+        """Zero-time backdoor write (initialisation only)."""
+        self._check_addr(addr)
+        self._cells[addr] = value
+
+    def dump(self) -> Dict[int, Any]:
+        """Non-default cells, for debugging."""
+        return {i: v for i, v in enumerate(self._cells) if v}
+
+    def _check_addr(self, addr: int) -> None:
+        if not 0 <= addr < self.depth:
+            raise SimulationError(
+                f"{self.name}: address {addr} out of range [0, {self.depth})"
+            )

@@ -1,0 +1,511 @@
+"""Top-level cycle-level model of the partitioner circuit (Figure 5).
+
+The datapath, exactly as in the paper:
+
+* An input cache line is split into ``64/W`` tuples which enter the
+  ``64/W`` parallel **hash-function modules** (5-stage pipelines).
+* Each hash module's output lands in a first-stage **FIFO**, read by
+  that lane's **write combiner**, which gathers same-partition tuples
+  into full cache lines.
+* The **write-back module** drains the combiners' output FIFOs
+  round-robin, computes destination addresses from the prefix-sum /
+  offset BRAMs, and pushes addressed lines into the last-stage FIFO
+  toward QPI.
+* **Back-pressure**: the QPI link sustains fewer lines per cycle than
+  the circuit can produce; the write path stalls on the link, and the
+  input side issues read requests *only when there are free slots in
+  the first-stage FIFOs* (Section 4.3), so no FIFO can ever overflow.
+
+Both operating passes are simulated: the optional histogram pass (HIST
+mode, no data written back) and the partitioning pass, followed by the
+flush of partially filled combiner lines.
+
+This simulator exists to *verify architectural claims* — one line per
+cycle, no internal stalls regardless of input pattern, correct output
+under the BRAM read-latency hazards — not to move bulk data fast; use
+:class:`repro.core.partitioner.FpgaPartitioner` for that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import CACHE_LINE_BYTES, CYCLES_HASHING
+from repro.core.fifo import Fifo
+from repro.core.hash_module import HashModule
+from repro.core.modes import LayoutMode, OutputMode, PartitionerConfig
+from repro.core.tuples import (
+    DUMMY_PAYLOAD,
+    CacheLine,
+    check_payloads_valid,
+    lines_needed,
+    pack_cache_lines,
+)
+from repro.core.write_back import AddressedLine, WriteBackModule
+from repro.core.write_combiner import WriteCombiner
+from repro.errors import ConfigurationError, SimulationError
+from repro.platform.qpi import QpiLinkModel
+
+
+@dataclasses.dataclass
+class CircuitStats:
+    """Counters collected over one simulated run."""
+
+    cycles: int = 0
+    histogram_pass_cycles: int = 0
+    partition_pass_cycles: int = 0
+    flush_cycles: int = 0
+    lines_in: int = 0
+    lines_out: int = 0
+    tuples_in: int = 0
+    dummy_slots_out: int = 0
+    input_backpressure_cycles: int = 0
+    combiner_stall_cycles: int = 0
+    writeback_stall_cycles: int = 0
+    forwarding_hits: int = 0
+
+    @property
+    def output_padding_fraction(self) -> float:
+        """Fraction of output slots wasted on dummy padding."""
+        total_slots = self.dummy_slots_out + self.tuples_in
+        return self.dummy_slots_out / total_slots if total_slots else 0.0
+
+
+@dataclasses.dataclass
+class CircuitResult:
+    """Output of a simulated partitioning run."""
+
+    partitions_keys: List[np.ndarray]
+    partitions_payloads: List[np.ndarray]
+    base_lines: np.ndarray        # per-partition base address (line units)
+    lines_per_partition: np.ndarray
+    memory_image: Dict[int, CacheLine]
+    stats: CircuitStats
+
+
+class PartitionerCircuit:
+    """Cycle-level simulator of the full partitioner pipeline."""
+
+    READ_LATENCY_CYCLES = 12
+    """Modelled QPI read-response latency; only shifts the pipeline
+    fill, not the steady-state throughput (the paper's latency constant
+    folds this into ``c_fifos`` at the granularity it models)."""
+
+    def __init__(
+        self,
+        config: PartitionerConfig,
+        qpi_bandwidth_gbs: Optional[float] = None,
+        fifo_depth: int = 32,
+        enable_forwarding: bool = True,
+    ):
+        # The first-stage FIFOs must cover the read latency plus the
+        # hash pipeline, or the issue logic self-throttles below one
+        # line per cycle (the real design sizes them the same way).
+        if fifo_depth < self.READ_LATENCY_CYCLES + CYCLES_HASHING + 2:
+            raise ConfigurationError(
+                f"fifo_depth {fifo_depth} cannot cover the "
+                f"{self.READ_LATENCY_CYCLES}-cycle read latency"
+            )
+        self.config = config
+        self.fifo_depth = fifo_depth
+        self.enable_forwarding = enable_forwarding
+        self.qpi_bandwidth_gbs = qpi_bandwidth_gbs
+        self._build()
+
+    def _build(self) -> None:
+        cfg = self.config
+        lanes = cfg.num_lanes
+        self.hash_modules = [
+            HashModule(cfg.partition_bits, use_hash=cfg.uses_hash)
+            for _ in range(lanes)
+        ]
+        self.lane_fifos = [
+            Fifo(self.fifo_depth, name=f"lane{i}.in") for i in range(lanes)
+        ]
+        self.wc_out_fifos = [
+            Fifo(self.fifo_depth, name=f"lane{i}.out") for i in range(lanes)
+        ]
+        self.combiners = [
+            WriteCombiner(
+                num_partitions=cfg.num_partitions,
+                tuples_per_line=cfg.tuples_per_line,
+                input_fifo=self.lane_fifos[i],
+                output_fifo=self.wc_out_fifos[i],
+                enable_forwarding=self.enable_forwarding,
+                name=f"wc{i}",
+            )
+            for i in range(lanes)
+        ]
+        self.last_fifo: Fifo = Fifo(self.fifo_depth, name="last-stage")
+        self.write_back = WriteBackModule(
+            num_partitions=cfg.num_partitions,
+            input_fifos=self.wc_out_fifos,
+            output_fifo=self.last_fifo,
+        )
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        keys: np.ndarray,
+        payloads: Optional[np.ndarray] = None,
+        max_cycles: Optional[int] = None,
+        on_cycle=None,
+    ) -> CircuitResult:
+        """Partition a relation, simulating every clock cycle.
+
+        Args:
+            keys: uint32 key column.
+            payloads: uint32 payloads; required in RID mode.  In VRID
+                mode payloads must be None — the circuit appends virtual
+                record ids itself.
+            max_cycles: safety limit (default: generous bound scaled to
+                the input) — exceeding it raises, catching livelocks.
+            on_cycle: optional probe called as ``on_cycle(circuit,
+                cycle)`` at the end of every partition-pass cycle (see
+                :class:`repro.core.tracer.CircuitTracer`).
+
+        Returns:
+            A :class:`CircuitResult` with per-partition outputs, the
+            written memory image and cycle statistics.
+        """
+        cfg = self.config
+        keys = np.ascontiguousarray(keys, dtype=np.uint32)
+        if cfg.layout_mode is LayoutMode.VRID:
+            if payloads is not None:
+                raise SimulationError(
+                    "VRID mode generates payloads internally; pass None"
+                )
+            payloads = np.arange(keys.shape[0], dtype=np.uint32)
+        else:
+            if payloads is None:
+                raise SimulationError("RID mode requires payloads")
+            payloads = np.ascontiguousarray(payloads, dtype=np.uint32)
+        check_payloads_valid(payloads)
+
+        n = int(keys.shape[0])
+        stats = CircuitStats()
+        if max_cycles is None:
+            max_cycles = 64 * (n + cfg.num_partitions + 10_000)
+
+        link = self._make_link()
+
+        histogram = None
+        if cfg.output_mode is OutputMode.HIST:
+            histogram = self._histogram_pass(keys, payloads, link, stats)
+            base_lines, capacity_lines = self._hist_layout(histogram)
+        else:
+            base_lines, capacity_lines = self._pad_layout(n)
+
+        self.write_back.load_base_addresses(base_lines)
+        self.write_back.reset_offsets()
+        self.write_back.partition_capacity_lines = capacity_lines
+
+        memory_image = self._partition_pass(
+            keys, payloads, link, stats, max_cycles, on_cycle
+        )
+
+        return self._collect(memory_image, base_lines, stats)
+
+    # ------------------------------------------------------------------
+    # Layout computation
+    # ------------------------------------------------------------------
+
+    def _pad_layout(self, n: int) -> Tuple[np.ndarray, Optional[int]]:
+        cfg = self.config
+        capacity_tuples = cfg.partition_capacity(max(n, 1))
+        capacity_lines = capacity_tuples // cfg.tuples_per_line
+        bases = np.arange(cfg.num_partitions, dtype=np.int64) * capacity_lines
+        return bases, capacity_lines
+
+    def _hist_layout(
+        self, histogram: np.ndarray
+    ) -> Tuple[np.ndarray, Optional[int]]:
+        """Prefix-sum layout from the per-(lane, partition) histogram.
+
+        Each lane contributes ``ceil(count / tuples_per_line)`` cache
+        lines per partition (its stream of full lines plus one flushed
+        partial), so the region reserved for a partition is the sum of
+        the per-lane line counts — this is what the first pass exists
+        to compute.
+        """
+        per_line = self.config.tuples_per_line
+        lane_lines = -(-histogram // per_line)  # ceil, per (lane, partition)
+        lines_per_partition = lane_lines.sum(axis=0)
+        bases = np.zeros(self.config.num_partitions, dtype=np.int64)
+        np.cumsum(lines_per_partition[:-1], out=bases[1:])
+        return bases, None
+
+    # ------------------------------------------------------------------
+    # Passes
+    # ------------------------------------------------------------------
+
+    def _make_link(self) -> Optional[QpiLinkModel]:
+        if self.qpi_bandwidth_gbs is None:
+            return None
+        return QpiLinkModel(self.qpi_bandwidth_gbs)
+
+    def _input_lines(
+        self, keys: np.ndarray, payloads: np.ndarray
+    ) -> List[CacheLine]:
+        """Internal tuple-lines entering the pipeline.
+
+        In RID mode these correspond 1:1 to QPI reads.  In VRID mode
+        the QPI reads are *key* lines (16 keys each for 4 B keys) and
+        the circuit synthesises two internal tuple-lines per key line
+        by appending virtual record ids.
+        """
+        return list(
+            pack_cache_lines(keys, payloads, self.config.tuples_per_line)
+        )
+
+    def _qpi_lines_in(self, n_tuples: int) -> int:
+        """Cache lines actually read over QPI for this input."""
+        cfg = self.config
+        if cfg.layout_mode is LayoutMode.VRID:
+            keys_per_line = CACHE_LINE_BYTES // 4
+            return lines_needed(n_tuples, keys_per_line)
+        return lines_needed(n_tuples, cfg.tuples_per_line)
+
+    def _histogram_pass(
+        self,
+        keys: np.ndarray,
+        payloads: np.ndarray,
+        link: Optional[QpiLinkModel],
+        stats: CircuitStats,
+    ) -> np.ndarray:
+        """First pass of HIST mode: count, write nothing back.
+
+        Streams every tuple through the hash modules (so the pass costs
+        real cycles, bounded by the QPI read bandwidth) and accumulates
+        the per-(lane, partition) histogram in BRAM.
+        """
+        cfg = self.config
+        lanes = cfg.num_lanes
+        histogram = np.zeros((lanes, cfg.num_partitions), dtype=np.int64)
+        lines = self._input_lines(keys, payloads)
+        # In VRID mode only every other internal line costs a QPI read.
+        reads_needed = self._qpi_lines_in(keys.shape[0])
+        reads_done = 0
+        internal_per_read = max(1, len(lines) / max(reads_needed, 1))
+
+        next_line = 0
+        cycles = 0
+        drained = False
+        while not drained:
+            cycles += 1
+            if link is not None:
+                link.tick()
+            # Issue up to one line into the hash modules per cycle.
+            issued = None
+            if next_line < len(lines):
+                allowed = True
+                if link is not None:
+                    # charge a read token per QPI line
+                    if reads_done * internal_per_read <= next_line:
+                        allowed = link.try_read()
+                        if allowed:
+                            reads_done += 1
+                        else:
+                            stats.input_backpressure_cycles += 1
+                if allowed:
+                    issued = lines[next_line]
+                    next_line += 1
+            for lane in range(lanes):
+                incoming = None
+                if issued is not None and issued.payloads[lane] != np.uint32(
+                    DUMMY_PAYLOAD
+                ):
+                    incoming = (int(issued.keys[lane]), int(issued.payloads[lane]))
+                out = self.hash_modules[lane].tick(incoming)
+                if out is not None:
+                    histogram[lane, out.partition] += 1
+            if next_line >= len(lines):
+                drained = all(m.is_empty() for m in self.hash_modules)
+        stats.histogram_pass_cycles = cycles
+        stats.cycles += cycles
+        return histogram
+
+    def _partition_pass(
+        self,
+        keys: np.ndarray,
+        payloads: np.ndarray,
+        link: Optional[QpiLinkModel],
+        stats: CircuitStats,
+        max_cycles: int,
+        on_cycle=None,
+    ) -> Dict[int, CacheLine]:
+        cfg = self.config
+        lanes = cfg.num_lanes
+        lines = self._input_lines(keys, payloads)
+        reads_needed = self._qpi_lines_in(keys.shape[0])
+        reads_done = 0
+        internal_per_read = max(1, len(lines) / max(reads_needed, 1))
+        stats.lines_in += reads_needed
+        stats.tuples_in += int(keys.shape[0])
+
+        memory_image: Dict[int, CacheLine] = {}
+        next_line = 0
+        in_flight: List[Tuple[int, CacheLine]] = []  # (deliver_cycle, line)
+        cycle = 0
+        flushing = False
+        flush_started_at = 0
+
+        while True:
+            cycle += 1
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {max_cycles} cycles — livelock?"
+                )
+            if link is not None:
+                link.tick()
+
+            # 1. Drain the last-stage FIFO over QPI (write path).
+            if not self.last_fifo.is_empty():
+                can_write = link.try_write() if link is not None else True
+                if can_write:
+                    addressed: AddressedLine = self.last_fifo.pop()
+                    memory_image[addressed.address] = addressed.line
+                    stats.lines_out += 1
+
+            # 2. Write-back module.
+            self.write_back.tick()
+
+            # 3. Write combiners (streaming), or flush once inputs end.
+            if not flushing:
+                for combiner in self.combiners:
+                    combiner.tick()
+            else:
+                for combiner in self.combiners:
+                    combiner.flush_cycle()
+
+            # 4. Hash modules: deliver an input line if one arrived.
+            issued: Optional[CacheLine] = None
+            if in_flight and in_flight[0][0] <= cycle:
+                issued = in_flight.pop(0)[1]
+            for lane in range(lanes):
+                incoming = None
+                if issued is not None and issued.payloads[lane] != np.uint32(
+                    DUMMY_PAYLOAD
+                ):
+                    incoming = (int(issued.keys[lane]), int(issued.payloads[lane]))
+                out = self.hash_modules[lane].tick(incoming)
+                if out is not None:
+                    self.lane_fifos[lane].push(out)
+
+            # 5. Input issue with back-pressure (Section 4.3): request a
+            #    line only when every first-stage FIFO has room for all
+            #    in-flight tuples plus this request.
+            if next_line < len(lines):
+                committed = len(in_flight) + 1 + CYCLES_HASHING
+                min_free = min(f.free_slots for f in self.lane_fifos)
+                if min_free >= committed:
+                    allowed = True
+                    if link is not None and reads_done * internal_per_read <= next_line:
+                        allowed = link.try_read()
+                        if allowed:
+                            reads_done += 1
+                    if allowed:
+                        in_flight.append(
+                            (cycle + self.READ_LATENCY_CYCLES, lines[next_line])
+                        )
+                        next_line += 1
+                    else:
+                        stats.input_backpressure_cycles += 1
+                else:
+                    stats.input_backpressure_cycles += 1
+
+            # 6. Start the flush once the streaming pipeline is empty.
+            if not flushing and next_line >= len(lines) and not in_flight:
+                hash_empty = all(m.is_empty() for m in self.hash_modules)
+                combiners_drained = all(c.is_drained() for c in self.combiners)
+                if hash_empty and combiners_drained:
+                    flushing = True
+                    flush_started_at = cycle
+
+            if on_cycle is not None:
+                on_cycle(self, cycle)
+
+            # 7. Termination: everything flushed and drained.
+            if flushing:
+                flush_done = all(c.flush_done for c in self.combiners)
+                if (
+                    flush_done
+                    and self.write_back.is_drained()
+                    and self.last_fifo.is_empty()
+                ):
+                    break
+
+        stats.partition_pass_cycles = cycle
+        stats.flush_cycles = cycle - flush_started_at
+        stats.cycles += cycle
+        stats.combiner_stall_cycles = sum(c.stall_cycles for c in self.combiners)
+        stats.writeback_stall_cycles = self.write_back.stall_cycles
+        stats.dummy_slots_out = sum(c.dummy_slots_out for c in self.combiners)
+        stats.forwarding_hits = sum(
+            c.forwarding_hits_1d + c.forwarding_hits_2d for c in self.combiners
+        )
+        return memory_image
+
+    # ------------------------------------------------------------------
+    # Result assembly
+    # ------------------------------------------------------------------
+
+    def _collect(
+        self,
+        memory_image: Dict[int, CacheLine],
+        base_lines: np.ndarray,
+        stats: CircuitStats,
+    ) -> CircuitResult:
+        cfg = self.config
+        num_partitions = cfg.num_partitions
+        lines_per_partition = np.zeros(num_partitions, dtype=np.int64)
+        partition_lines: List[List[CacheLine]] = [[] for _ in range(num_partitions)]
+        # Region end = next partition's base (or +inf for the last).
+        order = np.argsort(base_lines, kind="stable")
+        ends = np.empty(num_partitions, dtype=np.int64)
+        sorted_bases = base_lines[order]
+        for rank, part in enumerate(order):
+            if rank + 1 < num_partitions:
+                ends[part] = sorted_bases[rank + 1]
+            else:
+                ends[part] = np.iinfo(np.int64).max
+        for address in sorted(memory_image):
+            line = memory_image[address]
+            part = line.partition
+            if not base_lines[part] <= address < ends[part]:
+                raise SimulationError(
+                    f"line for partition {part} written at address "
+                    f"{address}, outside its region "
+                    f"[{base_lines[part]}, {ends[part]})"
+                )
+            partition_lines[part].append(line)
+            lines_per_partition[part] += 1
+
+        keys_out: List[np.ndarray] = []
+        payloads_out: List[np.ndarray] = []
+        for part in range(num_partitions):
+            lines = partition_lines[part]
+            if lines:
+                keys = np.concatenate([l.keys for l in lines])
+                pays = np.concatenate([l.payloads for l in lines])
+                valid = pays != np.uint32(DUMMY_PAYLOAD)
+                keys_out.append(keys[valid])
+                payloads_out.append(pays[valid])
+            else:
+                keys_out.append(np.empty(0, dtype=np.uint32))
+                payloads_out.append(np.empty(0, dtype=np.uint32))
+
+        return CircuitResult(
+            partitions_keys=keys_out,
+            partitions_payloads=payloads_out,
+            base_lines=base_lines,
+            lines_per_partition=lines_per_partition,
+            memory_image=memory_image,
+            stats=stats,
+        )

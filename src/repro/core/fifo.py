@@ -1,0 +1,79 @@
+"""Cycle-accurate FIFO model.
+
+The circuit of Figure 5 threads data through first-in first-out buffers
+between every pipeline stage: hash module -> write combiner (one FIFO
+per lane), write combiner -> write-back (output FIFOs), write-back ->
+QPI (last-stage FIFO).  Back-pressure is implemented not by stalling
+the pipeline but by *issuing only as many read requests as there are
+free slots in the first-stage FIFOs* (Section 4.3), so a FIFO overflow
+anywhere means the back-pressure logic is broken — the model raises
+loudly in that case.
+
+The model is deliberately simple: push/pop are same-cycle operations as
+seen by the surrounding stage models; the traversal latency the paper
+accounts as ``c_fifos = 4`` is charged by the top-level circuit, not
+per FIFO here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Optional, TypeVar
+
+from repro.errors import ConfigurationError, FifoOverflowError, FifoUnderflowError
+
+T = TypeVar("T")
+
+
+class Fifo(Generic[T]):
+    """Bounded FIFO with occupancy tracking and high-water statistics."""
+
+    def __init__(self, capacity: int, name: str = "fifo"):
+        if capacity < 1:
+            raise ConfigurationError(
+                f"fifo capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self.name = name
+        self._slots: Deque[T] = deque()
+        self.max_occupancy = 0
+        self.total_pushed = 0
+        self.total_popped = 0
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._slots)
+
+    def is_empty(self) -> bool:
+        """True when no element is queued."""
+        return not self._slots
+
+    def is_full(self) -> bool:
+        """True when at capacity (push would overflow)."""
+        return len(self._slots) >= self.capacity
+
+    def push(self, item: T) -> None:
+        """Enqueue; raises FifoOverflowError if full (a model bug)."""
+        if self.is_full():
+            raise FifoOverflowError(
+                f"{self.name}: push into full FIFO (capacity {self.capacity}); "
+                "back-pressure propagation is broken"
+            )
+        self._slots.append(item)
+        self.total_pushed += 1
+        if len(self._slots) > self.max_occupancy:
+            self.max_occupancy = len(self._slots)
+
+    def pop(self) -> T:
+        """Dequeue; raises FifoUnderflowError if empty (a model bug)."""
+        if not self._slots:
+            raise FifoUnderflowError(f"{self.name}: pop from empty FIFO")
+        self.total_popped += 1
+        return self._slots.popleft()
+
+    def peek(self) -> Optional[T]:
+        """Front element without consuming it, or None if empty."""
+        return self._slots[0] if self._slots else None

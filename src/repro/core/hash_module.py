@@ -1,0 +1,106 @@
+"""Cycle-level model of the hash-function module (Section 4.1, Code 3).
+
+One hash module per lane.  The murmur finalizer is a 5-stage pipeline:
+every line of Code 3 is an always-active hardware stage, so the module
+accepts a tuple every cycle and emits the hashed result 5 cycles later
+(radix mode is a single mask stage, modelled with the same 5-deep
+pipeline for timing uniformity — the real circuit also pads the radix
+path so both configurations retime identically, which is why the paper
+can claim hashing is free).
+
+The per-stage transformations reuse the scalar murmur steps so the
+pipeline is bit-exact with :func:`repro.core.hashing.murmur3_finalizer`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.constants import CYCLES_HASHING
+from repro.core.hashing import MURMUR32_C1, MURMUR32_C2, radix_bits
+
+_U32 = 0xFFFFFFFF
+
+
+@dataclasses.dataclass
+class HashedTuple:
+    """A tuple annotated with its N-bit partition index."""
+
+    key: int
+    payload: int
+    partition: int
+
+
+@dataclasses.dataclass
+class _InFlight:
+    key: int            # original key, carried alongside the hash datapath
+    payload: int
+    work: int           # value being transformed stage by stage
+
+
+class HashModule:
+    """5-stage pipelined hash function for one lane.
+
+    Per cycle: call :meth:`tick` with the incoming tuple (or None for a
+    bubble); it returns the tuple that completes the pipeline this
+    cycle (or None).
+    """
+
+    #: stage transformations of the murmur finalizer (Code 3 lines 6-10)
+    _STAGES = (
+        lambda h: h ^ (h >> 16),
+        lambda h: (h * MURMUR32_C1) & _U32,
+        lambda h: h ^ (h >> 13),
+        lambda h: (h * MURMUR32_C2) & _U32,
+        lambda h: h ^ (h >> 16),
+    )
+
+    def __init__(self, partition_bits: int, use_hash: bool = True):
+        self.partition_bits = partition_bits
+        self.use_hash = use_hash
+        self.latency = CYCLES_HASHING
+        self._pipe: List[Optional[_InFlight]] = [None] * self.latency
+        self.tuples_in = 0
+        self.tuples_out = 0
+
+    def tick(self, incoming: Optional[tuple] = None) -> Optional[HashedTuple]:
+        """Advance one cycle.
+
+        Args:
+            incoming: an optional ``(key, payload)`` pair entering the
+                pipeline this cycle.
+
+        Returns:
+            The :class:`HashedTuple` leaving the pipeline, or None.
+        """
+        # Each stage applies its transformation as the value moves up.
+        leaving = self._pipe[-1]
+        for i in range(self.latency - 1, 0, -1):
+            moved = self._pipe[i - 1]
+            if moved is not None and self.use_hash:
+                moved.work = HashModule._STAGES[i - 1](moved.work)
+            self._pipe[i] = moved
+        if incoming is not None:
+            key, payload = incoming
+            self._pipe[0] = _InFlight(key=key, payload=payload, work=key & _U32)
+            self.tuples_in += 1
+        else:
+            self._pipe[0] = None
+
+        if leaving is None:
+            return None
+        if self.use_hash:
+            final = HashModule._STAGES[-1](leaving.work)
+        else:
+            final = leaving.key & _U32
+        self.tuples_out += 1
+        return HashedTuple(
+            key=leaving.key,
+            payload=leaving.payload,
+            partition=radix_bits(final, self.partition_bits),
+        )
+
+    def is_empty(self) -> bool:
+        """True when no tuple is in flight (used during drain/flush)."""
+        return all(slot is None for slot in self._pipe)

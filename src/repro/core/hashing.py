@@ -1,0 +1,141 @@
+"""Hash functions used by the partitioner (Section 4.1, Code 3).
+
+The paper's hash-function module supports two modes:
+
+* **murmur** — the 32-bit murmur3 finalizer (Appleby [2]), the "robust"
+  hash.  In hardware it is a 5-stage pipeline (Table 3,
+  ``c_hashing = 5``); each line of Code 3 is one always-active stage.
+* **radix** — take the N least-significant bits of the key directly.
+
+Both produce an N-bit partition index.  The functional forms here are
+bit-exact with the circuit model in :mod:`repro.core.hash_module` (the
+cycle simulator reuses these functions per stage), and are provided as
+scalars and as vectorised NumPy kernels.
+
+For 16 B tuples the key is 8 bytes, hashed with the 64-bit murmur3
+finalizer (the paper notes the hash needs more DSP blocks for 8 B keys,
+Table 2).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_U32 = 0xFFFFFFFF
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+# murmur3 32-bit finalizer constants (Code 3)
+MURMUR32_C1 = 0x85EBCA6B
+MURMUR32_C2 = 0xC2B2AE35
+
+# murmur3 64-bit finalizer constants (fmix64 from smhasher [2])
+MURMUR64_C1 = 0xFF51AFD7ED558CCD
+MURMUR64_C2 = 0xC4CEB9FE1A85EC53
+
+ArrayLike = Union[int, np.ndarray]
+
+
+def murmur3_finalizer(key: ArrayLike) -> ArrayLike:
+    """32-bit murmur3 finalizer (Code 3 of the paper).
+
+    Accepts a Python int or a NumPy ``uint32`` array; returns the same
+    shape.  The five operations map one-to-one onto the five pipeline
+    stages of the hardware hash module.
+    """
+    if isinstance(key, np.ndarray):
+        if key.dtype != np.uint32:
+            raise ConfigurationError(
+                f"murmur3_finalizer expects uint32 arrays, got {key.dtype}"
+            )
+        h = key.copy()
+        h ^= h >> np.uint32(16)
+        h *= np.uint32(MURMUR32_C1)
+        h ^= h >> np.uint32(13)
+        h *= np.uint32(MURMUR32_C2)
+        h ^= h >> np.uint32(16)
+        return h
+    h = int(key) & _U32
+    h ^= h >> 16
+    h = (h * MURMUR32_C1) & _U32
+    h ^= h >> 13
+    h = (h * MURMUR32_C2) & _U32
+    h ^= h >> 16
+    return h
+
+
+def murmur3_finalizer64(key: ArrayLike) -> ArrayLike:
+    """64-bit murmur3 finalizer (``fmix64``), used for 8 B keys."""
+    if isinstance(key, np.ndarray):
+        if key.dtype != np.uint64:
+            raise ConfigurationError(
+                f"murmur3_finalizer64 expects uint64 arrays, got {key.dtype}"
+            )
+        h = key.copy()
+        with np.errstate(over="ignore"):
+            h ^= h >> np.uint64(33)
+            h *= np.uint64(MURMUR64_C1)
+            h ^= h >> np.uint64(33)
+            h *= np.uint64(MURMUR64_C2)
+            h ^= h >> np.uint64(33)
+        return h
+    h = int(key) & _U64
+    h ^= h >> 33
+    h = (h * MURMUR64_C1) & _U64
+    h ^= h >> 33
+    h = (h * MURMUR64_C2) & _U64
+    h ^= h >> 33
+    return h
+
+
+def radix_bits(key: ArrayLike, num_bits: int) -> ArrayLike:
+    """N least-significant bits of the key (radix partitioning)."""
+    _check_bits(num_bits)
+    if isinstance(key, np.ndarray):
+        mask = key.dtype.type((1 << num_bits) - 1)
+        return key & mask
+    return int(key) & ((1 << num_bits) - 1)
+
+
+def _check_bits(num_bits: int) -> None:
+    if not 1 <= num_bits <= 32:
+        raise ConfigurationError(
+            f"partition bits must be in [1, 32], got {num_bits}"
+        )
+
+
+def fanout_bits(num_partitions: int) -> int:
+    """Number of partition-index bits for a power-of-two fan-out."""
+    if num_partitions < 2 or num_partitions & (num_partitions - 1):
+        raise ConfigurationError(
+            f"number of partitions must be a power of two >= 2, "
+            f"got {num_partitions}"
+        )
+    return int(num_partitions).bit_length() - 1
+
+
+def partition_of(
+    key: ArrayLike,
+    num_partitions: int,
+    use_hash: bool,
+) -> ArrayLike:
+    """Partition index for a key: hash-then-radix or radix directly.
+
+    This is the exact function the hardware computes (Code 3): when
+    ``do_hash`` is set, the key goes through the murmur finalizer and
+    the N LSBs of the hash are taken; otherwise the N LSBs of the raw
+    key are taken.
+    """
+    bits = fanout_bits(num_partitions)
+    if use_hash:
+        if isinstance(key, np.ndarray) and key.dtype == np.uint64:
+            hashed = murmur3_finalizer64(key)
+        elif not isinstance(key, np.ndarray) and int(key) > _U32:
+            hashed = murmur3_finalizer64(key)
+        else:
+            hashed = murmur3_finalizer(key)
+        return radix_bits(hashed, bits)
+    return radix_bits(key, bits)

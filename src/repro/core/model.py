@@ -1,0 +1,208 @@
+"""Analytical model of the FPGA partitioner (Section 4.6, Table 3).
+
+The model expresses the end-to-end processing rate as the slower of
+two terms (Equation 7):
+
+* the **circuit rate** — the pipeline consumes/produces one 64 B cache
+  line per clock cycle, so ``B_FPGA = (CL / W) * f_FPGA`` tuples/s
+  (Equation 3), divided by the mode factor ``f_mode`` (2 for HIST's two
+  passes, 1 for PAD) and diluted by the fill/flush latency ``L_FPGA``
+  for small inputs (Equations 2, 4, 5);
+* the **memory rate** — the QPI bandwidth at the run's read/write byte
+  mix, ``B(r) / (W * (r + 1))`` tuples/s (Equation 6).
+
+On the prototype the memory term always wins (Section 4.6's closing
+remark); with the hypothetical 25.6 GB/s link of Section 4.7 the
+circuit term takes over and the partitioner reaches 1.6 Gtuples/s.
+
+Section 4.8's validation numbers are reproduced by
+:meth:`FpgaCostModel.validation_table`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.constants import (
+    CACHE_LINE_BYTES,
+    CYCLES_FIFOS,
+    CYCLES_HASHING,
+    CYCLES_WRITE_COMBINER,
+    FIGURE9_MEASURED_MTUPLES,
+    FPGA_CLOCK_HZ,
+)
+from repro.core.modes import LayoutMode, OutputMode, PartitionerConfig
+from repro.errors import ConfigurationError
+from repro.platform.bandwidth import GB, Agent, BandwidthModel
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelPrediction:
+    """Equation 7 decomposed, in tuples/second."""
+
+    tuples_per_second: float
+    circuit_rate: float     # first term of Eq. 7 (process-bound rate)
+    memory_rate: float      # second term of Eq. 7 (bandwidth-bound rate)
+    read_write_ratio: float
+    bandwidth_gbs: float
+
+    @property
+    def memory_bound(self) -> bool:
+        """True when Eq. 7's second term limits the run — the case on
+        the Xeon+FPGA prototype."""
+        return self.memory_rate <= self.circuit_rate
+
+    @property
+    def mtuples_per_second(self) -> float:
+        return self.tuples_per_second / 1e6
+
+    def seconds_for(self, num_tuples: int) -> float:
+        """Wall time this rate implies for ``num_tuples``."""
+        return num_tuples / self.tuples_per_second
+
+
+#: End-to-end / model ratios observed on the prototype (Figure 9 vs the
+#: Section 4.8 predictions).  The model intentionally omits start-up,
+#: histogram write-back and the full pipeline flush between HIST passes
+#: ("we choose not to further detail the model"); these factors recover
+#: the measured numbers from the modelled ones for the default 8 B
+#: configuration.
+MEASURED_CALIBRATION: Dict[str, float] = {
+    "HIST/RID": 299.0 / 294.0,
+    "HIST/VRID": 391.0 / 435.0,
+    "PAD/RID": 436.0 / 435.0,
+    "PAD/VRID": 514.0 / 495.0,
+}
+
+
+class FpgaCostModel:
+    """Section 4.6's cost model over a Figure 2 bandwidth model."""
+
+    def __init__(
+        self,
+        bandwidth: Optional[BandwidthModel] = None,
+        clock_hz: float = FPGA_CLOCK_HZ,
+    ):
+        self.bandwidth = bandwidth or BandwidthModel()
+        self.clock_hz = clock_hz
+        self.clock_period_s = 1.0 / clock_hz
+
+    # -- Equation 3 -------------------------------------------------------
+
+    def circuit_tuple_rate(self, config: PartitionerConfig) -> float:
+        """``B_FPGA = (CL / W) * f_FPGA`` — one line per cycle."""
+        return (CACHE_LINE_BYTES / config.tuple_bytes) * self.clock_hz
+
+    # -- Equation 4 -------------------------------------------------------
+
+    def latency_seconds(self) -> float:
+        """``L_FPGA = (c_hashing + c_writecomb + c_fifos) * T_FPGA``."""
+        cycles = CYCLES_HASHING + CYCLES_WRITE_COMBINER + CYCLES_FIFOS
+        return cycles * self.clock_period_s
+
+    # -- Equation 5 -------------------------------------------------------
+
+    def process_rate(self, config: PartitionerConfig, num_tuples: int) -> float:
+        """Circuit-side rate including mode factor and latency dilution."""
+        if num_tuples < 1:
+            raise ConfigurationError("num_tuples must be >= 1")
+        b_fpga = self.circuit_tuple_rate(config)
+        l_fpga = self.latency_seconds()
+        return 1.0 / (config.mode_factor * (1.0 / b_fpga + l_fpga / num_tuples))
+
+    # -- Equation 6 -------------------------------------------------------
+
+    def memory_rate(
+        self, config: PartitionerConfig, interfered: bool = False
+    ) -> float:
+        """``P_mem = B(r) / (W * (r + 1))``."""
+        r = config.read_write_ratio()
+        b_r = (
+            self.bandwidth.bandwidth_for_ratio(Agent.FPGA, r, interfered) * GB
+        )
+        return b_r / (config.tuple_bytes * (r + 1.0))
+
+    # -- Equation 7 -------------------------------------------------------
+
+    def predict(
+        self,
+        config: PartitionerConfig,
+        num_tuples: int = 128 * 10**6,
+        interfered: bool = False,
+    ) -> ModelPrediction:
+        """Total processing rate: ``min(P_FPGA, P_mem)``."""
+        circuit = self.process_rate(config, num_tuples)
+        memory = self.memory_rate(config, interfered)
+        r = config.read_write_ratio()
+        return ModelPrediction(
+            tuples_per_second=min(circuit, memory),
+            circuit_rate=circuit,
+            memory_rate=memory,
+            read_write_ratio=r,
+            bandwidth_gbs=self.bandwidth.bandwidth_for_ratio(
+                Agent.FPGA, r, interfered
+            ),
+        )
+
+    def partitioning_seconds(
+        self,
+        num_tuples: int,
+        config: PartitionerConfig,
+        interfered: bool = False,
+        calibrated: bool = False,
+    ) -> float:
+        """Wall time to partition ``num_tuples`` tuples.
+
+        With ``calibrated=True``, the prototype-measured correction of
+        :data:`MEASURED_CALIBRATION` is applied (8 B tuples only),
+        yielding the Figure 9 end-to-end numbers instead of the pure
+        Section 4.8 model.
+        """
+        rate = self.predict(config, num_tuples, interfered).tuples_per_second
+        if calibrated:
+            rate *= MEASURED_CALIBRATION.get(config.mode_label, 1.0)
+        return num_tuples / rate
+
+    def end_to_end_mtuples(
+        self,
+        config: PartitionerConfig,
+        num_tuples: int = 128 * 10**6,
+        calibrated: bool = False,
+    ) -> float:
+        """Throughput in Mtuples/s, optionally prototype-calibrated."""
+        seconds = self.partitioning_seconds(
+            num_tuples, config, calibrated=calibrated
+        )
+        return num_tuples / seconds / 1e6
+
+    # -- Section 4.8 -------------------------------------------------------
+
+    def validation_table(
+        self, num_tuples: int = 128 * 10**6
+    ) -> Dict[str, Dict[str, float]]:
+        """Model vs prototype measurement for all four 8 B modes.
+
+        Reproduces the Section 4.8 arithmetic: HIST/RID at r=2 gives
+        ~294 Mtuples/s, HIST/VRID and PAD/RID at r=1 give ~435,
+        PAD/VRID at r=0.5 gives ~495 — each within ~10% of the Figure 9
+        measurement.
+        """
+        table: Dict[str, Dict[str, float]] = {}
+        for output_mode in (OutputMode.HIST, OutputMode.PAD):
+            for layout_mode in (LayoutMode.RID, LayoutMode.VRID):
+                config = PartitionerConfig(
+                    output_mode=output_mode, layout_mode=layout_mode
+                )
+                prediction = self.predict(config, num_tuples)
+                label = config.mode_label
+                measured = FIGURE9_MEASURED_MTUPLES[label]
+                model = prediction.mtuples_per_second
+                table[label] = {
+                    "r": prediction.read_write_ratio,
+                    "bandwidth_gbs": prediction.bandwidth_gbs,
+                    "model_mtuples": model,
+                    "measured_mtuples": measured,
+                    "relative_error": abs(model - measured) / measured,
+                }
+        return table

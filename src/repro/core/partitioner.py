@@ -1,0 +1,342 @@
+"""The FPGA partitioner's public API.
+
+:class:`FpgaPartitioner` computes exactly what the hardware would write
+to memory — per-partition tuple sets, region layout, cache-line and
+dummy-padding accounting — using vectorised NumPy, so experiments can
+run on millions of tuples.  It is bit-equivalent (same partition
+contents, same per-partition line counts, same byte traffic) to the
+cycle-level :class:`~repro.core.circuit.PartitionerCircuit`, which it
+can also drive via :meth:`simulate` for cycle-accurate runs; the
+equivalence is enforced by property tests.
+
+All four operating modes of Section 4.5 are supported (HIST/PAD x
+RID/VRID), including PAD-mode overflow semantics: on overflow the run
+aborts and, per the paper, falls back — to a CPU partitioner, to HIST
+mode, or to an exception, as the caller chooses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Literal, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import CACHE_LINE_BYTES
+from repro.core.circuit import CircuitResult, PartitionerCircuit
+from repro.core.hashing import partition_of
+from repro.core.modes import LayoutMode, OutputMode, PartitionerConfig
+from repro.core.tuples import check_payloads_valid
+from repro.errors import ConfigurationError, PartitionOverflowError
+from repro.platform.machine import XeonFpgaPlatform
+from repro.platform.coherence import Socket
+from repro.workloads.relations import Relation
+
+OverflowPolicy = Literal["raise", "hist", "cpu"]
+
+
+@dataclasses.dataclass
+class PartitionedOutput:
+    """Result of a partitioning run.
+
+    The per-partition arrays hold real tuples only (dummy padding is
+    accounted in the counters, not materialised).  ``base_lines`` and
+    ``lines_per_partition`` describe the memory layout the hardware
+    produced, in 64 B cache-line units.
+    """
+
+    config: PartitionerConfig
+    partition_keys: List[np.ndarray]
+    partition_payloads: List[np.ndarray]
+    counts: np.ndarray
+    lines_per_partition: np.ndarray
+    base_lines: np.ndarray
+    bytes_read: int
+    bytes_written: int
+    dummy_slots: int
+    produced_by: str = "fpga-functional"
+    fell_back_to_cpu: bool = False
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partition_keys)
+
+    @property
+    def num_tuples(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def padding_fraction(self) -> float:
+        """Share of written tuple slots that are dummy padding."""
+        slots = self.num_tuples + self.dummy_slots
+        return self.dummy_slots / slots if slots else 0.0
+
+    @property
+    def read_write_ratio(self) -> float:
+        """Realised byte ratio r = reads / writes."""
+        return self.bytes_read / self.bytes_written if self.bytes_written else 0.0
+
+    def partition(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(keys, payloads) of one partition."""
+        return self.partition_keys[index], self.partition_payloads[index]
+
+    def max_partition_tuples(self) -> int:
+        """Tuples in the largest partition (the skew headline)."""
+        return int(self.counts.max()) if self.counts.size else 0
+
+
+class FpgaPartitioner:
+    """Functional model of the FPGA partitioner (Sections 4.1-4.5).
+
+    Args:
+        config: modes, fan-out, tuple width.
+        platform: optional platform; when given, partitioning accounts
+            its traffic on the QPI end-point and marks the output
+            regions FPGA-written in the coherence directory (which is
+            what slows down the hybrid join's build+probe, Section 2.2).
+    """
+
+    def __init__(
+        self,
+        config: PartitionerConfig | None = None,
+        platform: Optional[XeonFpgaPlatform] = None,
+    ):
+        self.config = config or PartitionerConfig()
+        self.platform = platform
+
+    # ------------------------------------------------------------------
+    # Functional partitioning
+    # ------------------------------------------------------------------
+
+    def partition(
+        self,
+        relation: Relation | np.ndarray,
+        payloads: Optional[np.ndarray] = None,
+        on_overflow: OverflowPolicy = "raise",
+        region_name: Optional[str] = None,
+    ) -> PartitionedOutput:
+        """Partition a relation.
+
+        Args:
+            relation: a :class:`Relation`, or a uint32 key array (then
+                ``payloads`` supplies the payload column in RID mode).
+            payloads: payload column when ``relation`` is a bare array.
+                Ignored in VRID mode (virtual record ids are generated).
+            on_overflow: PAD-mode overflow policy — ``"raise"`` (default,
+                :class:`PartitionOverflowError`), ``"hist"`` (retry the
+                run in HIST mode, the robust two-pass fallback), or
+                ``"cpu"`` (fall back to the software partitioner, as the
+                paper describes).
+            region_name: label for coherence tracking when a platform is
+                attached (defaults to an internal counter).
+
+        Returns:
+            A :class:`PartitionedOutput`.
+        """
+        keys, payloads = self._extract_columns(relation, payloads)
+        cfg = self.config
+        parts = np.asarray(
+            partition_of(keys, cfg.num_partitions, cfg.uses_hash)
+        ).astype(np.int64)
+
+        counts = np.bincount(parts, minlength=cfg.num_partitions)
+        lane_counts = self._lane_counts(parts)
+        per_line = cfg.tuples_per_line
+        lines_per_partition = (-(-lane_counts // per_line)).sum(axis=1)
+
+        if cfg.output_mode is OutputMode.PAD:
+            capacity_lines = cfg.partition_capacity(keys.shape[0]) // per_line
+            overflowed = np.nonzero(lines_per_partition > capacity_lines)[0]
+            if overflowed.size:
+                return self._handle_overflow(
+                    keys,
+                    payloads,
+                    int(overflowed[0]),
+                    capacity_lines * per_line,
+                    on_overflow,
+                )
+            base_lines = (
+                np.arange(cfg.num_partitions, dtype=np.int64) * capacity_lines
+            )
+        else:
+            base_lines = np.zeros(cfg.num_partitions, dtype=np.int64)
+            np.cumsum(lines_per_partition[:-1], out=base_lines[1:])
+
+        order = np.argsort(parts, kind="stable")
+        boundaries = np.zeros(cfg.num_partitions + 1, dtype=np.int64)
+        np.cumsum(counts, out=boundaries[1:])
+        sorted_keys = keys[order]
+        sorted_payloads = payloads[order]
+        partition_keys = [
+            sorted_keys[boundaries[p] : boundaries[p + 1]]
+            for p in range(cfg.num_partitions)
+        ]
+        partition_payloads = [
+            sorted_payloads[boundaries[p] : boundaries[p + 1]]
+            for p in range(cfg.num_partitions)
+        ]
+
+        bytes_read, bytes_written = self._traffic(
+            int(keys.shape[0]), int(lines_per_partition.sum())
+        )
+        dummy_slots = int(
+            lines_per_partition.sum() * per_line - keys.shape[0]
+        )
+
+        output = PartitionedOutput(
+            config=cfg,
+            partition_keys=partition_keys,
+            partition_payloads=partition_payloads,
+            counts=counts,
+            lines_per_partition=lines_per_partition,
+            base_lines=base_lines,
+            bytes_read=bytes_read,
+            bytes_written=bytes_written,
+            dummy_slots=dummy_slots,
+        )
+        self._account_platform(output, region_name)
+        return output
+
+    # ------------------------------------------------------------------
+    # Cycle-level simulation
+    # ------------------------------------------------------------------
+
+    def simulate(
+        self,
+        relation: Relation | np.ndarray,
+        payloads: Optional[np.ndarray] = None,
+        qpi_bandwidth_gbs: Optional[float] = None,
+        enable_forwarding: bool = True,
+    ) -> CircuitResult:
+        """Run the cycle-level circuit on (small) real data.
+
+        When ``qpi_bandwidth_gbs`` is omitted and a platform is
+        attached, the platform's Figure 2 bandwidth at this mode's
+        read/write ratio is used; pass a value explicitly to explore
+        hypothetical links (e.g. the 25.6 GB/s of Section 4.7).
+        """
+        keys, payloads = self._extract_columns(relation, payloads)
+        if qpi_bandwidth_gbs is None and self.platform is not None:
+            qpi_bandwidth_gbs = self.platform.fpga_bandwidth_gbs(
+                self.config.read_write_ratio()
+            )
+        circuit = PartitionerCircuit(
+            self.config,
+            qpi_bandwidth_gbs=qpi_bandwidth_gbs,
+            enable_forwarding=enable_forwarding,
+        )
+        if self.config.layout_mode is LayoutMode.VRID:
+            return circuit.run(keys, None)
+        return circuit.run(keys, payloads)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _extract_columns(
+        self,
+        relation: Relation | np.ndarray,
+        payloads: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if isinstance(relation, Relation):
+            keys = relation.keys
+            payloads = relation.payloads
+        else:
+            keys = np.ascontiguousarray(relation, dtype=np.uint32)
+            if self.config.layout_mode is LayoutMode.VRID or payloads is None:
+                payloads = np.arange(keys.shape[0], dtype=np.uint32)
+            else:
+                payloads = np.ascontiguousarray(payloads, dtype=np.uint32)
+        if self.config.layout_mode is LayoutMode.VRID:
+            # Column-store input: only keys exist; virtual record ids
+            # are the positions, appended on the FPGA.
+            payloads = np.arange(keys.shape[0], dtype=np.uint32)
+        if keys.shape != payloads.shape:
+            raise ConfigurationError("keys and payloads must align")
+        if keys.size == 0:
+            raise ConfigurationError("cannot partition an empty relation")
+        check_payloads_valid(payloads)
+        return keys, payloads
+
+    def _lane_counts(self, parts: np.ndarray) -> np.ndarray:
+        """Per-(partition, lane) tuple counts.
+
+        Tuple ``i`` rides lane ``i mod num_lanes`` (its slot in the
+        input cache line), and each lane's write combiner emits
+        ``ceil(count / tuples_per_line)`` lines per partition — this is
+        what makes the functional line/padding accounting exactly match
+        the circuit.
+        """
+        lanes = self.config.num_lanes
+        lane = np.arange(parts.shape[0], dtype=np.int64) % lanes
+        combined = parts * lanes + lane
+        flat = np.bincount(
+            combined, minlength=self.config.num_partitions * lanes
+        )
+        return flat.reshape(self.config.num_partitions, lanes)
+
+    def _traffic(self, n_tuples: int, lines_written: int) -> Tuple[int, int]:
+        cfg = self.config
+        passes = 2 if cfg.output_mode is OutputMode.HIST else 1
+        if cfg.layout_mode is LayoutMode.VRID:
+            keys_per_line = CACHE_LINE_BYTES // 4
+            lines_read = -(-n_tuples // keys_per_line)
+        else:
+            lines_read = -(-n_tuples // cfg.tuples_per_line)
+        bytes_read = passes * lines_read * CACHE_LINE_BYTES
+        bytes_written = lines_written * CACHE_LINE_BYTES
+        return bytes_read, bytes_written
+
+    def _handle_overflow(
+        self,
+        keys: np.ndarray,
+        payloads: np.ndarray,
+        partition: int,
+        capacity_tuples: int,
+        on_overflow: OverflowPolicy,
+    ) -> PartitionedOutput:
+        if on_overflow == "raise":
+            raise PartitionOverflowError(
+                partition=partition,
+                capacity=capacity_tuples,
+                tuples_seen=int(keys.shape[0]),
+            )
+        if on_overflow == "hist":
+            hist_config = dataclasses.replace(
+                self.config, output_mode=OutputMode.HIST
+            )
+            retried = FpgaPartitioner(hist_config, self.platform).partition(
+                keys, payloads
+            )
+            # The aborted PAD attempt still paid (part of) a scan; we
+            # charge the full failed pass, the worst case of Section 5.4
+            # ("in the worst case, this might happen at the very end").
+            retried.bytes_read += self._traffic(int(keys.shape[0]), 0)[0]
+            return retried
+        if on_overflow == "cpu":
+            from repro.cpu.partitioner import CpuPartitioner
+
+            cpu_out = CpuPartitioner.matching(self.config).partition(
+                keys, payloads
+            )
+            cpu_out.fell_back_to_cpu = True
+            return cpu_out
+        raise ConfigurationError(
+            f"unknown overflow policy {on_overflow!r}; "
+            "expected 'raise', 'hist' or 'cpu'"
+        )
+
+    def _account_platform(
+        self, output: PartitionedOutput, region_name: Optional[str]
+    ) -> None:
+        if self.platform is None:
+            return
+        name = region_name or f"fpga-partitions-{id(output):x}"
+        self.platform.qpi.bytes_read += output.bytes_read
+        self.platform.qpi.bytes_written += output.bytes_written
+        self.platform.coherence.record_region_write(name, Socket.FPGA)
+        output.produced_by = f"fpga-functional@{name}"

@@ -1,0 +1,152 @@
+"""Reorder buffer for out-of-order QPI read responses.
+
+A subtlety the related work surfaces: Halstead et al.'s multithreaded
+join [11] "relies on in-order responses to memory requests ... which is
+currently only available in the Convey-MX architecture".  QPI makes no
+such promise — read responses can return in any order.  The paper's
+partitioner tolerates *partition-order* scrambling trivially (tuples
+are independent), but VRID mode does not: the virtual record id is the
+tuple's position, so the AFU must know which request a response answers.
+
+Real AFUs solve this with a reorder buffer (ROB) keyed by a request
+tag: responses park in the ROB and are released in issue order.  This
+module provides that component with the usual hardware contract —
+bounded capacity, tag-indexed slots, head-of-line release — plus an
+out-of-order link model to test against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+
+
+class ReorderBuffer:
+    """Tag-indexed reorder buffer with in-order release.
+
+    Usage per request/response:
+
+    * :meth:`allocate` a tag at issue time (None when full — the AFU
+      must throttle, exactly like the FIFO back-pressure);
+    * :meth:`fill` the tag when its response arrives, in any order;
+    * :meth:`release` pops the oldest request's data once present.
+    """
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ConfigurationError(
+                f"ROB capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._data: List[Any] = [None] * capacity
+        self._filled: List[bool] = [False] * capacity
+        self._allocated: List[bool] = [False] * capacity
+        self._order: List[int] = []   # allocation order of live tags
+        self.max_occupancy = 0
+        self.total_released = 0
+
+    def allocate(self) -> Optional[int]:
+        """Reserve a tag for a new request; None when the ROB is full."""
+        for tag in range(self.capacity):
+            if not self._allocated[tag]:
+                self._allocated[tag] = True
+                self._filled[tag] = False
+                self._order.append(tag)
+                self.max_occupancy = max(self.max_occupancy, len(self._order))
+                return tag
+        return None
+
+    def fill(self, tag: int, data: Any) -> None:
+        """A response arrived for ``tag`` (any order)."""
+        self._check_tag(tag)
+        if not self._allocated[tag]:
+            raise SimulationError(f"response for unallocated tag {tag}")
+        if self._filled[tag]:
+            raise SimulationError(f"duplicate response for tag {tag}")
+        self._filled[tag] = True
+        self._data[tag] = data
+
+    def release(self) -> Optional[Any]:
+        """Data of the oldest request, if its response has arrived."""
+        if not self._order:
+            return None
+        head = self._order[0]
+        if not self._filled[head]:
+            return None  # head-of-line response still in flight
+        self._order.pop(0)
+        self._allocated[head] = False
+        self._filled[head] = False
+        data = self._data[head]
+        self._data[head] = None
+        self.total_released += 1
+        return data
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._order)
+
+    def is_empty(self) -> bool:
+        """True when no request is live."""
+        return not self._order
+
+    def is_full(self) -> bool:
+        """True when every tag is allocated (issue must stall)."""
+        return len(self._order) >= self.capacity
+
+    def _check_tag(self, tag: int) -> None:
+        if not 0 <= tag < self.capacity:
+            raise SimulationError(
+                f"tag {tag} out of range [0, {self.capacity})"
+            )
+
+
+class OutOfOrderLink:
+    """A read link that returns responses out of order.
+
+    Requests complete after a random latency in
+    ``[min_latency, max_latency]`` cycles, so later requests can
+    overtake earlier ones — the stimulus a ROB exists to absorb.
+    """
+
+    def __init__(
+        self,
+        min_latency: int = 4,
+        max_latency: int = 24,
+        seed: int = 0,
+    ):
+        if not 1 <= min_latency <= max_latency:
+            raise ConfigurationError("need 1 <= min_latency <= max_latency")
+        self._rng = np.random.default_rng(seed)
+        self.min_latency = min_latency
+        self.max_latency = max_latency
+        self._in_flight: List[tuple] = []  # (complete_at, tag, data)
+        self._now = 0
+        self.reorderings_observed = 0
+        self._last_issued = -1
+
+    def issue(self, tag: int, data: Any) -> None:
+        """Launch a request; it completes after a random latency."""
+        latency = int(
+            self._rng.integers(self.min_latency, self.max_latency + 1)
+        )
+        self._in_flight.append((self._now + latency, tag, data))
+
+    def tick(self) -> List[tuple]:
+        """Advance one cycle; returns completed ``(tag, data)`` pairs."""
+        self._now += 1
+        done = [
+            (tag, data)
+            for at, tag, data in self._in_flight
+            if at <= self._now
+        ]
+        self._in_flight = [
+            entry for entry in self._in_flight if entry[0] > self._now
+        ]
+        return done
+
+    def is_idle(self) -> bool:
+        """True when nothing is in flight."""
+        return not self._in_flight

@@ -1,0 +1,118 @@
+"""Cache-line packing of tuples (Section 4).
+
+The circuit works in 64 B cache-line granularity: for 8 B tuples a line
+carries 8 <4 B key, 4 B payload> tuples; for wider tuples
+correspondingly fewer.  This module provides the packing/unpacking
+between columnar NumPy arrays and streams of cache lines, and the
+dummy-key convention used when flushing partially filled write-combiner
+lines (Section 4.2: empty slots are filled with dummy keys "which later
+on won't be regarded by the software application").
+
+A cache line is represented as a pair of small ``uint32`` arrays
+(keys, payloads) of length ``tuples_per_line``; slot validity is
+signalled by payloads != DUMMY_PAYLOAD.  Keys alone cannot mark
+dummies because any 32-bit key value is legal input, so — like the
+software that consumes the real circuit's output — we reserve one
+payload value.  Input relations use positional payloads, which never
+reach 2**32 - 1 for realistic sizes; the partitioner validates this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+DUMMY_KEY = 0xDEADBEEF
+"""Key written into padding slots of flushed cache lines."""
+
+DUMMY_PAYLOAD = 0xFFFFFFFF
+"""Payload value marking an invalid (padding) tuple slot."""
+
+
+@dataclasses.dataclass
+class CacheLine:
+    """One 64 B line of tuples in flight through the circuit.
+
+    ``partition`` is carried alongside once assigned (the hardware
+    routes the N-bit hash with the data, Figure 5).
+    """
+
+    keys: np.ndarray
+    payloads: np.ndarray
+    partition: int = -1
+
+    def __post_init__(self) -> None:
+        if self.keys.shape != self.payloads.shape:
+            raise ConfigurationError("cache line keys/payloads shape mismatch")
+
+    @property
+    def capacity(self) -> int:
+        return int(self.keys.shape[0])
+
+    @property
+    def valid_mask(self) -> np.ndarray:
+        return self.payloads != np.uint32(DUMMY_PAYLOAD)
+
+    @property
+    def num_valid(self) -> int:
+        return int(self.valid_mask.sum())
+
+    def is_full(self) -> bool:
+        """True when every slot holds a real tuple."""
+        return bool(self.valid_mask.all())
+
+
+def check_payloads_valid(payloads: np.ndarray) -> None:
+    """Reject input payloads that collide with the dummy marker."""
+    if payloads.size and int(payloads.max()) == DUMMY_PAYLOAD:
+        raise ConfigurationError(
+            "input payloads must not use the reserved dummy value "
+            f"0x{DUMMY_PAYLOAD:08X}"
+        )
+
+
+def pack_cache_lines(
+    keys: np.ndarray,
+    payloads: np.ndarray,
+    tuples_per_line: int,
+) -> Iterator[CacheLine]:
+    """Stream a relation as cache lines, padding the last line.
+
+    This models the sequential read of the input region: the memory
+    controller always transfers whole 64 B lines, so a relation whose
+    size is not a multiple of the line capacity arrives with dummy
+    slots in its final line.
+    """
+    check_payloads_valid(payloads)
+    n = int(keys.shape[0])
+    for start in range(0, n, tuples_per_line):
+        stop = min(start + tuples_per_line, n)
+        line_keys = np.full(tuples_per_line, DUMMY_KEY, dtype=np.uint32)
+        line_payloads = np.full(tuples_per_line, DUMMY_PAYLOAD, dtype=np.uint32)
+        line_keys[: stop - start] = keys[start:stop]
+        line_payloads[: stop - start] = payloads[start:stop]
+        yield CacheLine(keys=line_keys, payloads=line_payloads)
+
+
+def unpack_cache_lines(
+    lines: List[CacheLine],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate the valid tuples of a line sequence (drops dummies)."""
+    if not lines:
+        empty = np.empty(0, dtype=np.uint32)
+        return empty, empty.copy()
+    keys = np.concatenate([line.keys for line in lines])
+    payloads = np.concatenate([line.payloads for line in lines])
+    valid = payloads != np.uint32(DUMMY_PAYLOAD)
+    return keys[valid], payloads[valid]
+
+
+def lines_needed(num_tuples: int, tuples_per_line: int) -> int:
+    """Cache lines required to hold ``num_tuples`` tuples."""
+    if num_tuples < 0:
+        raise ConfigurationError(f"negative tuple count: {num_tuples}")
+    return -(-num_tuples // tuples_per_line)

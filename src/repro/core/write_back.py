@@ -1,0 +1,187 @@
+"""Cycle-level model of the write-back module (Section 4.3).
+
+The write-back module drains the write combiners' output FIFOs in
+round-robin order and computes each cache line's destination address
+from two BRAMs:
+
+* a **base BRAM** holding, per partition, either the prefix sum of the
+  histogram built in a HIST-mode first pass, or the fixed-size base
+  address in PAD mode;
+* an **offset BRAM** counting how many cache lines have already been
+  written to each partition.
+
+The sum of base and offset gives the line's destination, after which
+the offset is incremented.  Back-to-back lines of the same partition
+create the same read-latency hazard as the write combiner's fill rate,
+handled with the same forwarding registers ("For maintaining the
+integrity of the offset BRAM, the forwarding logic described in
+Section 4.2 is used").
+
+The drained lines are pushed into the last-stage FIFO toward the QPI
+end-point, which applies back-pressure when the link is saturated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bram import Bram
+from repro.core.fifo import Fifo
+from repro.core.tuples import CacheLine
+from repro.errors import PartitionOverflowError, SimulationError
+
+
+@dataclasses.dataclass
+class AddressedLine:
+    """A cache line with its destination, in cache-line units."""
+
+    line: CacheLine
+    address: int
+
+
+@dataclasses.dataclass
+class _OffsetResolved:
+    partition: int
+    offset: int
+
+
+class WriteBackModule:
+    """Round-robin drain + destination addressing, one line per cycle."""
+
+    OFFSET_READ_LATENCY = 2
+
+    def __init__(
+        self,
+        num_partitions: int,
+        input_fifos: Sequence[Fifo],
+        output_fifo: Fifo,
+        partition_capacity_lines: Optional[int] = None,
+        name: str = "wb",
+    ):
+        self.num_partitions = num_partitions
+        self.input_fifos = list(input_fifos)
+        self.output_fifo = output_fifo
+        self.partition_capacity_lines = partition_capacity_lines
+        self.name = name
+
+        self._base = Bram(num_partitions, latency=1, fill=0, name=f"{name}.base")
+        self._offset = Bram(
+            num_partitions,
+            latency=self.OFFSET_READ_LATENCY,
+            fill=0,
+            name=f"{name}.offset",
+        )
+        self._rr_index = 0
+        self._wait_pipe: List[Optional[CacheLine]] = [
+            None
+        ] * self.OFFSET_READ_LATENCY
+        self._resolved_1d: Optional[_OffsetResolved] = None
+        self._resolved_2d: Optional[_OffsetResolved] = None
+
+        self.lines_out = 0
+        self.stall_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    def load_base_addresses(self, bases: np.ndarray) -> None:
+        """Load per-partition base addresses (cache-line units).
+
+        In HIST mode this is the prefix sum over the first-pass
+        histogram; in PAD mode the fixed-size bases.
+        """
+        if bases.shape[0] != self.num_partitions:
+            raise SimulationError(
+                f"{self.name}: expected {self.num_partitions} base "
+                f"addresses, got {bases.shape[0]}"
+            )
+        for partition, base in enumerate(bases):
+            self._base.poke(partition, int(base))
+
+    def reset_offsets(self) -> None:
+        """Clear the per-partition line counters (between runs)."""
+        for partition in range(self.num_partitions):
+            self._offset.poke(partition, 0)
+        self._resolved_1d = None
+        self._resolved_2d = None
+
+    # ------------------------------------------------------------------
+    # Per-cycle operation
+    # ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance one clock cycle.
+
+        Stalls (clock-enable gating) when the last-stage FIFO cannot
+        accept the line resolved this cycle — that is the QPI
+        back-pressure of Section 4.3.
+        """
+        resolving = self._wait_pipe[-1]
+        if resolving is not None and self.output_fifo.is_full():
+            self.stall_cycles += 1
+            return
+
+        self._offset.tick()
+
+        resolution: Optional[_OffsetResolved] = None
+        self._wait_pipe = [None] + self._wait_pipe[:-1]
+        if resolving is not None:
+            resolution = self._resolve(resolving)
+        self._resolved_2d = self._resolved_1d
+        self._resolved_1d = resolution
+
+        # Round-robin pop of the next combined line; work-conserving
+        # (skips empty FIFOs so a busy lane is not starved by idle ones).
+        line = self._round_robin_pop()
+        if line is not None:
+            self._offset.issue_read(line.partition)
+            self._wait_pipe[0] = line
+
+    def _round_robin_pop(self) -> Optional[CacheLine]:
+        n = len(self.input_fifos)
+        for step in range(n):
+            fifo = self.input_fifos[(self._rr_index + step) % n]
+            if not fifo.is_empty():
+                self._rr_index = (self._rr_index + step + 1) % n
+                return fifo.pop()
+        self._rr_index = (self._rr_index + 1) % n
+        return None
+
+    def _resolve(self, line: CacheLine) -> _OffsetResolved:
+        partition = line.partition
+        if self._resolved_1d is not None and self._resolved_1d.partition == partition:
+            offset = self._resolved_1d.offset + 1
+        elif (
+            self._resolved_2d is not None
+            and self._resolved_2d.partition == partition
+        ):
+            offset = self._resolved_2d.offset + 1
+        else:
+            data = self._offset.read_data()
+            offset = int(data) if data is not None else 0
+
+        if (
+            self.partition_capacity_lines is not None
+            and offset >= self.partition_capacity_lines
+        ):
+            raise PartitionOverflowError(
+                partition=partition,
+                capacity=self.partition_capacity_lines,
+                tuples_seen=self.lines_out,
+            )
+
+        base = int(self._base.peek(partition))
+        self.output_fifo.push(AddressedLine(line=line, address=base + offset))
+        self.lines_out += 1
+        self._offset.write(partition, offset + 1)
+        return _OffsetResolved(partition=partition, offset=offset)
+
+    def is_drained(self) -> bool:
+        """No line in flight and all input FIFOs empty."""
+        pipeline_empty = all(slot is None for slot in self._wait_pipe)
+        inputs_empty = all(f.is_empty() for f in self.input_fifos)
+        return pipeline_empty and inputs_empty

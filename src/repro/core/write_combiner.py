@@ -1,0 +1,255 @@
+"""Cycle-level model of the write-combiner module (Section 4.2, Code 4).
+
+One write combiner per lane.  Its job: gather ``tuples_per_line``
+tuples of the same partition into a full 64 B cache line before it is
+written to memory, cutting the write traffic by up to 16x versus
+read-modify-writing one tuple at a time.
+
+The interesting part is how it does this *without ever stalling*:
+
+* The per-partition fill rate (which of the line's slots the next tuple
+  of that partition goes into) lives in a BRAM with a 2-cycle read
+  latency.  The BRAM is pipelined, so a read can be issued every cycle
+  — but the value that comes back is 2 cycles stale.
+* If the current tuple belongs to the same partition as one of the two
+  tuples immediately ahead of it in the pipeline, the stale read would
+  miss their fill-rate updates.  A pair of forwarding registers
+  (``hash_1d``/``which_1d`` and ``hash_2d``/``which_2d`` — the
+  resolution results of the previous one and two *cycles*) supply the
+  in-flight value instead (Code 4 lines 6-9).
+* When a partition's slot index wraps (slot ``capacity-1`` written),
+  the fill rate resets to 0 and all slots of that partition are read
+  out as one combined cache line one cycle later.
+
+``enable_forwarding=False`` exists purely so tests can demonstrate the
+hazard: without forwarding, back-to-back tuples of the same partition
+overwrite each other's slots and tuples are lost.
+
+At the end of a run :meth:`flush_cycle` drains the partially filled
+lines, padding empty slots with dummy keys (the "non-perfect gathering"
+overhead the paper discusses).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.bram import Bram
+from repro.core.fifo import Fifo
+from repro.core.hash_module import HashedTuple
+from repro.core.tuples import DUMMY_KEY, DUMMY_PAYLOAD, CacheLine
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass
+class _Resolved:
+    """Resolution-stage result, kept for 2 cycles of forwarding."""
+
+    partition: int
+    which_slot: int
+
+
+class WriteCombiner:
+    """Cycle-level write combiner for one lane.
+
+    Call :meth:`tick` once per clock cycle while streaming; then call
+    :meth:`flush_cycle` once per cycle until it returns False to drain
+    the remaining partial lines.
+    """
+
+    FILL_RATE_READ_LATENCY = 2  # "Reading the fill rate ... takes 2 clock cycles"
+
+    def __init__(
+        self,
+        num_partitions: int,
+        tuples_per_line: int,
+        input_fifo: Fifo,
+        output_fifo: Fifo,
+        enable_forwarding: bool = True,
+        name: str = "wc",
+    ):
+        if tuples_per_line < 1:
+            raise ConfigurationError(
+                f"tuples_per_line must be >= 1, got {tuples_per_line}"
+            )
+        self.num_partitions = num_partitions
+        self.tuples_per_line = tuples_per_line
+        self.input_fifo = input_fifo
+        self.output_fifo = output_fifo
+        self.enable_forwarding = enable_forwarding
+        self.name = name
+
+        self._fill_rate = Bram(
+            depth=num_partitions,
+            latency=self.FILL_RATE_READ_LATENCY,
+            fill=0,
+            name=f"{name}.fill_rate",
+        )
+        # Slot storage: tuples_per_line BRAMs, each num_partitions deep.
+        # Hazards on these are avoided by construction (write at
+        # resolution, combined read one cycle later, read-before-write),
+        # so plain arrays suffice; see module docstring.
+        self._slot_keys = np.full(
+            (tuples_per_line, num_partitions), DUMMY_KEY, dtype=np.uint32
+        )
+        self._slot_payloads = np.full(
+            (tuples_per_line, num_partitions), DUMMY_PAYLOAD, dtype=np.uint32
+        )
+
+        # In-flight tuples between fill-rate read issue and resolution.
+        self._wait_pipe: List[Optional[HashedTuple]] = [
+            None
+        ] * self.FILL_RATE_READ_LATENCY
+
+        # Forwarding registers: resolutions of the previous 1/2 cycles.
+        self._resolved_1d: Optional[_Resolved] = None
+        self._resolved_2d: Optional[_Resolved] = None
+
+        # Combined line scheduled for emission next cycle.
+        self._pending_line: Optional[CacheLine] = None
+
+        # Flush cursor.
+        self._flush_addr = 0
+
+        # Statistics.
+        self.tuples_in = 0
+        self.lines_out = 0
+        self.dummy_slots_out = 0
+        self.forwarding_hits_1d = 0
+        self.forwarding_hits_2d = 0
+        self.stall_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Streaming operation
+    # ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance one clock cycle of streaming operation.
+
+        If a combined line is ready but the output FIFO is full, the
+        whole module freezes for the cycle (clock-enable gating) — this
+        is downstream *flow control*, propagated upstream through the
+        input FIFO filling up, and is distinct from the internal
+        hazard stalls the design eliminates.  ``stall_cycles`` counts
+        these so tests can assert the circuit never flow-stalls when the
+        drain keeps up.
+        """
+        # Emit the line combined last cycle (BRAM read completes now).
+        if self._pending_line is not None:
+            if self.output_fifo.is_full():
+                self.stall_cycles += 1
+                return
+            self.output_fifo.push(self._pending_line)
+            self.lines_out += 1
+            self._pending_line = None
+
+        self._fill_rate.tick()
+
+        # Resolution stage: the tuple whose fill-rate read completes.
+        resolving = self._wait_pipe[-1]
+        self._wait_pipe = [None] + self._wait_pipe[:-1]
+        resolution: Optional[_Resolved] = None
+        if resolving is not None:
+            resolution = self._resolve(resolving)
+
+        # Shift forwarding registers (cycle-based, bubbles included).
+        self._resolved_2d = self._resolved_1d
+        self._resolved_1d = resolution
+
+        # Issue stage: pop the next tuple and issue its fill-rate read.
+        if not self.input_fifo.is_empty():
+            hashed: HashedTuple = self.input_fifo.pop()
+            self._fill_rate.issue_read(hashed.partition)
+            self._wait_pipe[0] = hashed
+            self.tuples_in += 1
+
+    def _resolve(self, hashed: HashedTuple) -> _Resolved:
+        """Code 4: pick the slot, write the tuple, maybe combine."""
+        partition = hashed.partition
+        if (
+            self.enable_forwarding
+            and self._resolved_1d is not None
+            and self._resolved_1d.partition == partition
+        ):
+            which = (self._resolved_1d.which_slot + 1) % self.tuples_per_line
+            self.forwarding_hits_1d += 1
+        elif (
+            self.enable_forwarding
+            and self._resolved_2d is not None
+            and self._resolved_2d.partition == partition
+        ):
+            which = (self._resolved_2d.which_slot + 1) % self.tuples_per_line
+            self.forwarding_hits_2d += 1
+        else:
+            data = self._fill_rate.read_data()
+            which = int(data) if data is not None else 0
+
+        self._slot_keys[which, partition] = hashed.key
+        self._slot_payloads[which, partition] = hashed.payload
+
+        if which == self.tuples_per_line - 1:
+            self._fill_rate.write(partition, 0)
+            # Request the combined read of all slots; the actual BRAM
+            # read happens next cycle (read-before-write protects it
+            # from the next tuple of this partition).
+            self._pending_line = CacheLine(
+                keys=self._slot_keys[:, partition].copy(),
+                payloads=self._slot_payloads[:, partition].copy(),
+                partition=partition,
+            )
+        else:
+            self._fill_rate.write(partition, which + 1)
+        return _Resolved(partition=partition, which_slot=which)
+
+    def is_drained(self) -> bool:
+        """No tuple in flight and no line awaiting emission."""
+        pipeline_empty = all(slot is None for slot in self._wait_pipe)
+        return (
+            pipeline_empty
+            and self._pending_line is None
+            and self.input_fifo.is_empty()
+        )
+
+    # ------------------------------------------------------------------
+    # End-of-run flush (Section 4.2, last paragraph)
+    # ------------------------------------------------------------------
+
+    def flush_cycle(self) -> bool:
+        """Drain one partition address per cycle; False when done.
+
+        Partially filled partitions are emitted as full cache lines with
+        dummy keys in the empty slots.  Respects output-FIFO space (the
+        flush, unlike streaming, can exceed the drain rate of the
+        write-back module, so it must honour back-pressure).
+        """
+        if self._flush_addr >= self.num_partitions:
+            return False
+        if self.output_fifo.is_full():
+            return True  # stall the flush, not the clock
+        partition = self._flush_addr
+        fill = int(self._fill_rate.peek(partition))
+        if fill > 0:
+            keys = self._slot_keys[:, partition].copy()
+            payloads = self._slot_payloads[:, partition].copy()
+            keys[fill:] = DUMMY_KEY
+            payloads[fill:] = DUMMY_PAYLOAD
+            self.output_fifo.push(
+                CacheLine(keys=keys, payloads=payloads, partition=partition)
+            )
+            self.lines_out += 1
+            self.dummy_slots_out += self.tuples_per_line - fill
+            self._fill_rate.poke(partition, 0)
+        self._flush_addr += 1
+        return self._flush_addr < self.num_partitions
+
+    @property
+    def flush_done(self) -> bool:
+        """True once every partition address has been drained."""
+        return self._flush_addr >= self.num_partitions
+
+    def reset_flush(self) -> None:
+        """Rewind the flush cursor (between HIST passes)."""
+        self._flush_addr = 0

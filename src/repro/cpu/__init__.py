@@ -1,0 +1,22 @@
+"""CPU-based partitioning — the software baseline (Section 3).
+
+The state of the art the paper compares against: single-pass radix/hash
+partitioning with software-managed write-combine buffers and
+non-temporal streaming stores (Balkesen et al. [3], confirmed best by
+Polychroniou et al. [27] and Schuhknecht et al. [32]).  Also included
+for ablation: the naive scatter (Code 1) and Manegold-style multi-pass
+radix partitioning.
+"""
+
+from repro.cpu.partitioner import CpuPartitioner
+from repro.cpu.swwc_buffers import swwc_partition, SwwcStats
+from repro.cpu.naive import naive_partition
+from repro.cpu.cost_model import CpuCostModel
+
+__all__ = [
+    "CpuPartitioner",
+    "swwc_partition",
+    "SwwcStats",
+    "naive_partition",
+    "CpuCostModel",
+]

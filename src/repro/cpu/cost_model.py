@@ -1,0 +1,164 @@
+"""CPU partitioning cost model (Figures 4, 9, 10-13).
+
+The model captures the two regimes the paper describes:
+
+* **compute-bound** at low thread counts — throughput scales linearly
+  with threads, and the per-tuple work matters: murmur hashing costs
+  real cycles (up to ~50% longer partitioning single-threaded,
+  Section 5.3), radix is nearly free but degrades slightly on skewed
+  distributions and at very large fan-outs (more L1-resident buffers);
+* **memory-bound** once enough threads saturate the socket —
+  throughput flattens at a ceiling set by the Figure 2 bandwidth
+  curves, identical for radix and hash ("there are free clock cycles
+  available as the CPU waits on memory", Section 3.2).
+
+The memory ceiling is computed phase-wise: the histogram pass streams
+the relation at the pure-sequential-read bandwidth; the scatter pass
+moves two bytes (one read, one non-temporal write) per tuple byte at
+the 0.5 read-fraction bandwidth.
+
+Calibration anchors (see ``repro.constants``): the 10-thread ceiling
+lands at ~506 Mtuples/s for 8 B tuples (Figure 9) and the single-thread
+rates at 130/87 Mtuples/s for radix/murmur, which reproduces the
+Figure 4 crossover where the hash penalty disappears by ~8 threads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.constants import (
+    CPU_HASH_TUPLES_PER_SEC_PER_THREAD,
+    CPU_PARTITION_COUNT_REFERENCE,
+    CPU_PARTITION_COUNT_SLOWDOWN_PER_DOUBLING,
+    CPU_RADIX_DISTRIBUTION_FACTOR,
+    CPU_RADIX_TUPLES_PER_SEC_PER_THREAD,
+)
+from repro.core.modes import HashKind
+from repro.errors import ConfigurationError
+from repro.platform.bandwidth import Agent, BandwidthModel
+from repro.workloads.distributions import KeyDistribution
+
+import math
+
+
+@dataclasses.dataclass(frozen=True)
+class CpuPartitionEstimate:
+    """Throughput estimate with its limiting regimes exposed."""
+
+    tuples_per_second: float
+    compute_bound_rate: float
+    memory_bound_rate: float
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.memory_bound_rate <= self.compute_bound_rate
+
+    def seconds_for(self, num_tuples: int) -> float:
+        """Wall time this estimate implies for ``num_tuples``."""
+        return num_tuples / self.tuples_per_second
+
+
+class CpuCostModel:
+    """Throughput model for SWWC single-pass CPU partitioning."""
+
+    def __init__(
+        self,
+        bandwidth: BandwidthModel | None = None,
+        radix_rate_per_thread: float = CPU_RADIX_TUPLES_PER_SEC_PER_THREAD,
+        hash_rate_per_thread: float = CPU_HASH_TUPLES_PER_SEC_PER_THREAD,
+    ):
+        self.bandwidth = bandwidth or BandwidthModel()
+        self.radix_rate_per_thread = radix_rate_per_thread
+        self.hash_rate_per_thread = hash_rate_per_thread
+
+    # ------------------------------------------------------------------
+
+    def memory_bound_rate(
+        self, tuple_bytes: int, interfered: bool = False
+    ) -> float:
+        """Socket-saturated partitioning rate, tuples/s.
+
+        Histogram pass: ``tuple_bytes`` sequentially read per tuple at
+        ``B(read_frac=1)``.  Scatter pass: ``tuple_bytes`` read plus
+        ``tuple_bytes`` written (non-temporal) at ``B(read_frac=0.5)``.
+        """
+        b_seq = self.bandwidth.bytes_per_second(Agent.CPU, 1.0, interfered)
+        b_mix = self.bandwidth.bytes_per_second(Agent.CPU, 0.5, interfered)
+        seconds_per_tuple = tuple_bytes / b_seq + 2 * tuple_bytes / b_mix
+        return 1.0 / seconds_per_tuple
+
+    def compute_bound_rate(
+        self,
+        threads: int,
+        hash_kind: HashKind | str,
+        distribution: KeyDistribution | str = KeyDistribution.RANDOM,
+        num_partitions: int = CPU_PARTITION_COUNT_REFERENCE,
+        tuple_bytes: int = 8,
+    ) -> float:
+        """Thread-scaled compute rate before the memory ceiling."""
+        if threads < 1:
+            raise ConfigurationError(f"threads must be >= 1, got {threads}")
+        hash_kind = HashKind(hash_kind)
+        distribution = KeyDistribution(distribution)
+        if hash_kind is HashKind.MURMUR:
+            base = self.hash_rate_per_thread
+            # Robust hashing makes partition sizes distribution-blind.
+            factor = 1.0
+        else:
+            base = self.radix_rate_per_thread
+            factor = CPU_RADIX_DISTRIBUTION_FACTOR.get(distribution.value, 1.0)
+        # Larger fan-out -> more L1-resident buffers -> slower inner
+        # loop; smaller fan-out symmetrically speeds it up (Figure 10a:
+        # "a single threaded CPU join spends more time on partitioning"
+        # as partitions increase).
+        doublings = math.log2(num_partitions / CPU_PARTITION_COUNT_REFERENCE)
+        fanout_factor = (
+            1.0 - CPU_PARTITION_COUNT_SLOWDOWN_PER_DOUBLING
+        ) ** doublings
+        fanout_factor = min(2.0, max(0.5, fanout_factor))
+        # Wider tuples copy more bytes per tuple; the scatter inner loop
+        # scales roughly with tuple size once past 8 B.
+        width_factor = 8.0 / tuple_bytes if tuple_bytes > 8 else 1.0
+        return threads * base * factor * width_factor * fanout_factor
+
+    def estimate(
+        self,
+        threads: int,
+        hash_kind: HashKind | str = HashKind.RADIX,
+        distribution: KeyDistribution | str = KeyDistribution.RANDOM,
+        num_partitions: int = CPU_PARTITION_COUNT_REFERENCE,
+        tuple_bytes: int = 8,
+        interfered: bool = False,
+    ) -> CpuPartitionEstimate:
+        """Combined estimate: min(compute-bound, memory-bound)."""
+        compute = self.compute_bound_rate(
+            threads, hash_kind, distribution, num_partitions, tuple_bytes
+        )
+        memory = self.memory_bound_rate(tuple_bytes, interfered)
+        return CpuPartitionEstimate(
+            tuples_per_second=min(compute, memory),
+            compute_bound_rate=compute,
+            memory_bound_rate=memory,
+        )
+
+    def throughput_mtuples(self, *args, **kwargs) -> float:
+        """Convenience: estimate().tuples_per_second in Mtuples/s."""
+        return self.estimate(*args, **kwargs).tuples_per_second / 1e6
+
+    def partitioning_seconds(
+        self,
+        num_tuples: int,
+        threads: int,
+        hash_kind: HashKind | str = HashKind.RADIX,
+        distribution: KeyDistribution | str = KeyDistribution.RANDOM,
+        num_partitions: int = CPU_PARTITION_COUNT_REFERENCE,
+        tuple_bytes: int = 8,
+        interfered: bool = False,
+    ) -> float:
+        """Wall time to partition ``num_tuples`` at this configuration."""
+        est = self.estimate(
+            threads, hash_kind, distribution, num_partitions, tuple_bytes,
+            interfered,
+        )
+        return est.seconds_for(num_tuples)

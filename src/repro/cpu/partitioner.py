@@ -1,0 +1,257 @@
+"""CPU partitioner public API.
+
+Wraps the functional SWWC implementation and the cost model into the
+same :class:`~repro.core.partitioner.PartitionedOutput` interface the
+FPGA partitioner produces, so joins and benchmarks can swap them
+freely.  Also offers Manegold-style multi-pass radix partitioning
+([21], Section 3.1) as an ablation option.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import CACHE_LINE_BYTES
+from repro.core.hashing import fanout_bits, radix_bits
+from repro.core.modes import HashKind, PartitionerConfig
+from repro.core.partitioner import PartitionedOutput
+from repro.cpu.cost_model import CpuCostModel
+from repro.cpu.swwc_buffers import swwc_partition
+from repro.errors import ConfigurationError
+from repro.platform.coherence import Socket
+from repro.platform.machine import XeonFpgaPlatform
+from repro.workloads.distributions import KeyDistribution
+from repro.workloads.relations import Relation
+
+
+class CpuPartitioner:
+    """Software-managed-buffer partitioning (the paper's baseline).
+
+    Args:
+        num_partitions: power-of-two fan-out.
+        hash_kind: murmur hash or radix bits.
+        threads: software threads; affects the cost-model timing only
+            (the functional result is thread-count invariant up to
+            within-partition ordering, which this implementation keeps
+            deterministic).
+        tuple_bytes: logical tuple width for traffic accounting.
+        platform: optional platform for traffic/coherence accounting.
+    """
+
+    def __init__(
+        self,
+        num_partitions: int = 8192,
+        hash_kind: HashKind | str = HashKind.RADIX,
+        threads: int = 1,
+        tuple_bytes: int = 8,
+        platform: Optional[XeonFpgaPlatform] = None,
+        cost_model: Optional[CpuCostModel] = None,
+    ):
+        fanout_bits(num_partitions)
+        if threads < 1:
+            raise ConfigurationError(f"threads must be >= 1, got {threads}")
+        self.num_partitions = num_partitions
+        self.hash_kind = HashKind(hash_kind)
+        self.threads = threads
+        self.tuple_bytes = tuple_bytes
+        self.platform = platform
+        self.cost_model = cost_model or CpuCostModel(
+            bandwidth=platform.bandwidth if platform else None
+        )
+
+    @classmethod
+    def matching(cls, config: PartitionerConfig, threads: int = 10) -> "CpuPartitioner":
+        """A CPU partitioner equivalent to an FPGA configuration.
+
+        Used for the PAD-overflow fallback path and for apples-to-apples
+        comparisons (same fan-out, same partition-index function).
+        """
+        return cls(
+            num_partitions=config.num_partitions,
+            hash_kind=config.hash_kind,
+            threads=threads,
+            tuple_bytes=config.tuple_bytes,
+        )
+
+    # ------------------------------------------------------------------
+
+    def partition(
+        self,
+        relation: Relation | np.ndarray,
+        payloads: Optional[np.ndarray] = None,
+        region_name: Optional[str] = None,
+    ) -> PartitionedOutput:
+        """Partition a relation; see the FPGA partitioner for the
+        result contract.  The CPU writes densely (no dummy padding) and
+        always builds the histogram first (needed to let threads write
+        without synchronisation, Section 4.7)."""
+        keys, payloads = self._extract(relation, payloads)
+        part_keys, part_payloads, counts, _stats = swwc_partition(
+            keys,
+            payloads,
+            self.num_partitions,
+            use_hash=self.hash_kind is HashKind.MURMUR,
+            threads=self.threads,
+            tuple_bytes=self.tuple_bytes,
+        )
+        per_line = max(1, CACHE_LINE_BYTES // self.tuple_bytes)
+        lines = -(-counts // per_line)
+        base_lines = np.zeros(self.num_partitions, dtype=np.int64)
+        np.cumsum(lines[:-1], out=base_lines[1:])
+        n = int(keys.shape[0])
+        output = PartitionedOutput(
+            config=PartitionerConfig(
+                num_partitions=self.num_partitions,
+                tuple_bytes=self.tuple_bytes,
+                hash_kind=self.hash_kind,
+            ),
+            partition_keys=part_keys,
+            partition_payloads=part_payloads,
+            counts=counts,
+            lines_per_partition=lines,
+            base_lines=base_lines,
+            bytes_read=2 * n * self.tuple_bytes,  # histogram + scatter scans
+            bytes_written=n * self.tuple_bytes,   # non-temporal, no RFO
+            dummy_slots=0,
+            produced_by="cpu",
+        )
+        if self.platform is not None:
+            name = region_name or f"cpu-partitions-{id(output):x}"
+            self.platform.coherence.record_region_write(name, Socket.CPU)
+        return output
+
+    def multipass_radix(
+        self,
+        relation: Relation | np.ndarray,
+        payloads: Optional[np.ndarray] = None,
+        passes: int = 2,
+    ) -> Tuple[List[np.ndarray], List[np.ndarray], np.ndarray, int]:
+        """Manegold-style multi-pass radix partitioning ([21]).
+
+        Splits the partition bits across ``passes`` rounds to bound the
+        per-round fan-out (the pre-SWWC way to avoid TLB thrash).
+        Returns (partition_keys, partition_payloads, counts,
+        bytes_moved); the final partitions equal the single-pass radix
+        result — verified by tests — while the data is scanned and
+        rewritten once per pass.
+        """
+        if self.hash_kind is not HashKind.RADIX:
+            raise ConfigurationError(
+                "multi-pass partitioning is defined for radix bits"
+            )
+        if passes < 1:
+            raise ConfigurationError(f"passes must be >= 1, got {passes}")
+        total_bits = fanout_bits(self.num_partitions)
+        if passes > total_bits:
+            raise ConfigurationError(
+                f"{passes} passes need at least {passes} partition bits, "
+                f"have {total_bits}"
+            )
+        keys, payloads = self._extract(relation, payloads)
+        bits_per_pass = self._split_bits(total_bits, passes)
+
+        # Each pass refines the previous pass's runs, consuming bits
+        # from least significant upward.
+        runs: List[Tuple[np.ndarray, np.ndarray]] = [(keys, payloads)]
+        consumed = 0
+        bytes_moved = 0
+        for round_bits in bits_per_pass:
+            next_runs: List[Tuple[np.ndarray, np.ndarray]] = []
+            for run_keys, run_payloads in runs:
+                bytes_moved += 2 * run_keys.shape[0] * self.tuple_bytes
+                sub = (
+                    radix_bits(run_keys, consumed + round_bits).astype(np.int64)
+                    >> consumed
+                )
+                order = np.argsort(sub, kind="stable")
+                sub_counts = np.bincount(sub, minlength=1 << round_bits)
+                bounds = np.zeros((1 << round_bits) + 1, dtype=np.int64)
+                np.cumsum(sub_counts, out=bounds[1:])
+                s_keys = run_keys[order]
+                s_payloads = run_payloads[order]
+                for j in range(1 << round_bits):
+                    next_runs.append(
+                        (
+                            s_keys[bounds[j] : bounds[j + 1]],
+                            s_payloads[bounds[j] : bounds[j + 1]],
+                        )
+                    )
+            runs = next_runs
+            consumed += round_bits
+
+        # runs are ordered with the earliest-consumed (least
+        # significant) bits varying slowest; reorder to plain partition
+        # index order, where partition = the low `total_bits` of key.
+        part_keys: List[np.ndarray] = [None] * self.num_partitions  # type: ignore
+        part_payloads: List[np.ndarray] = [None] * self.num_partitions  # type: ignore
+        for run_index, (rk, rp) in enumerate(runs):
+            partition = self._run_index_to_partition(
+                run_index, bits_per_pass
+            )
+            part_keys[partition] = rk
+            part_payloads[partition] = rp
+        counts = np.array([k.shape[0] for k in part_keys], dtype=np.int64)
+        return part_keys, part_payloads, counts, bytes_moved
+
+    # ------------------------------------------------------------------
+
+    def estimate_seconds(
+        self,
+        num_tuples: int,
+        distribution: KeyDistribution | str = KeyDistribution.RANDOM,
+        interfered: bool = False,
+    ) -> float:
+        """Cost-model partitioning time for this configuration."""
+        return self.cost_model.partitioning_seconds(
+            num_tuples,
+            self.threads,
+            hash_kind=self.hash_kind,
+            distribution=distribution,
+            num_partitions=self.num_partitions,
+            tuple_bytes=self.tuple_bytes,
+            interfered=interfered,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _extract(
+        self,
+        relation: Relation | np.ndarray,
+        payloads: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if isinstance(relation, Relation):
+            return relation.keys, relation.payloads
+        keys = np.ascontiguousarray(relation, dtype=np.uint32)
+        if payloads is None:
+            payloads = np.arange(keys.shape[0], dtype=np.uint32)
+        return keys, np.ascontiguousarray(payloads, dtype=np.uint32)
+
+    @staticmethod
+    def _split_bits(total_bits: int, passes: int) -> List[int]:
+        base = total_bits // passes
+        extra = total_bits % passes
+        return [base + (1 if i < extra else 0) for i in range(passes)]
+
+    @staticmethod
+    def _run_index_to_partition(run_index: int, bits_per_pass: List[int]) -> int:
+        """Map the refinement tree's leaf order to partition numbers.
+
+        After pass 1 the runs are ordered by the lowest ``b1`` bits;
+        pass 2 orders within each run by the next ``b2`` bits, i.e. the
+        *higher* bits vary fastest in leaf order.  Partition number
+        re-concatenates the digit groups with pass-1 bits lowest.
+        """
+        digits = []
+        remaining = run_index
+        for bits in reversed(bits_per_pass):
+            digits.append(remaining % (1 << bits))
+            remaining //= 1 << bits
+        # digits[0] is the last pass's digit (highest bits) ... reverse
+        partition = 0
+        shift = 0
+        for bits, digit in zip(bits_per_pass, reversed(digits)):
+            partition |= digit << shift
+            shift += bits
+        return partition

@@ -1,0 +1,188 @@
+"""TLB model and the partitioning strategies' TLB behaviour.
+
+Section 3.1: the scatter phase of partitioning "is very heavy on
+random-access, the performance is limited by TLB misses".  That single
+sentence is the reason two generations of partitioning algorithms
+exist:
+
+* Manegold et al. [21] split the partitioning into **multiple passes**
+  so each pass's fan-out stays below the TLB reach — "surprisingly,
+  the multiple passes over the data ... pay off";
+* Balkesen et al. [3] instead keep the full fan-out but scatter through
+  **software-managed buffers**: the working set of a tuple-at-a-time
+  loop shrinks from ``fanout`` output pages to ``fanout`` cache-line
+  buffers (TLB-resident), and a buffer flush touches its output page
+  once per ``buffer_tuples`` tuples instead of once per tuple.
+
+:class:`Tlb` is a fully associative LRU TLB; the ``*_tlb_misses``
+functions replay each strategy's memory-touch sequence against it, so
+the claims above become measurable (and are pinned by tests and the
+TLB ablation benchmark).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.hashing import partition_of
+from repro.errors import ConfigurationError
+
+DATA_TLB_ENTRIES = 64
+"""Typical L1 dTLB capacity for 4 KB pages (Ivy Bridge era)."""
+
+PAGE_4K = 4096
+
+
+class Tlb:
+    """Fully associative LRU translation look-aside buffer."""
+
+    def __init__(self, entries: int = DATA_TLB_ENTRIES, page_bytes: int = PAGE_4K):
+        if entries < 1 or page_bytes < 1:
+            raise ConfigurationError("TLB geometry must be positive")
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self._slots: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Touch an address; True on TLB hit."""
+        page = address // self.page_bytes
+        if page in self._slots:
+            self._slots.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._slots) >= self.entries:
+            self._slots.popitem(last=False)
+        self._slots[page] = True
+        return False
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    def flush(self) -> None:
+        """Drop every cached translation."""
+        self._slots.clear()
+
+
+@dataclasses.dataclass(frozen=True)
+class TlbReport:
+    """Misses of one partitioning strategy's scatter phase."""
+
+    strategy: str
+    tuples: int
+    misses: int
+
+    @property
+    def misses_per_tuple(self) -> float:
+        return self.misses / self.tuples if self.tuples else 0.0
+
+
+def _partition_sequence(
+    keys: np.ndarray, num_partitions: int, use_hash: bool
+) -> np.ndarray:
+    return np.asarray(
+        partition_of(
+            np.ascontiguousarray(keys, dtype=np.uint32),
+            num_partitions,
+            use_hash,
+        )
+    ).astype(np.int64)
+
+
+def naive_scatter_tlb_misses(
+    keys: np.ndarray,
+    num_partitions: int,
+    use_hash: bool = True,
+    tuple_bytes: int = 8,
+    tlb: Tlb | None = None,
+) -> TlbReport:
+    """Code 1's scatter: every tuple touches its partition's write page.
+
+    With ``fanout`` output cursors spread over distinct pages, any
+    fan-out beyond the TLB reach makes nearly every write a miss.
+    """
+    tlb = tlb or Tlb()
+    parts = _partition_sequence(keys, num_partitions, use_hash)
+    cursors = np.zeros(num_partitions, dtype=np.int64)
+    # partitions live in disjoint regions, one page apart at least
+    region = max(tlb.page_bytes * 4, keys.shape[0] * tuple_bytes)
+    for p in parts:
+        address = int(p) * region + int(cursors[p]) * tuple_bytes
+        tlb.access(address)
+        cursors[p] += 1
+    return TlbReport("naive", int(keys.shape[0]), tlb.misses)
+
+
+def swwc_scatter_tlb_misses(
+    keys: np.ndarray,
+    num_partitions: int,
+    use_hash: bool = True,
+    tuple_bytes: int = 8,
+    buffer_tuples: int = 8,
+    tlb: Tlb | None = None,
+) -> TlbReport:
+    """Code 2's scatter: tuples land in cache-resident buffers; only a
+    full buffer's non-temporal flush touches the output page.
+
+    The buffers themselves occupy ``fanout x 64 B``, i.e. a handful of
+    pages that stay TLB-resident.
+    """
+    tlb = tlb or Tlb()
+    parts = _partition_sequence(keys, num_partitions, use_hash)
+    counts = np.zeros(num_partitions, dtype=np.int64)
+    region = max(tlb.page_bytes * 4, keys.shape[0] * tuple_bytes)
+    buffer_base = num_partitions * region + tlb.page_bytes  # after outputs
+    for p in parts:
+        # write into the buffer (compact: 64 B per partition)
+        tlb.access(buffer_base + int(p) * 64)
+        counts[p] += 1
+        if counts[p] % buffer_tuples == 0:
+            # flush: one page touch per buffer_tuples tuples
+            address = int(p) * region + int(counts[p]) * tuple_bytes
+            tlb.access(address)
+    return TlbReport("swwc", int(keys.shape[0]), tlb.misses)
+
+
+def multipass_scatter_tlb_misses(
+    keys: np.ndarray,
+    num_partitions: int,
+    passes: int = 2,
+    tuple_bytes: int = 8,
+    tlb_entries: int = DATA_TLB_ENTRIES,
+) -> TlbReport:
+    """Manegold-style: bound each pass's fan-out below the TLB reach.
+
+    Each pass re-scatters every tuple at ``fanout ** (1/passes)`` ways;
+    misses accumulate across passes but each pass's cursor set fits the
+    TLB.
+    """
+    if passes < 1:
+        raise ConfigurationError(f"passes must be >= 1, got {passes}")
+    total_bits = int(num_partitions).bit_length() - 1
+    bits = [total_bits // passes + (1 if i < total_bits % passes else 0)
+            for i in range(passes)]
+    keys = np.ascontiguousarray(keys, dtype=np.uint32)
+    total_misses = 0
+    consumed = 0
+    for round_bits in bits:
+        fanout = 1 << round_bits
+        tlb = Tlb(entries=tlb_entries)
+        parts = ((keys.astype(np.int64) >> consumed) % fanout)
+        cursors = np.zeros(fanout, dtype=np.int64)
+        region = max(tlb.page_bytes * 4, keys.shape[0] * tuple_bytes)
+        for p in parts:
+            address = int(p) * region + int(cursors[p]) * tuple_bytes
+            tlb.access(address)
+            cursors[p] += 1
+        total_misses += tlb.misses
+        consumed += round_bits
+    return TlbReport(
+        f"multipass({passes})", int(keys.shape[0]), total_misses
+    )

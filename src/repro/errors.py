@@ -1,0 +1,61 @@
+"""Exception hierarchy for the reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError` so
+callers can catch library failures with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied by the caller."""
+
+
+class PartitionOverflowError(ReproError):
+    """A PAD-mode partition exceeded its preassigned fixed size.
+
+    Mirrors the abort-and-fall-back behaviour described in Section 4.5
+    of the paper: in PAD mode each partition gets ``n / fanout +
+    padding`` slots; if a partition fills up, the hardware run aborts
+    and the caller is expected to fall back to a CPU partitioner (or to
+    HIST mode).
+    """
+
+    def __init__(self, partition: int, capacity: int, tuples_seen: int):
+        self.partition = partition
+        self.capacity = capacity
+        self.tuples_seen = tuples_seen
+        super().__init__(
+            f"partition {partition} overflowed its PAD-mode capacity of "
+            f"{capacity} tuples after {tuples_seen} input tuples"
+        )
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulation reached an inconsistent state."""
+
+
+class FifoOverflowError(SimulationError):
+    """A hardware FIFO was pushed while full.
+
+    The paper's circuit guarantees this never happens because
+    back-pressure is propagated to the read-request issue logic
+    (Section 4.3).  The simulator raises instead of silently dropping
+    data so that any back-pressure bug is loud.
+    """
+
+
+class FifoUnderflowError(SimulationError):
+    """A hardware FIFO was popped while empty."""
+
+
+class MemoryError_(ReproError):
+    """Shared-memory pool errors (allocation, addressing)."""
+
+
+class AddressTranslationError(MemoryError_):
+    """A virtual address had no valid page-table entry."""

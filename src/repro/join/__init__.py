@@ -1,0 +1,27 @@
+"""Radix hash joins (Sections 3.3 and 5).
+
+The partitioned (radix) hash join: partition both relations into
+cache-sized blocks, then build + probe a cache-resident bucket-chaining
+hash table per partition pair.  Two drivers:
+
+* :func:`cpu_radix_join` — partitioning and build+probe on the CPU;
+* :func:`hybrid_join` — partitioning offloaded to the FPGA, build+probe
+  on the CPU (and paying the Section 2.2 coherence penalty for reading
+  FPGA-written partitions).
+"""
+
+from repro.join.hash_table import BucketChainingHashTable
+from repro.join.build_probe import build_probe_partition, BuildProbeCostModel
+from repro.join.radix_join import cpu_radix_join
+from repro.join.hybrid_join import hybrid_join
+from repro.join.timing import JoinTiming, JoinResult
+
+__all__ = [
+    "BucketChainingHashTable",
+    "build_probe_partition",
+    "BuildProbeCostModel",
+    "cpu_radix_join",
+    "hybrid_join",
+    "JoinTiming",
+    "JoinResult",
+]

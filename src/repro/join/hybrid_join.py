@@ -1,0 +1,160 @@
+"""The hybrid join: FPGA partitioning + CPU build+probe (Section 5).
+
+The headline experiment of the paper.  The FPGA partitions both
+relations (any of its four modes); the CPU then builds and probes the
+cache-resident hash tables — paying the coherence penalty for touching
+FPGA-written memory (Section 2.2).  When a PAD-mode run overflows on a
+skewed relation, the join transparently retries in HIST mode or falls
+back to the CPU partitioner, per the chosen policy (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.model import FpgaCostModel
+from repro.core.modes import LayoutMode, OutputMode, PartitionerConfig
+from repro.core.partitioner import FpgaPartitioner, OverflowPolicy
+from repro.errors import ConfigurationError
+from repro.join.build_probe import BuildProbeCostModel, shares_if_dense
+from repro.join.radix_join import _join_partitions
+from repro.join.timing import JoinResult, JoinTiming
+from repro.platform.machine import XeonFpgaPlatform
+from repro.workloads.relations import Workload
+
+
+def hybrid_join(
+    workload: Workload,
+    config: Optional[PartitionerConfig] = None,
+    threads: int = 1,
+    collect_payloads: bool = False,
+    on_overflow: OverflowPolicy = "hist",
+    platform: Optional[XeonFpgaPlatform] = None,
+    fpga_cost_model: Optional[FpgaCostModel] = None,
+    bp_cost_model: Optional[BuildProbeCostModel] = None,
+    calibrated: bool = True,
+    timing_r_tuples: Optional[int] = None,
+    timing_s_tuples: Optional[int] = None,
+) -> JoinResult:
+    """Execute and time a hybrid FPGA/CPU radix hash join.
+
+    Args:
+        workload: the R/S pair.
+        config: FPGA partitioner configuration (defaults to the paper's
+            comparison mode PAD/RID with murmur hashing at 8192-way).
+        threads: CPU threads for build+probe (the FPGA partitioning is
+            thread-free; Section 5.1's "10-threaded hybrid join" means
+            exactly this).
+        collect_payloads: materialise matching payload pairs.
+        on_overflow: PAD skew policy — "hist" (default; robust two-pass
+            retry), "cpu" (software fallback) or "raise".
+        platform: platform for traffic/coherence accounting.
+        calibrated: apply the prototype calibration to the FPGA
+            partitioning rate (Figure 9 end-to-end numbers) instead of
+            the pure Section 4.8 model.
+        timing_r_tuples / timing_s_tuples: evaluate the timing models
+            at these relation sizes instead of the actual (possibly
+            scaled-down) data sizes; the functional join still runs on
+            the real data.
+
+    Returns:
+        A :class:`JoinResult`; ``timing.partitioner`` records the FPGA
+        mode actually used (after any fallback).
+    """
+    if config is None:
+        config = PartitionerConfig(
+            output_mode=OutputMode.PAD, layout_mode=LayoutMode.RID
+        )
+    r, s = workload.r, workload.s
+    if r.tuple_bytes != config.tuple_bytes:
+        raise ConfigurationError(
+            f"workload tuples are {r.tuple_bytes} B but the partitioner "
+            f"is configured for {config.tuple_bytes} B"
+        )
+
+    partitioner = FpgaPartitioner(config, platform=platform)
+    r_out = partitioner.partition(r, on_overflow=on_overflow)
+    s_out = partitioner.partition(s, on_overflow=on_overflow)
+
+    matches, r_pay, s_pay = _join_partitions(r_out, s_out, collect_payloads)
+
+    fell_back = r_out.fell_back_to_cpu or s_out.fell_back_to_cpu
+
+    fpga_cost_model = fpga_cost_model or FpgaCostModel(
+        bandwidth=platform.bandwidth if platform else None
+    )
+    bp_cost_model = bp_cost_model or BuildProbeCostModel()
+
+    # Each relation is timed by the mode that actually ran for it —
+    # overflow may have forced one (usually the skewed S) into HIST or
+    # onto the CPU, with the aborted PAD pass still charged (worst
+    # case of Section 5.4: detection at the very end of the run).
+    n_r = timing_r_tuples if timing_r_tuples is not None else len(r)
+    n_s = timing_s_tuples if timing_s_tuples is not None else len(s)
+    partition_seconds = 0.0
+    effective_labels = []
+    for relation, output, n_timing in ((r, r_out, n_r), (s, s_out, n_s)):
+        if output.fell_back_to_cpu:
+            from repro.cpu.cost_model import CpuCostModel
+
+            cpu_seconds = CpuCostModel().partitioning_seconds(
+                n_timing,
+                threads,
+                hash_kind=config.hash_kind,
+                num_partitions=config.num_partitions,
+                tuple_bytes=relation.tuple_bytes,
+            )
+            aborted = fpga_cost_model.partitioning_seconds(
+                n_timing, config, calibrated=calibrated
+            )
+            partition_seconds += cpu_seconds + aborted
+            effective_labels.append("cpu-fallback")
+            continue
+        partition_seconds += fpga_cost_model.partitioning_seconds(
+            n_timing, output.config, calibrated=calibrated
+        )
+        if (
+            config.output_mode is OutputMode.PAD
+            and output.config.output_mode is OutputMode.HIST
+        ):
+            partition_seconds += fpga_cost_model.partitioning_seconds(
+                n_timing, config, calibrated=calibrated
+            )
+            effective_labels.append(output.config.mode_label + "(retry)")
+        else:
+            effective_labels.append(output.config.mode_label)
+
+    max_share = max(
+        r_out.max_partition_tuples() / max(1, len(r)),
+        s_out.max_partition_tuples() / max(1, len(s)),
+    )
+    bp = bp_cost_model.estimate(
+        r_tuples=n_r,
+        s_tuples=n_s,
+        num_partitions=config.num_partitions,
+        threads=threads,
+        tuple_bytes=r.tuple_bytes,
+        fpga_partitioned=not fell_back,
+        max_partition_share=max_share,
+        r_shares=shares_if_dense(r_out.counts, len(r)),
+        s_shares=shares_if_dense(s_out.counts, len(s)),
+    )
+    label = (
+        "cpu-fallback" if fell_back else f"fpga {'+'.join(effective_labels)}"
+    )
+    timing = JoinTiming(
+        partition_seconds=partition_seconds,
+        build_probe_seconds=bp.total_seconds,
+        r_tuples=n_r,
+        s_tuples=n_s,
+        threads=threads,
+        partitioner=label,
+        num_partitions=config.num_partitions,
+    )
+    return JoinResult(
+        matches=matches,
+        r_payloads=r_pay,
+        s_payloads=s_pay,
+        timing=timing,
+        fell_back_to_cpu=fell_back,
+    )

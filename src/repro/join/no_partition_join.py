@@ -1,0 +1,138 @@
+"""Non-partitioned (NPO) hash join — the hardware-oblivious baseline.
+
+The paper's whole premise rests on Schuh et al. [31]'s finding that
+"partitioned, hardware-conscious, radix hash-joins have a clear
+performance advantage over non-partitioned ... joins on modern
+multi-core architectures for large and non-skewed relations".  To make
+that comparison runnable, this module implements the baseline the
+radix join beats: build ONE global bucket-chaining hash table over all
+of R, probe it with all of S — no partitioning pass at all.
+
+Cost model: when the global table fits in the L3 cache the join runs
+at the in-cache build/probe rates; once it spills, every build insert
+and probe walk is a dependent random DRAM access, charged at the
+single-thread random-read rate the paper measured in Table 1
+(512 MB / 64 B lines in 1.1537 s ≈ 7.3 M lines/s/thread), scaled by
+the thread count.  That grounds the NPO penalty in the paper's own
+micro-benchmark rather than a fitted constant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.constants import (
+    BUILD_CYCLES_PER_TUPLE,
+    CACHE_LINE_BYTES,
+    CPU_CLOCK_HZ,
+    CPU_L3_BYTES,
+    PROBE_CYCLES_PER_TUPLE,
+    TABLE1_SECONDS,
+)
+from repro.errors import ConfigurationError
+from repro.join.build_probe import build_probe_partition
+from repro.join.timing import JoinResult, JoinTiming
+from repro.workloads.relations import Workload
+
+_TABLE1_REGION_BYTES = 512 * 1024 * 1024
+
+RANDOM_LINES_PER_SECOND_PER_THREAD = (
+    _TABLE1_REGION_BYTES / CACHE_LINE_BYTES
+) / TABLE1_SECONDS[("cpu", "random")]
+"""~7.3e6 — single-thread random cache-line reads (Table 1, CPU row)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class NoPartitionEstimate:
+    build_seconds: float
+    probe_seconds: float
+    table_bytes: int
+    in_cache: bool
+
+    @property
+    def total_seconds(self) -> float:
+        return self.build_seconds + self.probe_seconds
+
+
+class NoPartitionCostModel:
+    """Timing for the global-table hash join."""
+
+    def __init__(
+        self,
+        l3_bytes: int = CPU_L3_BYTES,
+        clock_hz: float = CPU_CLOCK_HZ,
+        random_rate_per_thread: float = RANDOM_LINES_PER_SECOND_PER_THREAD,
+    ):
+        self.l3_bytes = l3_bytes
+        self.clock_hz = clock_hz
+        self.random_rate_per_thread = random_rate_per_thread
+
+    def table_bytes(self, r_tuples: int, tuple_bytes: int = 8) -> int:
+        """Footprint of the global hash table over R."""
+        # tuples + bucket heads + next chain (~2x the data, as in [3])
+        return 2 * r_tuples * tuple_bytes
+
+    def estimate(
+        self,
+        r_tuples: int,
+        s_tuples: int,
+        threads: int = 1,
+        tuple_bytes: int = 8,
+    ) -> NoPartitionEstimate:
+        """Build+probe time for the global-table join."""
+        if threads < 1:
+            raise ConfigurationError(f"threads must be >= 1, got {threads}")
+        table = self.table_bytes(r_tuples, tuple_bytes)
+        in_cache = table <= self.l3_bytes
+        if in_cache:
+            build = r_tuples * BUILD_CYCLES_PER_TUPLE / self.clock_hz
+            probe = s_tuples * PROBE_CYCLES_PER_TUPLE / self.clock_hz
+        else:
+            # each insert/probe is a dependent random line access
+            rate = self.random_rate_per_thread
+            build = r_tuples / rate
+            probe = s_tuples / rate
+        return NoPartitionEstimate(
+            build_seconds=build / threads,
+            probe_seconds=probe / threads,
+            table_bytes=table,
+            in_cache=in_cache,
+        )
+
+
+def no_partition_join(
+    workload: Workload,
+    threads: int = 1,
+    collect_payloads: bool = False,
+    cost_model: Optional[NoPartitionCostModel] = None,
+    timing_r_tuples: Optional[int] = None,
+    timing_s_tuples: Optional[int] = None,
+) -> JoinResult:
+    """Execute and time the non-partitioned hash join.
+
+    Functionally identical output to the radix join (same matches);
+    the timing shows why the paper partitions first for large R.
+    """
+    r, s = workload.r, workload.s
+    matches, r_pay, s_pay, _hops = build_probe_partition(
+        r.keys, r.payloads, s.keys, s.payloads, collect_payloads
+    )
+    cost_model = cost_model or NoPartitionCostModel()
+    n_r = timing_r_tuples if timing_r_tuples is not None else len(r)
+    n_s = timing_s_tuples if timing_s_tuples is not None else len(s)
+    estimate = cost_model.estimate(
+        n_r, n_s, threads=threads, tuple_bytes=r.tuple_bytes
+    )
+    timing = JoinTiming(
+        partition_seconds=0.0,
+        build_probe_seconds=estimate.total_seconds,
+        r_tuples=n_r,
+        s_tuples=n_s,
+        threads=threads,
+        partitioner="none (NPO)",
+        num_partitions=1,
+    )
+    return JoinResult(
+        matches=matches, r_payloads=r_pay, s_payloads=s_pay, timing=timing
+    )

@@ -1,0 +1,124 @@
+"""Pipelined hybrid join — overlapping the FPGA and CPU phases.
+
+The paper runs the hybrid join's phases back to back: FPGA partitions
+R, FPGA partitions S, then the CPU builds and probes.  But the
+platform's whole selling point (Section 1: "true hybrid applications
+where part of the program executes on the CPU and part of it on the
+FPGA") invites overlap: while the FPGA partitions S, the CPU can
+already build hash tables over R's finished partitions.
+
+Overlap is not free — both agents hammer the same memory, so each runs
+at its *interfered* Figure 2 bandwidth (the starred curves).  This
+module models that trade:
+
+* sequential: ``t = fpga(R) + fpga(S) + build + probe`` at alone
+  bandwidths;
+* pipelined: ``t = fpga(R) + max(fpga*(S), build*) + probe`` where the
+  starred terms use interfered bandwidths (the probe still needs all
+  of S partitioned, so only the build overlaps).
+
+Whether pipelining wins depends on how much the interference costs
+versus how much the overlap hides — which is exactly what the
+extension benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.core.model import FpgaCostModel
+from repro.core.modes import PartitionerConfig
+from repro.errors import ConfigurationError
+from repro.join.build_probe import BuildProbeCostModel
+from repro.join.timing import JoinTiming
+from repro.platform.bandwidth import BandwidthModel
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelinedTiming:
+    """Sequential vs pipelined schedule for one hybrid join."""
+
+    sequential: JoinTiming
+    pipelined_seconds: float
+    overlap_seconds: float          # work hidden under the overlap
+    interference_cost_seconds: float  # extra time paid for sharing memory
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential.total_seconds / self.pipelined_seconds
+
+    @property
+    def worthwhile(self) -> bool:
+        return self.pipelined_seconds < self.sequential.total_seconds
+
+
+def pipelined_hybrid_timing(
+    r_tuples: int,
+    s_tuples: int,
+    config: Optional[PartitionerConfig] = None,
+    threads: int = 10,
+    num_partitions: int = 8192,
+    bandwidth: Optional[BandwidthModel] = None,
+    calibrated: bool = True,
+) -> PipelinedTiming:
+    """Model the sequential and pipelined hybrid-join schedules.
+
+    Functional results are unaffected by scheduling (same partitions,
+    same matches), so this is a pure timing analysis; pair it with
+    :func:`repro.join.hybrid_join.hybrid_join` for the data plane.
+    """
+    if threads < 1:
+        raise ConfigurationError(f"threads must be >= 1, got {threads}")
+    config = config or PartitionerConfig(num_partitions=num_partitions)
+    bandwidth = bandwidth or BandwidthModel()
+    fpga = FpgaCostModel(bandwidth=bandwidth)
+    bp = BuildProbeCostModel()
+
+    # --- sequential schedule (the paper's) -----------------------------
+    fpga_r = fpga.partitioning_seconds(r_tuples, config, calibrated=calibrated)
+    fpga_s = fpga.partitioning_seconds(s_tuples, config, calibrated=calibrated)
+    estimate = bp.estimate(
+        r_tuples,
+        s_tuples,
+        config.num_partitions,
+        threads=threads,
+        fpga_partitioned=True,
+    )
+    sequential = JoinTiming(
+        partition_seconds=fpga_r + fpga_s,
+        build_probe_seconds=estimate.total_seconds,
+        r_tuples=r_tuples,
+        s_tuples=s_tuples,
+        threads=threads,
+        partitioner=f"fpga {config.mode_label} (sequential)",
+        num_partitions=config.num_partitions,
+    )
+
+    # --- pipelined schedule --------------------------------------------
+    # While the FPGA partitions S, the CPU builds over R's partitions;
+    # both run at their interfered bandwidths.
+    fpga_s_interfered = fpga.partitioning_seconds(
+        s_tuples, config, interfered=True, calibrated=calibrated
+    )
+    build_alone = estimate.build_seconds
+    # The build is compute-and-latency bound in cache; interference
+    # slows its memory share (the sequential partition scans), modelled
+    # with the CPU interfered/alone ratio on its coherent-read part.
+    cpu_ratio = bandwidth.bandwidth_gbs("cpu", 0.8) / bandwidth.bandwidth_gbs(
+        "cpu", 0.8, interfered=True
+    )
+    build_interfered = build_alone * cpu_ratio
+    overlapped = max(fpga_s_interfered, build_interfered)
+    pipelined_seconds = fpga_r + overlapped + estimate.probe_seconds
+
+    overlap_hidden = min(fpga_s_interfered, build_interfered)
+    interference_cost = (fpga_s_interfered - fpga_s) + (
+        build_interfered - build_alone
+    )
+    return PipelinedTiming(
+        sequential=sequential,
+        pipelined_seconds=pipelined_seconds,
+        overlap_seconds=overlap_hidden,
+        interference_cost_seconds=interference_cost,
+    )

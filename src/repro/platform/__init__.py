@@ -1,0 +1,31 @@
+"""The Intel Xeon+FPGA (HARP v1) platform substrate (Section 2).
+
+Models everything the partitioner runs on: the QPI link and its
+ratio-dependent bandwidth (Figure 2), the shared memory pool of 4 MB
+pages, the FPGA-side pipelined page table, the 128 KB FPGA-local cache,
+and the cache-coherence snoop behaviour that penalises CPU reads of
+FPGA-written memory (Table 1).
+"""
+
+from repro.platform.bandwidth import BandwidthModel, Agent, read_fraction
+from repro.platform.memory import SharedMemory, MemoryRegion
+from repro.platform.pagetable import PageTable
+from repro.platform.cache import SetAssociativeCache
+from repro.platform.coherence import CoherenceDirectory, Socket
+from repro.platform.qpi import QpiEndpoint, QpiLinkModel
+from repro.platform.machine import XeonFpgaPlatform
+
+__all__ = [
+    "BandwidthModel",
+    "Agent",
+    "read_fraction",
+    "SharedMemory",
+    "MemoryRegion",
+    "PageTable",
+    "SetAssociativeCache",
+    "CoherenceDirectory",
+    "Socket",
+    "QpiEndpoint",
+    "QpiLinkModel",
+    "XeonFpgaPlatform",
+]

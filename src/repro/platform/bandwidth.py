@@ -1,0 +1,152 @@
+"""Memory-bandwidth model (Figure 2 of the paper).
+
+Figure 2 measures the memory throughput available to the CPU and the
+QPI throughput available to the FPGA as a function of the sequential
+read to random write ratio of the traffic — the access mix that matters
+for partitioning (stream the input, scatter the output).  Four curves:
+CPU alone, FPGA alone, and both when the other agent is hammering
+memory at the same time ("interfered").
+
+The model interpolates digitised curve points (see
+:mod:`repro.constants` for provenance; the FPGA curve is anchored to
+the exact B(r) values quoted in Section 4.8).  It exposes both the
+paper's parameterisations:
+
+* by **read fraction** ``fr`` in [0, 1] — position on Figure 2's x axis;
+* by **ratio** ``r = reads/writes`` (Table 3) — ``fr = r / (r + 1)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_left
+from typing import Dict, List, Tuple
+
+from repro.constants import (
+    CPU_BANDWIDTH_ALONE_GBS,
+    CPU_INTERFERED_FACTOR,
+    FPGA_BANDWIDTH_ALONE_GBS,
+    FPGA_INTERFERED_FACTOR,
+)
+from repro.errors import ConfigurationError
+
+GB = 1e9
+
+
+class Agent(str, enum.Enum):
+    """Who is accessing memory."""
+
+    CPU = "cpu"
+    FPGA = "fpga"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def read_fraction(r: float) -> float:
+    """Convert a read/write byte ratio ``r`` to a read fraction.
+
+    ``r = 2`` (two bytes read per byte written) maps to ``2/3``;
+    ``r = inf`` would map to 1.0 (pure reads).
+    """
+    if r < 0:
+        raise ConfigurationError(f"read/write ratio must be >= 0, got {r}")
+    return r / (r + 1.0)
+
+
+class _Curve:
+    """Piecewise-linear interpolation over (x, GB/s) points."""
+
+    def __init__(self, points: Dict[float, float]):
+        items: List[Tuple[float, float]] = sorted(points.items())
+        self._xs = [x for x, _ in items]
+        self._ys = [y for _, y in items]
+
+    def __call__(self, x: float) -> float:
+        if not 0.0 <= x <= 1.0:
+            raise ConfigurationError(
+                f"read fraction must be in [0, 1], got {x}"
+            )
+        i = bisect_left(self._xs, x)
+        if i < len(self._xs) and self._xs[i] == x:
+            return self._ys[i]
+        lo, hi = i - 1, i
+        x0, x1 = self._xs[lo], self._xs[hi]
+        y0, y1 = self._ys[lo], self._ys[hi]
+        t = (x - x0) / (x1 - x0)
+        return y0 + t * (y1 - y0)
+
+
+class BandwidthModel:
+    """Figure 2 as a queryable model.
+
+    Example::
+
+        bw = BandwidthModel()
+        bw.bandwidth_gbs(Agent.FPGA, read_frac=0.5)       # ~6.97
+        bw.bandwidth_for_ratio(Agent.FPGA, r=2.0)          # ~7.05
+        bw.bandwidth_gbs(Agent.CPU, 0.5, interfered=True)  # reduced
+    """
+
+    def __init__(
+        self,
+        cpu_points: Dict[float, float] | None = None,
+        fpga_points: Dict[float, float] | None = None,
+        cpu_interfered_factor: float = CPU_INTERFERED_FACTOR,
+        fpga_interfered_factor: float = FPGA_INTERFERED_FACTOR,
+    ):
+        self._curves = {
+            Agent.CPU: _Curve(cpu_points or CPU_BANDWIDTH_ALONE_GBS),
+            Agent.FPGA: _Curve(fpga_points or FPGA_BANDWIDTH_ALONE_GBS),
+        }
+        self._interfered_factor = {
+            Agent.CPU: cpu_interfered_factor,
+            Agent.FPGA: fpga_interfered_factor,
+        }
+
+    def bandwidth_gbs(
+        self,
+        agent: Agent | str,
+        read_frac: float,
+        interfered: bool = False,
+    ) -> float:
+        """Total traffic bandwidth in GB/s at the given read fraction."""
+        agent = Agent(agent)
+        value = self._curves[agent](read_frac)
+        if interfered:
+            value *= self._interfered_factor[agent]
+        return value
+
+    def bandwidth_for_ratio(
+        self,
+        agent: Agent | str,
+        r: float,
+        interfered: bool = False,
+    ) -> float:
+        """``B(r)`` of the analytical model (Table 3, Section 4.6)."""
+        return self.bandwidth_gbs(agent, read_fraction(r), interfered)
+
+    def bytes_per_second(
+        self,
+        agent: Agent | str,
+        read_frac: float,
+        interfered: bool = False,
+    ) -> float:
+        """Same as :meth:`bandwidth_gbs`, in bytes/second."""
+        return self.bandwidth_gbs(agent, read_frac, interfered) * GB
+
+    def sweep(
+        self,
+        agent: Agent | str,
+        interfered: bool = False,
+        steps: int = 11,
+    ) -> List[Tuple[float, float]]:
+        """(read fraction, GB/s) samples across the mix axis — the data
+        series of Figure 2."""
+        if steps < 2:
+            raise ConfigurationError(f"steps must be >= 2, got {steps}")
+        out = []
+        for i in range(steps):
+            frac = 1.0 - i / (steps - 1)
+            out.append((frac, self.bandwidth_gbs(agent, frac, interfered)))
+        return out

@@ -1,0 +1,93 @@
+"""Set-associative cache model.
+
+Used for two things:
+
+* the FPGA-local **128 KB two-way associative cache** inside the QPI
+  end-point (Section 2.1) — its tiny size relative to the CPU's 25 MB
+  L3 is the root cause of the coherence penalty of Table 1 (a snoop
+  to the FPGA socket almost never finds the line);
+* the **CPU L3** when estimating snoop hit probabilities and the
+  build+probe cache-fit boundary.
+
+The model tracks presence only (tags, LRU within a set), not data —
+data lives in :class:`~repro.platform.memory.SharedMemory`; the cache
+answers "would this access hit?", which is all the timing models need.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
+
+from repro.constants import CACHE_LINE_BYTES
+from repro.errors import ConfigurationError
+
+
+class SetAssociativeCache:
+    """Tag-only set-associative cache with LRU replacement."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        ways: int,
+        line_bytes: int = CACHE_LINE_BYTES,
+        name: str = "cache",
+    ):
+        if capacity_bytes <= 0 or ways <= 0 or line_bytes <= 0:
+            raise ConfigurationError("cache geometry must be positive")
+        if capacity_bytes % (ways * line_bytes):
+            raise ConfigurationError(
+                "capacity must be a whole number of ways x lines"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.num_sets = capacity_bytes // (ways * line_bytes)
+        self.name = name
+        # set index -> OrderedDict of tag -> True (LRU order: oldest first)
+        self._sets: Dict[int, OrderedDict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _locate(self, address: int):
+        line = address // self.line_bytes
+        return line % self.num_sets, line // self.num_sets
+
+    def access(self, address: int) -> bool:
+        """Touch a line; returns True on hit, installing on miss."""
+        set_index, tag = self._locate(address)
+        ways = self._sets.setdefault(set_index, OrderedDict())
+        if tag in ways:
+            ways.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(ways) >= self.ways:
+            ways.popitem(last=False)
+            self.evictions += 1
+        ways[tag] = True
+        return False
+
+    def contains(self, address: int) -> bool:
+        """Presence check without touching LRU (snoop lookup)."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets.get(set_index, ())
+
+    def invalidate(self, address: int) -> bool:
+        """Remove a line if present (coherence invalidation)."""
+        set_index, tag = self._locate(address)
+        ways = self._sets.get(set_index)
+        if ways and tag in ways:
+            del ways[tag]
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Empty the cache."""
+        self._sets.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,114 @@
+"""The assembled Xeon+FPGA platform (Section 2).
+
+:class:`XeonFpgaPlatform` wires together the shared memory pool, the
+QPI end-point, the FPGA page table and local cache, the coherence
+directory, and the Figure 2 bandwidth model, and describes the CPU
+socket.  Higher layers (the functional partitioner, the joins, the cost
+models) take a platform instance so experiments can also be run on
+hypothetical platforms — e.g. the "future architecture" of Section 4.8
+where the FPGA gets 25.6 GB/s and the circuit becomes compute-bound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.constants import (
+    CPU_CLOCK_HZ,
+    CPU_CORES,
+    CPU_L2_BYTES,
+    CPU_L3_BYTES,
+    FPGA_CACHE_BYTES,
+    FPGA_CACHE_WAYS,
+    FPGA_CLOCK_HZ,
+    PAGE_BYTES,
+    RAW_WRAPPER_BANDWIDTH_GBS,
+    SHARED_MEMORY_BYTES,
+)
+from repro.platform.bandwidth import Agent, BandwidthModel
+from repro.platform.cache import SetAssociativeCache
+from repro.platform.coherence import CoherenceDirectory
+from repro.platform.memory import MemoryRegion, SharedMemory
+from repro.platform.pagetable import PageTable
+from repro.platform.qpi import QpiEndpoint
+
+
+@dataclasses.dataclass(frozen=True)
+class CpuSocket:
+    """Static description of the CPU socket (Xeon E5-2680 v2)."""
+
+    cores: int = CPU_CORES
+    clock_hz: float = CPU_CLOCK_HZ
+    l3_bytes: int = CPU_L3_BYTES
+    l2_bytes: int = CPU_L2_BYTES
+
+
+class XeonFpgaPlatform:
+    """The Intel Xeon+FPGA prototype as one object.
+
+    Attributes:
+        memory: the 96 GB shared pool (4 MB pages).
+        qpi: the functional cache-line interface the AFU uses.
+        page_table: FPGA-side translation, populated per region.
+        fpga_cache: the 128 KB two-way cache in the QPI end-point.
+        coherence: last-writer/snoop-penalty directory.
+        bandwidth: the Figure 2 model.
+        cpu: CPU socket description.
+        fpga_clock_hz: AFU clock (200 MHz on the prototype).
+    """
+
+    def __init__(
+        self,
+        memory_bytes: int = SHARED_MEMORY_BYTES,
+        fpga_clock_hz: float = FPGA_CLOCK_HZ,
+        bandwidth: BandwidthModel | None = None,
+        cpu: CpuSocket | None = None,
+    ):
+        self.memory = SharedMemory(total_bytes=memory_bytes)
+        self.qpi = QpiEndpoint(self.memory)
+        self.page_table = PageTable(
+            max_pages=memory_bytes // PAGE_BYTES
+        )
+        self.fpga_cache = SetAssociativeCache(
+            capacity_bytes=FPGA_CACHE_BYTES,
+            ways=FPGA_CACHE_WAYS,
+            name="fpga-endpoint-cache",
+        )
+        self.coherence = CoherenceDirectory()
+        self.bandwidth = bandwidth or BandwidthModel()
+        self.cpu = cpu or CpuSocket()
+        self.fpga_clock_hz = fpga_clock_hz
+
+    # -- convenience -----------------------------------------------------
+
+    def allocate_shared(self, name: str, size_bytes: int) -> MemoryRegion:
+        """Allocate a region and map it into the FPGA page table.
+
+        Mirrors the start-up flow of Section 2.1: the application
+        allocates 4 MB pages through the Intel API and transmits their
+        physical addresses to the FPGA.
+        """
+        region = self.memory.allocate(name, size_bytes)
+        self.page_table.populate(region.physical_page_addresses())
+        return region
+
+    def fpga_bandwidth_gbs(self, r: float, interfered: bool = False) -> float:
+        """``B(r)`` for the FPGA — the model's bandwidth input."""
+        return self.bandwidth.bandwidth_for_ratio(Agent.FPGA, r, interfered)
+
+    def cpu_bandwidth_gbs(
+        self, read_frac: float, interfered: bool = False
+    ) -> float:
+        """The CPU's Figure 2 bandwidth at this access mix."""
+        return self.bandwidth.bandwidth_gbs(Agent.CPU, read_frac, interfered)
+
+    @classmethod
+    def raw_wrapper(cls) -> "XeonFpgaPlatform":
+        """The Section 4.7 'raw FPGA' measurement harness.
+
+        An FPGA-internal wrapper emulating QPI with 25.6 GB/s combined
+        bandwidth, flat across access mixes (the wrapper generates and
+        discards data internally, so there is no random-write sag).
+        """
+        flat = {0.0: RAW_WRAPPER_BANDWIDTH_GBS, 1.0: RAW_WRAPPER_BANDWIDTH_GBS}
+        return cls(bandwidth=BandwidthModel(fpga_points=flat))

@@ -1,0 +1,216 @@
+"""Shared memory pool of 4 MB pages (Section 2.1).
+
+The Xeon+FPGA framework allocates shared memory in 4 MB pages through
+the Intel API; the software keeps the pages' physical addresses in an
+array, and the FPGA populates its own page table with them.  An
+accelerator then works on a contiguous *virtual* address space whose
+size is the number of allocated pages.
+
+This model reproduces that structure: :class:`SharedMemory` hands out
+:class:`MemoryRegion` objects (contiguous virtual ranges backed by a
+list of page frames at fabricated physical addresses).  Data storage is
+byte-granular NumPy arrays per page so the cycle simulator and the
+functional partitioner can write real bytes through physical addresses
+and the CPU side can read them back — which is how the tests prove the
+address-translation path is consistent end to end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+import numpy as np
+
+from repro.constants import PAGE_BYTES, SHARED_MEMORY_BYTES
+from repro.errors import ConfigurationError, MemoryError_
+
+
+@dataclasses.dataclass(frozen=True)
+class PageFrame:
+    """A physical 4 MB page frame."""
+
+    physical_base: int
+    index_in_region: int
+
+
+class MemoryRegion:
+    """A contiguous virtual address range backed by page frames."""
+
+    def __init__(
+        self,
+        name: str,
+        virtual_base: int,
+        frames: List[PageFrame],
+        pool: "SharedMemory",
+        page_bytes: int,
+    ):
+        self.name = name
+        self.virtual_base = virtual_base
+        self.frames = frames
+        self._pool = pool
+        self.page_bytes = page_bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.frames) * self.page_bytes
+
+    @property
+    def virtual_end(self) -> int:
+        return self.virtual_base + self.size_bytes
+
+    def physical_address(self, virtual_offset: int) -> int:
+        """Translate an offset within this region to a physical address.
+
+        This is the CPU-side translation: a lookup into the array of
+        page physical addresses the Intel API returned (Section 2.1).
+        """
+        if not 0 <= virtual_offset < self.size_bytes:
+            raise MemoryError_(
+                f"offset {virtual_offset} outside region {self.name!r} "
+                f"of {self.size_bytes} bytes"
+            )
+        frame = self.frames[virtual_offset // self.page_bytes]
+        return frame.physical_base + virtual_offset % self.page_bytes
+
+    def physical_page_addresses(self) -> List[int]:
+        """The 'array of physical addresses' handed to the FPGA."""
+        return [frame.physical_base for frame in self.frames]
+
+    # -- data plane -----------------------------------------------------
+
+    def write_bytes(self, virtual_offset: int, data: np.ndarray) -> None:
+        """Write a uint8 array at a virtual offset (may span pages)."""
+        self._pool.write_physical_span(self, virtual_offset, data)
+
+    def read_bytes(self, virtual_offset: int, length: int) -> np.ndarray:
+        """Read ``length`` bytes at a virtual offset (may span pages)."""
+        return self._pool.read_physical_span(self, virtual_offset, length)
+
+
+class SharedMemory:
+    """The 96 GB shared pool on the CPU socket.
+
+    Page data is allocated lazily so a 96 GB address space does not
+    consume host RAM until written.
+    """
+
+    def __init__(
+        self,
+        total_bytes: int = SHARED_MEMORY_BYTES,
+        page_bytes: int = PAGE_BYTES,
+    ):
+        if page_bytes <= 0 or total_bytes <= 0:
+            raise ConfigurationError("memory sizes must be positive")
+        if total_bytes % page_bytes:
+            raise ConfigurationError(
+                "total memory must be a whole number of pages"
+            )
+        self.total_bytes = total_bytes
+        self.page_bytes = page_bytes
+        self._next_frame = 0
+        self._next_virtual = 0
+        self._page_data: Dict[int, np.ndarray] = {}
+        self.regions: Dict[str, MemoryRegion] = {}
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._next_frame * self.page_bytes
+
+    def allocate(self, name: str, size_bytes: int) -> MemoryRegion:
+        """Allocate a region rounded up to whole 4 MB pages."""
+        if size_bytes <= 0:
+            raise ConfigurationError(
+                f"allocation size must be positive, got {size_bytes}"
+            )
+        if name in self.regions:
+            raise MemoryError_(f"region name {name!r} already allocated")
+        num_pages = -(-size_bytes // self.page_bytes)
+        if self.allocated_bytes + num_pages * self.page_bytes > self.total_bytes:
+            raise MemoryError_(
+                f"out of shared memory allocating {size_bytes} bytes "
+                f"for {name!r}"
+            )
+        frames = []
+        for i in range(num_pages):
+            frames.append(
+                PageFrame(
+                    physical_base=self._next_frame * self.page_bytes,
+                    index_in_region=i,
+                )
+            )
+            self._next_frame += 1
+        region = MemoryRegion(
+            name=name,
+            virtual_base=self._next_virtual,
+            frames=frames,
+            pool=self,
+            page_bytes=self.page_bytes,
+        )
+        self._next_virtual += region.size_bytes
+        self.regions[name] = region
+        return region
+
+    # -- physical data plane ---------------------------------------------
+
+    def _page_array(self, physical_base: int) -> np.ndarray:
+        page = self._page_data.get(physical_base)
+        if page is None:
+            page = np.zeros(self.page_bytes, dtype=np.uint8)
+            self._page_data[physical_base] = page
+        return page
+
+    def write_physical(self, physical_address: int, data: np.ndarray) -> None:
+        """Write bytes at a physical address (must not cross a page)."""
+        base = physical_address - physical_address % self.page_bytes
+        offset = physical_address % self.page_bytes
+        if offset + data.size > self.page_bytes:
+            raise MemoryError_("physical write crosses a page boundary")
+        self._page_array(base)[offset : offset + data.size] = data
+
+    def read_physical(self, physical_address: int, length: int) -> np.ndarray:
+        """Read bytes at a physical address (must not cross a page)."""
+        base = physical_address - physical_address % self.page_bytes
+        offset = physical_address % self.page_bytes
+        if offset + length > self.page_bytes:
+            raise MemoryError_("physical read crosses a page boundary")
+        return self._page_array(base)[offset : offset + length].copy()
+
+    # -- region-relative spans (may cross pages) --------------------------
+
+    def write_physical_span(
+        self, region: MemoryRegion, virtual_offset: int, data: np.ndarray
+    ) -> None:
+        """Write a byte span at a region offset (may cross pages)."""
+        data = np.ascontiguousarray(data, dtype=np.uint8).ravel()
+        if virtual_offset < 0 or virtual_offset + data.size > region.size_bytes:
+            raise MemoryError_(
+                f"write of {data.size} bytes at offset {virtual_offset} "
+                f"escapes region {region.name!r}"
+            )
+        written = 0
+        while written < data.size:
+            physical = region.physical_address(virtual_offset + written)
+            room = self.page_bytes - physical % self.page_bytes
+            chunk = min(room, data.size - written)
+            self.write_physical(physical, data[written : written + chunk])
+            written += chunk
+
+    def read_physical_span(
+        self, region: MemoryRegion, virtual_offset: int, length: int
+    ) -> np.ndarray:
+        """Read a byte span at a region offset (may cross pages)."""
+        if virtual_offset < 0 or virtual_offset + length > region.size_bytes:
+            raise MemoryError_(
+                f"read of {length} bytes at offset {virtual_offset} "
+                f"escapes region {region.name!r}"
+            )
+        out = np.empty(length, dtype=np.uint8)
+        done = 0
+        while done < length:
+            physical = region.physical_address(virtual_offset + done)
+            room = self.page_bytes - physical % self.page_bytes
+            chunk = min(room, length - done)
+            out[done : done + chunk] = self.read_physical(physical, chunk)
+            done += chunk
+        return out

@@ -1,0 +1,133 @@
+"""FPGA-side pipelined page table (Section 2.1).
+
+The standard QPI end-point accepts only physical addresses, so the
+authors implement their own page table out of BRAMs on the FPGA: the
+software transmits the physical addresses of its 4 MB pages at start-up
+and the AFU translates every virtual access through the table.  The
+translation takes 2 clock cycles but is pipelined — one address per
+cycle of throughput.
+
+:class:`PageTable` offers both views:
+
+* :meth:`translate` — functional, immediate translation (what the
+  functional partitioning path and tests use);
+* :meth:`tick`/:meth:`issue` — the pipelined 2-cycle form for the cycle
+  simulator, built on the same :class:`~repro.core.bram.Bram` model as
+  the write combiner.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.constants import PAGE_BYTES, PAGE_TABLE_TRANSLATION_CYCLES
+from repro.core.bram import Bram
+from repro.errors import AddressTranslationError, ConfigurationError
+
+
+class PageTable:
+    """BRAM-backed virtual-to-physical translation for the AFU."""
+
+    def __init__(self, max_pages: int = 32768, page_bytes: int = PAGE_BYTES):
+        if max_pages < 1:
+            raise ConfigurationError(f"max_pages must be >= 1, got {max_pages}")
+        self.page_bytes = page_bytes
+        self.max_pages = max_pages
+        self._entries: List[Optional[int]] = [None] * max_pages
+        self._bram = Bram(
+            depth=max_pages,
+            latency=PAGE_TABLE_TRANSLATION_CYCLES,
+            fill=None,
+            name="pagetable",
+        )
+        self.num_entries = 0
+
+    def populate(self, physical_page_addresses: List[int]) -> None:
+        """Install the page physical addresses the software transmitted.
+
+        Appends to any existing entries, so several regions can be
+        mapped into one contiguous virtual space in allocation order.
+        """
+        if self.num_entries + len(physical_page_addresses) > self.max_pages:
+            raise AddressTranslationError(
+                f"page table overflow: {self.num_entries} + "
+                f"{len(physical_page_addresses)} entries > {self.max_pages}"
+            )
+        for physical in physical_page_addresses:
+            if physical % self.page_bytes:
+                raise AddressTranslationError(
+                    f"physical page address 0x{physical:x} is not "
+                    f"{self.page_bytes}-byte aligned"
+                )
+            self._entries[self.num_entries] = physical
+            self._bram.poke(self.num_entries, physical)
+            self.num_entries += 1
+
+    def clear(self) -> None:
+        """Drop every entry (the start-up state)."""
+        self._entries = [None] * self.max_pages
+        self._bram = Bram(
+            depth=self.max_pages,
+            latency=PAGE_TABLE_TRANSLATION_CYCLES,
+            fill=None,
+            name="pagetable",
+        )
+        self.num_entries = 0
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Size of the virtual address space the AFU can use."""
+        return self.num_entries * self.page_bytes
+
+    # -- functional path ---------------------------------------------------
+
+    def translate(self, virtual_address: int) -> int:
+        """Immediate virtual-to-physical translation."""
+        page, offset = self._split(virtual_address)
+        physical = self._entries[page]
+        if physical is None:
+            raise AddressTranslationError(
+                f"virtual address 0x{virtual_address:x} maps to "
+                f"unpopulated page {page}"
+            )
+        return physical + offset
+
+    # -- pipelined path (cycle simulator) -----------------------------------
+
+    def tick(self) -> None:
+        """Advance the translation pipeline one cycle."""
+        self._bram.tick()
+
+    def issue(self, virtual_address: int) -> int:
+        """Issue a translation; returns the in-page offset to carry.
+
+        The translated physical page arrives via :meth:`result` after
+        ``PAGE_TABLE_TRANSLATION_CYCLES`` ticks.
+        """
+        page, offset = self._split(virtual_address)
+        self._bram.issue_read(page)
+        return offset
+
+    def result(self, carried_offset: int) -> Optional[int]:
+        """Physical address for the translation completing this cycle."""
+        if not self._bram.read_data_valid():
+            return None
+        physical = self._bram.read_data()
+        if physical is None:
+            raise AddressTranslationError(
+                "pipelined translation hit an unpopulated page-table entry"
+            )
+        return int(physical) + carried_offset
+
+    def _split(self, virtual_address: int) -> Tuple[int, int]:
+        if virtual_address < 0:
+            raise AddressTranslationError(
+                f"negative virtual address {virtual_address}"
+            )
+        page = virtual_address // self.page_bytes
+        if page >= self.max_pages:
+            raise AddressTranslationError(
+                f"virtual address 0x{virtual_address:x} beyond page table "
+                f"capacity ({self.max_pages} pages)"
+            )
+        return page, virtual_address % self.page_bytes

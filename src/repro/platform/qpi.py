@@ -1,0 +1,126 @@
+"""QPI end-point models (Section 2.1).
+
+Two views of the link between the FPGA and the CPU socket's memory:
+
+* :class:`QpiLinkModel` — the per-cycle flow-control model the cycle
+  simulator uses.  The link's bandwidth (a function of the traffic's
+  read fraction, Figure 2) is converted to cache lines per FPGA clock
+  cycle and metered with a token bucket; reads and writes compete for
+  the same tokens, which is what creates the back-pressure on the write
+  path that Section 4.3 describes.
+* :class:`QpiEndpoint` — the functional request interface: physical
+  64 B cache-line reads/writes against
+  :class:`~repro.platform.memory.SharedMemory`, with byte accounting.
+  The AFU (partitioner) goes through this for its data plane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import CACHE_LINE_BYTES, FPGA_CLOCK_HZ
+from repro.errors import ConfigurationError, MemoryError_
+from repro.platform.bandwidth import GB
+from repro.platform.memory import SharedMemory
+
+
+class QpiLinkModel:
+    """Token-bucket line budget for the cycle simulator.
+
+    ``bandwidth_gbs`` is the combined read+write bandwidth available at
+    the run's traffic mix (looked up from the Figure 2 model by the
+    caller).  Each cycle accrues ``bandwidth / (64 B * f_clk)`` tokens;
+    transferring one cache line in either direction costs one token.
+    With the platform's ~6.5 GB/s this is ~0.5 lines/cycle — half what
+    the circuit can produce, hence the permanent back-pressure the
+    paper reports.
+    """
+
+    def __init__(
+        self,
+        bandwidth_gbs: float,
+        clock_hz: float = FPGA_CLOCK_HZ,
+        line_bytes: int = CACHE_LINE_BYTES,
+        burst_lines: int = 8,
+    ):
+        if bandwidth_gbs <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be positive, got {bandwidth_gbs}"
+            )
+        self.bandwidth_gbs = bandwidth_gbs
+        self.lines_per_cycle = bandwidth_gbs * GB / (line_bytes * clock_hz)
+        self.burst_lines = max(1, burst_lines)
+        self._tokens = 0.0
+        self.lines_read = 0
+        self.lines_written = 0
+
+    def tick(self) -> None:
+        """Accrue this cycle's budget (capped to a small burst)."""
+        self._tokens = min(
+            self._tokens + self.lines_per_cycle, float(self.burst_lines)
+        )
+
+    def try_read(self) -> bool:
+        """Consume a token for a read-response line, if available."""
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.lines_read += 1
+            return True
+        return False
+
+    def try_write(self) -> bool:
+        """Consume a token for a write-request line, if available."""
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.lines_written += 1
+            return True
+        return False
+
+
+class QpiEndpoint:
+    """Functional cache-line interface to shared memory.
+
+    All addresses are *physical* (the standard end-point does no
+    translation; the AFU's own page table supplies physical addresses).
+    Counts bytes moved so experiments can check traffic predictions —
+    e.g. the 16x write-combining saving of Section 4.2.
+    """
+
+    def __init__(self, memory: SharedMemory):
+        self.memory = memory
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def read_line(self, physical_address: int) -> np.ndarray:
+        """Read one 64 B cache line."""
+        self._check_aligned(physical_address)
+        self.bytes_read += CACHE_LINE_BYTES
+        return self.memory.read_physical(physical_address, CACHE_LINE_BYTES)
+
+    def write_line(self, physical_address: int, data: np.ndarray) -> None:
+        """Write one 64 B cache line."""
+        self._check_aligned(physical_address)
+        if data.size != CACHE_LINE_BYTES:
+            raise MemoryError_(
+                f"QPI writes whole cache lines; got {data.size} bytes"
+            )
+        self.bytes_written += CACHE_LINE_BYTES
+        self.memory.write_physical(
+            physical_address, np.ascontiguousarray(data, dtype=np.uint8)
+        )
+
+    def reset_counters(self) -> None:
+        """Zero the byte counters (between experiments)."""
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    @staticmethod
+    def _check_aligned(physical_address: int) -> None:
+        if physical_address % CACHE_LINE_BYTES:
+            raise MemoryError_(
+                f"QPI access must be 64 B aligned, got 0x{physical_address:x}"
+            )

@@ -1,0 +1,239 @@
+"""Key-distribution generators from Section 3.2 of the paper.
+
+The paper (following Richter et al. [29]) evaluates partitioning on
+four 32-bit key distributions:
+
+1. **Linear** — unique keys ``1..N``.
+2. **Random** — pseudo-random keys over the full 32-bit integer range.
+3. **Grid** — every byte of the 4-byte key cycles through ``1..128``,
+   least-significant byte fastest.  Resembles address patterns/strings.
+4. **Reverse grid** — like grid, but the *most* significant byte is
+   incremented first.
+
+Grid-family keys are the adversarial case for radix partitioning: the
+low bits carry very little entropy (reverse grid) or highly regular
+structure, so taking the N least-significant bits produces grossly
+unbalanced partitions (Figure 3a), while a robust hash (murmur) stays
+balanced (Figure 3b).
+
+Zipf-skewed keys (Section 5.4) are used to stress the PAD mode of the
+FPGA partitioner.
+
+All generators return ``numpy.ndarray`` of dtype ``uint32`` and are
+deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_GRID_BYTE_CARDINALITY = 128  # each key byte takes values 1..128
+
+
+class KeyDistribution(str, enum.Enum):
+    """The key distributions of Section 3.2 (plus Zipf skew)."""
+
+    LINEAR = "linear"
+    RANDOM = "random"
+    GRID = "grid"
+    REVERSE_GRID = "reverse_grid"
+    ZIPF = "zipf"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def _require_positive(n: int) -> None:
+    if n <= 0:
+        raise ConfigurationError(f"number of keys must be positive, got {n}")
+
+
+def linear_keys(n: int) -> np.ndarray:
+    """Unique keys in the range ``[1, n]`` (linear distribution)."""
+    _require_positive(n)
+    if n > 0xFFFFFFFF:
+        raise ConfigurationError(
+            f"linear distribution cannot produce {n} unique 32-bit keys"
+        )
+    return np.arange(1, n + 1, dtype=np.uint64).astype(np.uint32)
+
+
+def random_keys(n: int, seed: int = 0) -> np.ndarray:
+    """Pseudo-random keys over the full 32-bit range.
+
+    The paper uses the C pseudo-random generator; any uniform 32-bit
+    source has the same partitioning behaviour, so we use NumPy's PCG64.
+    """
+    _require_positive(n)
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2**32, size=n, dtype=np.uint64).astype(np.uint32)
+
+
+def _grid_column(n: int, byte_index: int, significance: str) -> np.ndarray:
+    """Value of one key byte for grid-style enumeration.
+
+    ``byte_index`` 0 is the byte that increments fastest.  For the grid
+    distribution that is the least significant byte; for reverse grid it
+    is the most significant byte.
+    """
+    period = _GRID_BYTE_CARDINALITY ** byte_index
+    values = (np.arange(n, dtype=np.uint64) // period) % _GRID_BYTE_CARDINALITY
+    values = values + 1  # bytes take values 1..128
+    if significance == "lsb_first":
+        shift = 8 * byte_index
+    else:
+        shift = 8 * (3 - byte_index)
+    return (values << np.uint64(shift)).astype(np.uint64)
+
+
+def _grid_family(n: int, significance: str) -> np.ndarray:
+    if n > _GRID_BYTE_CARDINALITY**4:
+        raise ConfigurationError(
+            f"grid distribution supports at most 128^4 unique keys, got {n}"
+        )
+    keys = np.zeros(n, dtype=np.uint64)
+    for byte_index in range(4):
+        keys |= _grid_column(n, byte_index, significance)
+    return keys.astype(np.uint32)
+
+
+def grid_keys(n: int) -> np.ndarray:
+    """Grid distribution: LSB cycles through 1..128 fastest."""
+    _require_positive(n)
+    return _grid_family(n, "lsb_first")
+
+
+def reverse_grid_keys(n: int) -> np.ndarray:
+    """Reverse grid distribution: MSB cycles through 1..128 fastest."""
+    _require_positive(n)
+    return _grid_family(n, "msb_first")
+
+
+def zipf_keys(
+    n: int,
+    zipf_factor: float,
+    key_space: Optional[int] = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Zipf-skewed keys (Section 5.4).
+
+    ``zipf_factor`` is the exponent of the Zipf distribution.  A factor
+    of 0 degenerates to uniform over ``key_space`` distinct keys; the
+    paper sweeps factors 0.25..1.75 (Figure 13) and notes the FPGA PAD
+    mode starts failing above 0.25.
+
+    The inverse-CDF method is used so the generator is vectorised and
+    deterministic.  Rank ``k`` (1-based) receives probability
+    proportional to ``k**-zipf_factor``, and rank ``k`` is mapped to key
+    ``k`` — so low key values are the heavy hitters.
+    """
+    _require_positive(n)
+    if zipf_factor < 0:
+        raise ConfigurationError(f"zipf factor must be >= 0, got {zipf_factor}")
+    if key_space is None:
+        key_space = n
+    if key_space <= 0:
+        raise ConfigurationError(f"key space must be positive, got {key_space}")
+
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, key_space + 1, dtype=np.float64)
+    weights = ranks**-zipf_factor
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    draws = rng.random(n)
+    keys = np.searchsorted(cdf, draws, side="left") + 1
+    return keys.astype(np.uint32)
+
+
+def _grid_family_range(
+    start: int, stop: int, significance: str
+) -> np.ndarray:
+    """Grid-style keys for index range [start, stop) without
+    materialising the prefix — used for streaming over paper-scale
+    relations."""
+    if stop > _GRID_BYTE_CARDINALITY**4:
+        raise ConfigurationError(
+            "grid distribution supports at most 128^4 unique keys"
+        )
+    indices = np.arange(start, stop, dtype=np.uint64)
+    keys = np.zeros(stop - start, dtype=np.uint64)
+    for byte_index in range(4):
+        period = _GRID_BYTE_CARDINALITY**byte_index
+        values = (indices // period) % _GRID_BYTE_CARDINALITY + 1
+        if significance == "lsb_first":
+            shift = 8 * byte_index
+        else:
+            shift = 8 * (3 - byte_index)
+        keys |= (values << np.uint64(shift)).astype(np.uint64)
+    return keys.astype(np.uint32)
+
+
+def iter_key_chunks(
+    distribution: KeyDistribution | str,
+    n: int,
+    chunk_size: int = 1 << 22,
+    seed: int = 0,
+):
+    """Yield the key column of a paper-scale relation in chunks.
+
+    Lets analyses (e.g. the full-scale partition histograms the
+    Figure 12 timing needs) run over 128e6 keys without holding the
+    relation in memory.  The concatenation of all chunks equals
+    ``generate_keys(distribution, n, seed)`` for the deterministic
+    distributions, and is distribution-identical for the random one.
+    """
+    distribution = KeyDistribution(distribution)
+    _require_positive(n)
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    if distribution is KeyDistribution.RANDOM:
+        rng = np.random.default_rng(seed)
+        for start in range(0, n, chunk_size):
+            stop = min(start + chunk_size, n)
+            yield rng.integers(
+                0, 2**32, size=stop - start, dtype=np.uint64
+            ).astype(np.uint32)
+        return
+    if distribution is KeyDistribution.ZIPF:
+        raise ConfigurationError(
+            "zipf keys are not index-addressable; generate them whole"
+        )
+    for start in range(0, n, chunk_size):
+        stop = min(start + chunk_size, n)
+        if distribution is KeyDistribution.LINEAR:
+            yield (
+                np.arange(start + 1, stop + 1, dtype=np.uint64)
+            ).astype(np.uint32)
+        elif distribution is KeyDistribution.GRID:
+            yield _grid_family_range(start, stop, "lsb_first")
+        else:
+            yield _grid_family_range(start, stop, "msb_first")
+
+
+def generate_keys(
+    distribution: KeyDistribution | str,
+    n: int,
+    seed: int = 0,
+    zipf_factor: float = 0.0,
+) -> np.ndarray:
+    """Dispatch to the named key generator.
+
+    Accepts either a :class:`KeyDistribution` or its string value.
+    """
+    distribution = KeyDistribution(distribution)
+    if distribution is KeyDistribution.LINEAR:
+        return linear_keys(n)
+    if distribution is KeyDistribution.RANDOM:
+        return random_keys(n, seed=seed)
+    if distribution is KeyDistribution.GRID:
+        return grid_keys(n)
+    if distribution is KeyDistribution.REVERSE_GRID:
+        return reverse_grid_keys(n)
+    if distribution is KeyDistribution.ZIPF:
+        return zipf_keys(n, zipf_factor=zipf_factor, seed=seed)
+    raise ConfigurationError(f"unknown key distribution: {distribution}")

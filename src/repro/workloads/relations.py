@@ -1,0 +1,238 @@
+"""Relations and the Table 4 workloads.
+
+A :class:`Relation` is a columnar <key, payload> table — keys are
+``uint32`` and payloads are ``uint32`` record identifiers by default,
+matching the 8 B <4 B key, 4 B payload> tuples used throughout the
+paper's evaluation.  Wider tuples are represented by a payload width in
+bytes; the payload column itself stays a ``uint32`` RID (the extra
+bytes never influence partitioning or join logic, only the byte
+accounting done by the platform and cost models).
+
+Table 4 of the paper defines five workloads:
+
+========  ==========  ==========  ==================
+Name      #Tuples R   #Tuples S   Key distribution
+========  ==========  ==========  ==================
+A         128e6       128e6       Linear
+B         16*2^20     256*2^20    Linear
+C         128e6       128e6       Random
+D         128e6       128e6       Grid
+E         128e6       128e6       Reverse grid
+========  ==========  ==========  ==================
+
+Because a pure-Python reproduction cannot comfortably materialise
+128 million tuples inside unit tests, :func:`make_workload` accepts a
+``scale`` divisor: the *shape* experiments (partition balance, join
+correctness) are stable at much smaller sizes, and the timing figures
+come from the calibrated cost models which take tuple counts as
+parameters rather than materialised data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import KeyDistribution, generate_keys, zipf_keys
+
+
+@dataclasses.dataclass(frozen=True)
+class Relation:
+    """A columnar relation of <key, payload> tuples.
+
+    Attributes:
+        keys: ``uint32`` join keys.
+        payloads: ``uint32`` record identifiers (position by default).
+        tuple_bytes: logical tuple width used for byte accounting
+            (8, 16, 32 or 64 in the paper).
+        name: optional label for reports.
+    """
+
+    keys: np.ndarray
+    payloads: np.ndarray
+    tuple_bytes: int = 8
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.keys.dtype != np.uint32:
+            raise ConfigurationError("relation keys must be uint32")
+        if self.payloads.dtype != np.uint32:
+            raise ConfigurationError("relation payloads must be uint32")
+        if self.keys.shape != self.payloads.shape:
+            raise ConfigurationError(
+                "keys and payloads must have identical shapes, got "
+                f"{self.keys.shape} vs {self.payloads.shape}"
+            )
+        if self.tuple_bytes not in (8, 16, 32, 64):
+            raise ConfigurationError(
+                f"tuple_bytes must be one of 8/16/32/64, got {self.tuple_bytes}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.keys.shape[0])
+
+    @property
+    def num_tuples(self) -> int:
+        return len(self)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes the relation occupies at its logical tuple width."""
+        return self.num_tuples * self.tuple_bytes
+
+    @property
+    def key_bytes(self) -> int:
+        """Bytes of the key column alone (what VRID mode reads)."""
+        return self.num_tuples * 4
+
+    def head(self, n: int) -> "Relation":
+        """First ``n`` tuples as a new relation (for examples/tests)."""
+        return Relation(
+            keys=self.keys[:n].copy(),
+            payloads=self.payloads[:n].copy(),
+            tuple_bytes=self.tuple_bytes,
+            name=self.name,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Workload:
+    """A join workload: a build relation R and a probe relation S."""
+
+    name: str
+    r: Relation
+    s: Relation
+    distribution: KeyDistribution
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "distribution", KeyDistribution(self.distribution)
+        )
+
+    @property
+    def total_tuples(self) -> int:
+        return len(self.r) + len(self.s)
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """Static description of a Table 4 workload."""
+
+    name: str
+    r_tuples: int
+    s_tuples: int
+    distribution: KeyDistribution
+
+
+WORKLOAD_SPECS: Dict[str, WorkloadSpec] = {
+    "A": WorkloadSpec("A", 128 * 10**6, 128 * 10**6, KeyDistribution.LINEAR),
+    "B": WorkloadSpec("B", 16 * 2**20, 256 * 2**20, KeyDistribution.LINEAR),
+    "C": WorkloadSpec("C", 128 * 10**6, 128 * 10**6, KeyDistribution.RANDOM),
+    "D": WorkloadSpec("D", 128 * 10**6, 128 * 10**6, KeyDistribution.GRID),
+    "E": WorkloadSpec(
+        "E", 128 * 10**6, 128 * 10**6, KeyDistribution.REVERSE_GRID
+    ),
+}
+"""Table 4 of the paper."""
+
+
+def make_relation(
+    n: int,
+    distribution: KeyDistribution | str = KeyDistribution.LINEAR,
+    tuple_bytes: int = 8,
+    seed: int = 0,
+    zipf_factor: float = 0.0,
+    name: str = "",
+) -> Relation:
+    """Generate a relation with ``n`` tuples of the given distribution.
+
+    Payloads are the 0-based tuple positions, which makes join results
+    easy to verify: probing S against R recovers the matching R
+    positions.
+    """
+    keys = generate_keys(distribution, n, seed=seed, zipf_factor=zipf_factor)
+    payloads = np.arange(n, dtype=np.uint32)
+    return Relation(keys=keys, payloads=payloads, tuple_bytes=tuple_bytes, name=name)
+
+
+def make_workload(
+    name: str,
+    scale: int = 1,
+    tuple_bytes: int = 8,
+    seed: int = 0,
+    skew_s_zipf: Optional[float] = None,
+) -> Workload:
+    """Instantiate a Table 4 workload, optionally scaled down.
+
+    Args:
+        name: one of ``"A".."E"``.
+        scale: divide the paper's tuple counts by this factor (>= 1).
+            ``scale=1`` is the paper's size; tests typically use large
+            scales (e.g. 10000).
+        tuple_bytes: logical tuple width.
+        seed: RNG seed for the random distribution.
+        skew_s_zipf: if given, replace S's keys with a Zipf-skewed draw
+            over R's key domain (the Section 5.4 skew experiment, where
+            "one of the relations is skewed").
+
+    Raises:
+        ConfigurationError: unknown workload name or invalid scale.
+    """
+    if name not in WORKLOAD_SPECS:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; expected one of {sorted(WORKLOAD_SPECS)}"
+        )
+    if scale < 1:
+        raise ConfigurationError(f"scale must be >= 1, got {scale}")
+    spec = WORKLOAD_SPECS[name]
+    r_tuples = max(1, spec.r_tuples // scale)
+    s_tuples = max(1, spec.s_tuples // scale)
+
+    r = make_relation(
+        r_tuples,
+        spec.distribution,
+        tuple_bytes=tuple_bytes,
+        seed=seed,
+        name=f"{name}.R",
+    )
+    if skew_s_zipf is not None:
+        # Skewed probe relation: keys drawn Zipf over R's key domain so
+        # every S tuple still has a join partner in R.
+        s_keys = zipf_keys(
+            s_tuples, zipf_factor=skew_s_zipf, key_space=r_tuples, seed=seed + 1
+        )
+        if spec.distribution is not KeyDistribution.LINEAR:
+            raise ConfigurationError(
+                "skewed S is only defined for linear-keyed workloads "
+                "(R keys must equal 1..N for Zipf ranks to hit them)"
+            )
+        s = Relation(
+            keys=s_keys,
+            payloads=np.arange(s_tuples, dtype=np.uint32),
+            tuple_bytes=tuple_bytes,
+            name=f"{name}.S(zipf={skew_s_zipf})",
+        )
+    elif spec.distribution is KeyDistribution.RANDOM:
+        # Foreign-key join semantics: S keys are drawn (with
+        # replacement) from R's key set so every probe tuple has a
+        # partner, while the key *values* keep the random distribution.
+        rng = np.random.default_rng(seed + 1)
+        s_keys = rng.choice(r.keys, size=s_tuples, replace=True)
+        s = Relation(
+            keys=s_keys.astype(np.uint32),
+            payloads=np.arange(s_tuples, dtype=np.uint32),
+            tuple_bytes=tuple_bytes,
+            name=f"{name}.S",
+        )
+    else:
+        s = make_relation(
+            s_tuples,
+            spec.distribution,
+            tuple_bytes=tuple_bytes,
+            seed=seed + 1,
+            name=f"{name}.S",
+        )
+    return Workload(name=name, r=r, s=s, distribution=spec.distribution)

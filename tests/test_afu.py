@@ -1,0 +1,186 @@
+"""End-to-end AFU tests: Section 2.1's deployment flow with real bytes."""
+
+import numpy as np
+import pytest
+
+from repro.constants import PAGE_BYTES
+from repro.core.afu import PartitionerAfu
+from repro.core.modes import LayoutMode, OutputMode, PartitionerConfig
+from repro.core.partitioner import FpgaPartitioner
+from repro.errors import ConfigurationError
+from repro.platform.machine import XeonFpgaPlatform
+from repro.workloads.relations import make_relation
+
+
+@pytest.fixture
+def platform():
+    return XeonFpgaPlatform(memory_bytes=64 * PAGE_BYTES)
+
+
+def make_afu(platform, **overrides):
+    defaults = dict(
+        num_partitions=16, output_mode=OutputMode.HIST
+    )
+    defaults.update(overrides)
+    return PartitionerAfu(platform, PartitionerConfig(**defaults))
+
+
+class TestStaging:
+    def test_stage_and_fetch_roundtrip(self, platform):
+        afu = make_afu(platform)
+        rel = make_relation(300, "random", seed=1)
+        region, n = afu.stage_input(rel)
+        keys, payloads = afu._fetch_input(region, n)
+        assert np.array_equal(keys, rel.keys)
+        assert np.array_equal(payloads, rel.payloads)
+
+    def test_staging_marks_cpu_writer(self, platform):
+        afu = make_afu(platform)
+        region, _ = afu.stage_input(
+            make_relation(100, "linear"), region_name="in"
+        )
+        assert platform.coherence.cpu_read_penalty("in", True) == 1.0
+
+    def test_vrid_stages_keys_only(self, platform):
+        afu = make_afu(platform, layout_mode=LayoutMode.VRID)
+        rel = make_relation(100, "linear")
+        region, _ = afu.stage_input(rel)
+        # 100 keys at 4 B, padded to 16-key lines: 7 lines = 448 B used
+        rid_afu = make_afu(platform)
+        rid_region, _ = rid_afu.stage_input(rel)
+        # RID stages 8 B per tuple -> about twice the footprint
+        assert rid_region.size_bytes >= region.size_bytes
+
+    def test_empty_relation_rejected(self, platform):
+        afu = make_afu(platform)
+        with pytest.raises(ConfigurationError):
+            afu.stage_input(np.empty(0, dtype=np.uint32))
+
+    def test_wide_tuples_rejected(self, platform):
+        with pytest.raises(ConfigurationError):
+            PartitionerAfu(
+                platform,
+                PartitionerConfig(num_partitions=16, tuple_bytes=16),
+            )
+
+
+class TestEndToEnd:
+    def test_partitions_match_functional_model(self, platform):
+        afu = make_afu(platform)
+        rel = make_relation(500, "random", seed=2)
+        region, n = afu.stage_input(rel)
+        run = afu.run(region, n, output_region_name="parts")
+
+        expected = FpgaPartitioner(afu.config).partition(rel)
+        for p in range(16):
+            keys, payloads = afu.read_partition(run, p)
+            assert sorted(map(int, keys)) == sorted(
+                map(int, expected.partition_keys[p])
+            ), f"partition {p}"
+            # payloads travel with their keys
+            pairs_in = dict(zip(map(int, rel.keys), map(int, rel.payloads)))
+            for k, v in zip(keys, payloads):
+                assert pairs_in[int(k)] == int(v)
+
+    def test_vrid_end_to_end(self, platform):
+        afu = make_afu(platform, layout_mode=LayoutMode.VRID)
+        rel = make_relation(200, "random", seed=3)
+        region, n = afu.stage_input(rel)
+        run = afu.run(region, n)
+        total = 0
+        for p in range(16):
+            keys, vrids = afu.read_partition(run, p)
+            total += keys.shape[0]
+            for k, vrid in zip(keys, vrids):
+                assert rel.keys[int(vrid)] == k
+        assert total == 200
+
+    def test_output_region_is_fpga_homed(self, platform):
+        afu = make_afu(platform)
+        region, n = afu.stage_input(make_relation(100, "linear"))
+        run = afu.run(region, n, output_region_name="parts")
+        penalty = platform.coherence.cpu_read_penalty(
+            run.region_name, random_access=True
+        )
+        assert penalty > 2.0
+
+    def test_qpi_traffic_counted(self, platform):
+        afu = make_afu(platform)
+        region, n = afu.stage_input(make_relation(128, "linear"))
+        platform.qpi.reset_counters()
+        run = afu.run(region, n)
+        # input lines read + every output line written
+        assert platform.qpi.bytes_read >= n * 8
+        assert platform.qpi.bytes_written == int(
+            run.lines_per_partition.sum()
+        ) * 64
+
+    def test_pad_mode(self, platform):
+        afu = make_afu(
+            platform, output_mode=OutputMode.PAD, pad_tuples=128
+        )
+        rel = make_relation(256, "random", seed=4)
+        region, n = afu.stage_input(rel)
+        run = afu.run(region, n)
+        collected = sum(
+            k.shape[0] for k, _ in afu.read_all_partitions(run)
+        )
+        assert collected == 256
+
+    def test_partition_index_validated(self, platform):
+        afu = make_afu(platform)
+        region, n = afu.stage_input(make_relation(50, "linear"))
+        run = afu.run(region, n)
+        with pytest.raises(ConfigurationError):
+            afu.read_partition(run, 16)
+
+
+class TestMaterialize:
+    def test_vrid_materialisation(self, platform):
+        from repro.core.materialize import materialize_vrid
+
+        rel = make_relation(300, "random", seed=5)
+        payload_column = np.arange(1000, 1300, dtype=np.uint32)
+        config = PartitionerConfig(
+            num_partitions=16,
+            output_mode=OutputMode.HIST,
+            layout_mode=LayoutMode.VRID,
+        )
+        out = FpgaPartitioner(config).partition(rel.keys)
+        materialised = materialize_vrid(out, payload_column)
+        assert materialised.bytes_gathered == 300 * 4
+        for p in range(16):
+            keys, payloads = materialised.partition(p)
+            for k, v in zip(keys, payloads):
+                position = int(v) - 1000
+                assert rel.keys[position] == k
+
+    def test_rid_output_rejected(self):
+        from repro.core.materialize import materialize_vrid
+
+        rel = make_relation(50, "linear")
+        out = FpgaPartitioner(
+            PartitionerConfig(num_partitions=16, output_mode=OutputMode.HIST)
+        ).partition(rel)
+        with pytest.raises(ConfigurationError):
+            materialize_vrid(out, np.zeros(50, dtype=np.uint32))
+
+    def test_short_column_rejected(self):
+        from repro.core.materialize import materialize_vrid
+
+        config = PartitionerConfig(
+            num_partitions=16,
+            output_mode=OutputMode.HIST,
+            layout_mode=LayoutMode.VRID,
+        )
+        out = FpgaPartitioner(config).partition(
+            np.arange(1, 51, dtype=np.uint32)
+        )
+        with pytest.raises(ConfigurationError):
+            materialize_vrid(out, np.zeros(10, dtype=np.uint32))
+
+    def test_materialisation_cost_positive(self):
+        from repro.core.materialize import materialization_seconds
+
+        cost = materialization_seconds(128 * 10**6)
+        assert 0.1 < cost < 10.0

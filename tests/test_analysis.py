@@ -1,0 +1,112 @@
+"""Tests for the partition-balance analysis (Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.balance import balance_report
+from repro.analysis.histogram import partition_cdf, partition_histogram
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import (
+    grid_keys,
+    linear_keys,
+    random_keys,
+    reverse_grid_keys,
+)
+
+
+class TestHistogram:
+    def test_counts_sum_to_n(self):
+        keys = random_keys(10000, seed=1)
+        counts = partition_histogram(keys, 64, use_hash=True)
+        assert counts.sum() == 10000
+        assert counts.shape == (64,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition_histogram(np.empty(0, dtype=np.uint32), 64, True)
+
+
+class TestCdf:
+    def test_monotone_and_complete(self):
+        counts = np.array([0, 5, 5, 10, 20])
+        sizes, cumulative = partition_cdf(counts)
+        assert list(sizes) == [0, 5, 10, 20]
+        assert list(cumulative) == [1, 3, 4, 5]
+        assert cumulative[-1] == counts.size
+
+    def test_uniform_counts_single_step(self):
+        sizes, cumulative = partition_cdf(np.full(100, 7))
+        assert list(sizes) == [7]
+        assert list(cumulative) == [100]
+
+
+class TestBalanceReport:
+    def test_uniform(self):
+        report = balance_report(np.full(64, 100))
+        assert report.is_balanced
+        assert report.max_over_mean == 1.0
+        assert report.empty_partitions == 0
+        assert report.chi_square_normalised == 0.0
+
+    def test_degenerate(self):
+        counts = np.zeros(64, dtype=np.int64)
+        counts[0] = 6400
+        report = balance_report(counts)
+        assert not report.is_balanced
+        assert report.max_over_mean == 64.0
+        assert report.empty_partitions == 63
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            balance_report(np.empty(0))
+
+
+class TestFigure3Property:
+    """The paper's Figure 3 in assertion form: radix partitioning is
+    grossly unbalanced on grid-family keys, hash partitioning is
+    balanced on every distribution."""
+
+    N = 200000
+    PARTITIONS = 512
+
+    def distributions(self):
+        return {
+            "linear": linear_keys(self.N),
+            "random": random_keys(self.N, seed=2),
+            "grid": grid_keys(self.N),
+            "reverse_grid": reverse_grid_keys(self.N),
+        }
+
+    def test_hash_balanced_everywhere(self):
+        for name, keys in self.distributions().items():
+            counts = partition_histogram(keys, self.PARTITIONS, use_hash=True)
+            report = balance_report(counts)
+            assert report.is_balanced, name
+
+    def test_radix_unbalanced_on_grid_family(self):
+        for name in ("grid", "reverse_grid"):
+            keys = self.distributions()[name]
+            counts = partition_histogram(keys, self.PARTITIONS, use_hash=False)
+            report = balance_report(counts)
+            assert not report.is_balanced, name
+            # grid leaves exactly half the radix partitions empty
+            # (byte values are 1..128); reverse grid is far worse
+            assert report.empty_partitions >= self.PARTITIONS // 2, name
+
+    def test_radix_fine_on_linear(self):
+        counts = partition_histogram(
+            self.distributions()["linear"], self.PARTITIONS, use_hash=False
+        )
+        assert balance_report(counts).is_balanced
+
+    def test_radix_much_worse_than_hash_by_chi_square(self):
+        keys = self.distributions()["reverse_grid"]
+        radix = balance_report(
+            partition_histogram(keys, self.PARTITIONS, use_hash=False)
+        )
+        hashed = balance_report(
+            partition_histogram(keys, self.PARTITIONS, use_hash=True)
+        )
+        assert radix.chi_square_normalised > 100 * max(
+            hashed.chi_square_normalised, 1e-9
+        )

@@ -1,0 +1,108 @@
+"""Tests for the Figure 2 bandwidth model."""
+
+import pytest
+
+from repro.platform.bandwidth import Agent, BandwidthModel, read_fraction
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def bw():
+    return BandwidthModel()
+
+
+class TestReadFraction:
+    @pytest.mark.parametrize(
+        "r,frac", [(2.0, 2 / 3), (1.0, 0.5), (0.5, 1 / 3), (0.0, 0.0)]
+    )
+    def test_conversion(self, r, frac):
+        assert read_fraction(r) == pytest.approx(frac)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            read_fraction(-0.1)
+
+
+class TestFpgaCurve:
+    def test_section48_anchors(self, bw):
+        """The exact B(r) values quoted in Section 4.8."""
+        assert bw.bandwidth_for_ratio(Agent.FPGA, 2.0) == pytest.approx(7.05)
+        assert bw.bandwidth_for_ratio(Agent.FPGA, 1.0) == pytest.approx(6.97)
+        assert bw.bandwidth_for_ratio(Agent.FPGA, 0.5) == pytest.approx(5.94)
+
+    def test_roughly_flat_when_read_heavy(self, bw):
+        high = bw.bandwidth_gbs(Agent.FPGA, 1.0)
+        mid = bw.bandwidth_gbs(Agent.FPGA, 0.6)
+        assert abs(high - mid) < 0.2
+
+    def test_sags_when_write_heavy(self, bw):
+        assert bw.bandwidth_gbs(Agent.FPGA, 0.0) < bw.bandwidth_gbs(
+            Agent.FPGA, 0.5
+        )
+
+    def test_around_6_5_overall(self, bw):
+        """Section 2.1: 'around 6.5 GB/s ... with an equal amount of
+        reads and writes'."""
+        assert bw.bandwidth_gbs(Agent.FPGA, 0.5) == pytest.approx(6.5, abs=0.5)
+
+
+class TestCpuCurve:
+    def test_sequential_read_ceiling(self, bw):
+        assert bw.bandwidth_gbs(Agent.CPU, 1.0) > 25
+
+    def test_monotone_decreasing(self, bw):
+        samples = [bw.bandwidth_gbs(Agent.CPU, f / 10) for f in range(11)]
+        assert samples == sorted(samples)
+
+    def test_cpu_above_fpga_everywhere(self, bw):
+        """Figure 2's headline: the CPU has ~3x the FPGA's bandwidth."""
+        for f in range(11):
+            frac = f / 10
+            assert bw.bandwidth_gbs(Agent.CPU, frac) > bw.bandwidth_gbs(
+                Agent.FPGA, frac
+            )
+
+    def test_3x_gap_at_read_heavy_mix(self, bw):
+        ratio = bw.bandwidth_gbs(Agent.CPU, 1.0) / bw.bandwidth_gbs(
+            Agent.FPGA, 1.0
+        )
+        assert ratio > 3.0
+
+
+class TestInterference:
+    def test_both_agents_lose(self, bw):
+        for agent in Agent:
+            alone = bw.bandwidth_gbs(agent, 0.5)
+            interfered = bw.bandwidth_gbs(agent, 0.5, interfered=True)
+            assert interfered < alone
+
+    def test_interference_factors(self, bw):
+        cpu_ratio = bw.bandwidth_gbs(Agent.CPU, 0.5, True) / bw.bandwidth_gbs(
+            Agent.CPU, 0.5
+        )
+        assert cpu_ratio == pytest.approx(0.65)
+
+
+class TestApi:
+    def test_string_agents(self, bw):
+        assert bw.bandwidth_gbs("fpga", 0.5) == bw.bandwidth_gbs(Agent.FPGA, 0.5)
+
+    def test_bytes_per_second(self, bw):
+        assert bw.bytes_per_second(Agent.FPGA, 0.5) == pytest.approx(6.97e9)
+
+    def test_out_of_range_fraction(self, bw):
+        with pytest.raises(ConfigurationError):
+            bw.bandwidth_gbs(Agent.CPU, 1.5)
+
+    def test_sweep_shape(self, bw):
+        points = bw.sweep(Agent.CPU, steps=11)
+        assert len(points) == 11
+        assert points[0][0] == 1.0 and points[-1][0] == 0.0
+
+    def test_sweep_validation(self, bw):
+        with pytest.raises(ConfigurationError):
+            bw.sweep(Agent.CPU, steps=1)
+
+    def test_custom_curves(self):
+        flat = BandwidthModel(fpga_points={0.0: 25.6, 1.0: 25.6})
+        assert flat.bandwidth_gbs(Agent.FPGA, 0.37) == pytest.approx(25.6)

@@ -1,0 +1,80 @@
+"""Tests for the benchmark reporting helpers."""
+
+import pytest
+
+from repro.bench import (
+    ExperimentTable,
+    format_table,
+    monotonically_decreasing,
+    monotonically_increasing,
+    relative_error,
+    shape_check,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFormatTable:
+    def test_alignment_and_structure(self):
+        text = format_table(
+            "T", ["name", "value"], [["a", 1.0], ["bb", 22.5]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2] and "value" in lines[2]
+        assert len(lines) == 6
+
+    def test_note_appended(self):
+        text = format_table("T", ["x"], [[1]], note="hello")
+        assert text.endswith("hello")
+
+    def test_float_formatting(self):
+        text = format_table("T", ["x"], [[1234.5678], [0.1234], [3.5]])
+        assert "1235" in text
+        assert "0.1234" in text
+        assert "3.50" in text
+
+
+class TestExperimentTable:
+    def make(self):
+        return ExperimentTable(
+            experiment_id="Figure X",
+            title="demo",
+            headers=["a", "b"],
+            rows=[[1, 2], [3, 4]],
+        )
+
+    def test_render_includes_id(self):
+        assert "[Figure X]" in self.make().render()
+
+    def test_column(self):
+        assert self.make().column("b") == [2, 4]
+
+    def test_unknown_column(self):
+        with pytest.raises(ConfigurationError):
+            self.make().column("z")
+
+    def test_emit_prints(self, capsys):
+        self.make().emit()
+        out = capsys.readouterr().out
+        assert "demo" in out
+
+
+class TestShapeHelpers:
+    def test_shape_check_passes(self):
+        shape_check(True, "Figure 1", "fine")
+
+    def test_shape_check_message(self):
+        with pytest.raises(AssertionError, match="Figure 1.*broken"):
+            shape_check(False, "Figure 1", "broken")
+
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        with pytest.raises(ConfigurationError):
+            relative_error(1, 0)
+
+    def test_monotone_helpers(self):
+        assert monotonically_increasing([1, 2, 2, 3])
+        assert not monotonically_increasing([1, 0.5])
+        assert monotonically_increasing([1, 0.99], tolerance=0.02)
+        assert monotonically_decreasing([3, 2, 2, 1])
+        assert not monotonically_decreasing([1, 2])

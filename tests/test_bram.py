@@ -1,0 +1,121 @@
+"""Tests for the BRAM latency/hazard model (Section 4.2's root cause)."""
+
+import pytest
+
+from repro.core.bram import Bram
+from repro.errors import ConfigurationError, SimulationError
+
+
+class TestBramLatency:
+    def test_read_arrives_after_latency(self):
+        bram = Bram(depth=8, latency=2)
+        bram.poke(3, "v")
+        bram.tick()
+        bram.issue_read(3)          # cycle 1
+        bram.tick()                 # cycle 2: still in flight
+        assert not bram.read_data_valid()
+        bram.tick()                 # cycle 3: delivered
+        assert bram.read_data_valid()
+        assert bram.read_data() == "v"
+
+    def test_latency_one(self):
+        bram = Bram(depth=4, latency=1)
+        bram.poke(0, 42)
+        bram.tick()
+        bram.issue_read(0)
+        bram.tick()
+        assert bram.read_data() == 42
+
+    def test_pipelined_reads_every_cycle(self):
+        bram = Bram(depth=8, latency=2)
+        for addr in range(4):
+            bram.poke(addr, addr * 10)
+        results = []
+        for cycle in range(7):
+            bram.tick()
+            if bram.read_data_valid():
+                results.append(bram.read_data())
+            if cycle < 4:
+                bram.issue_read(cycle)
+        assert results == [0, 10, 20, 30]
+
+    def test_no_read_means_invalid(self):
+        bram = Bram(depth=2, latency=1)
+        bram.tick()
+        assert not bram.read_data_valid()
+        assert bram.read_data() is None
+
+
+class TestBramHazard:
+    def test_read_before_write_returns_stale(self):
+        """A read issued in the same cycle as a write sees the OLD value
+        — the hazard the write combiner's forwarding exists for."""
+        bram = Bram(depth=4, latency=2)
+        bram.poke(1, "old")
+        bram.tick()
+        bram.issue_read(1)
+        bram.write(1, "new")        # same cycle
+        bram.tick()
+        bram.tick()
+        assert bram.read_data() == "old"
+
+    def test_write_one_cycle_after_issue_also_missed(self):
+        bram = Bram(depth=4, latency=2)
+        bram.poke(1, "old")
+        bram.tick()
+        bram.issue_read(1)
+        bram.tick()
+        bram.write(1, "new")        # 1 cycle after issue
+        bram.tick()
+        assert bram.read_data() == "old"
+
+    def test_write_before_issue_is_seen(self):
+        bram = Bram(depth=4, latency=2)
+        bram.tick()
+        bram.write(1, "new")
+        bram.tick()
+        bram.issue_read(1)
+        bram.tick()
+        bram.tick()
+        assert bram.read_data() == "new"
+
+
+class TestBramPorts:
+    def test_two_reads_per_cycle_rejected(self):
+        bram = Bram(depth=4, latency=1)
+        bram.tick()
+        bram.issue_read(0)
+        with pytest.raises(SimulationError, match="single read port"):
+            bram.issue_read(1)
+
+    def test_two_writes_per_cycle_rejected(self):
+        bram = Bram(depth=4, latency=1)
+        bram.tick()
+        bram.write(0, 1)
+        with pytest.raises(SimulationError, match="single write port"):
+            bram.write(1, 2)
+
+    def test_address_bounds(self):
+        bram = Bram(depth=4, latency=1)
+        bram.tick()
+        with pytest.raises(SimulationError):
+            bram.issue_read(4)
+        with pytest.raises(SimulationError):
+            bram.write(-1, 0)
+
+    @pytest.mark.parametrize("depth,latency", [(0, 1), (1, 0), (-3, 2)])
+    def test_invalid_geometry(self, depth, latency):
+        with pytest.raises(ConfigurationError):
+            Bram(depth=depth, latency=latency)
+
+
+class TestBramBackdoor:
+    def test_peek_poke(self):
+        bram = Bram(depth=2, latency=1)
+        bram.poke(0, 7)
+        assert bram.peek(0) == 7
+
+    def test_dump_skips_default(self):
+        bram = Bram(depth=4, latency=1, fill=0)
+        bram.poke(2, 5)
+        assert bram.dump() == {2: 5}

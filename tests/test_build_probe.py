@@ -1,0 +1,99 @@
+"""Tests for the build+probe kernel and its cost model."""
+
+import numpy as np
+import pytest
+
+from repro.constants import BP_CACHE_BUDGET_BYTES
+from repro.errors import ConfigurationError
+from repro.join.build_probe import BuildProbeCostModel, build_probe_partition
+
+
+class TestKernel:
+    def test_simple_join(self):
+        r_keys = np.array([1, 2, 3], dtype=np.uint32)
+        r_pay = np.array([10, 20, 30], dtype=np.uint32)
+        s_keys = np.array([2, 3, 4], dtype=np.uint32)
+        s_pay = np.array([200, 300, 400], dtype=np.uint32)
+        count, rp, sp, _ = build_probe_partition(r_keys, r_pay, s_keys, s_pay)
+        assert count == 2
+        pairs = sorted(zip(map(int, rp), map(int, sp)))
+        assert pairs == [(20, 200), (30, 300)]
+
+    def test_count_only_mode(self):
+        r = np.array([1], dtype=np.uint32)
+        s = np.array([1, 1], dtype=np.uint32)
+        count, rp, sp, _ = build_probe_partition(
+            r, r, s, s, collect_payloads=False
+        )
+        assert count == 2
+        assert rp is None and sp is None
+
+    def test_empty_sides(self):
+        empty = np.empty(0, dtype=np.uint32)
+        keys = np.array([1], dtype=np.uint32)
+        assert build_probe_partition(empty, empty, keys, keys)[0] == 0
+        assert build_probe_partition(keys, keys, empty, empty)[0] == 0
+
+
+class TestCostModel:
+    @pytest.fixture
+    def model(self):
+        return BuildProbeCostModel()
+
+    def test_in_cache_no_penalty(self, model):
+        assert model.cache_penalty(BP_CACHE_BUDGET_BYTES) == 1.0
+        assert model.cache_penalty(1024) == 1.0
+
+    def test_penalty_grows_per_doubling(self, model):
+        one = model.cache_penalty(2 * BP_CACHE_BUDGET_BYTES)
+        two = model.cache_penalty(4 * BP_CACHE_BUDGET_BYTES)
+        assert 1.0 < one < two
+
+    def test_more_partitions_faster_build_probe(self, model):
+        """Figure 10: splitting finer brings partitions into cache."""
+        n = 128 * 10**6
+        coarse = model.estimate(n, n, num_partitions=256, threads=1)
+        fine = model.estimate(n, n, num_partitions=8192, threads=1)
+        assert fine.total_seconds < coarse.total_seconds
+
+    def test_thread_scaling(self, model):
+        n = 128 * 10**6
+        one = model.estimate(n, n, 8192, threads=1)
+        ten = model.estimate(n, n, 8192, threads=10)
+        assert ten.total_seconds == pytest.approx(
+            one.total_seconds / 10, rel=0.01
+        )
+
+    def test_skew_bounds_scaling(self, model):
+        """A dominant partition caps parallel speedup (Figure 13)."""
+        n = 128 * 10**6
+        balanced = model.estimate(n, n, 8192, threads=10)
+        skewed = model.estimate(
+            n, n, 8192, threads=10, max_partition_share=0.5
+        )
+        assert skewed.total_seconds > 4 * balanced.total_seconds
+
+    def test_coherence_penalty_applied(self, model):
+        """Section 2.2: build+probe after FPGA partitioning is always
+        slower."""
+        n = 128 * 10**6
+        cpu = model.estimate(n, n, 8192, threads=10, fpga_partitioned=False)
+        fpga = model.estimate(n, n, 8192, threads=10, fpga_partitioned=True)
+        assert fpga.total_seconds > cpu.total_seconds
+        assert fpga.probe_seconds > 2 * cpu.probe_seconds  # random reads
+        assert fpga.build_seconds < 1.3 * cpu.build_seconds  # sequential
+
+    def test_workload_a_anchor(self, model):
+        """CPU join on workload A at 10 threads: partition (0.506 s) +
+        build+probe must land the join at ~436 Mtuples/s (Section 5.2)."""
+        n = 128 * 10**6
+        bp = model.estimate(n, n, 8192, threads=10)
+        total = 2 * n / 506e6 + bp.total_seconds
+        throughput = 2 * n / total / 1e6
+        assert throughput == pytest.approx(436, rel=0.03)
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            model.estimate(10, 10, 8192, threads=0)
+        with pytest.raises(ConfigurationError):
+            model.estimate(10, 10, 0)

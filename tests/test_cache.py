@@ -1,0 +1,113 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platform.cache import SetAssociativeCache
+
+
+def make_cache(capacity=1024, ways=2, line=64):
+    return SetAssociativeCache(capacity_bytes=capacity, ways=ways, line_bytes=line)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.access(63) is True  # same line
+
+    def test_different_lines(self):
+        cache = make_cache()
+        cache.access(0)
+        assert cache.access(64) is False
+
+    def test_hit_rate(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_geometry(self):
+        cache = make_cache(capacity=1024, ways=2, line=64)
+        assert cache.num_sets == 8
+
+
+class TestAssociativityAndLru:
+    def test_two_way_holds_two_conflicting_lines(self):
+        cache = make_cache(capacity=1024, ways=2, line=64)
+        stride = cache.num_sets * 64  # same set index
+        cache.access(0)
+        cache.access(stride)
+        assert cache.access(0) is True
+        assert cache.access(stride) is True
+
+    def test_third_conflicting_line_evicts_lru(self):
+        cache = make_cache(capacity=1024, ways=2, line=64)
+        stride = cache.num_sets * 64
+        cache.access(0)          # LRU after next access
+        cache.access(stride)
+        cache.access(2 * stride)  # evicts line 0
+        assert cache.access(0) is False
+        assert cache.evictions >= 1
+
+    def test_touch_refreshes_lru(self):
+        cache = make_cache(capacity=1024, ways=2, line=64)
+        stride = cache.num_sets * 64
+        cache.access(0)
+        cache.access(stride)
+        cache.access(0)           # 0 becomes MRU
+        cache.access(2 * stride)  # evicts `stride`
+        assert cache.access(0) is True
+        assert cache.access(stride) is False
+
+
+class TestSnoopInterface:
+    def test_contains_does_not_touch_lru(self):
+        cache = make_cache(capacity=1024, ways=2, line=64)
+        stride = cache.num_sets * 64
+        cache.access(0)
+        cache.access(stride)
+        assert cache.contains(0)
+        cache.access(2 * stride)  # should evict 0 (still LRU)
+        assert not cache.contains(0)
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.access(0)
+        assert cache.invalidate(0) is True
+        assert not cache.contains(0)
+        assert cache.invalidate(0) is False
+
+    def test_flush(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.flush()
+        assert not cache.contains(0)
+
+
+class TestFpgaCacheScenario:
+    def test_128kb_cache_cannot_hold_512mb_region(self):
+        """Why Table 1's snoops to the FPGA socket always miss."""
+        from repro.constants import FPGA_CACHE_BYTES, FPGA_CACHE_WAYS
+
+        cache = SetAssociativeCache(FPGA_CACHE_BYTES, FPGA_CACHE_WAYS)
+        lines_written = 16384  # 1 MB worth — already 8x the cache
+        for i in range(lines_written):
+            cache.access(i * 64)
+        resident = sum(1 for i in range(lines_written) if cache.contains(i * 64))
+        assert resident * 64 <= FPGA_CACHE_BYTES
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "capacity,ways,line", [(0, 2, 64), (1024, 0, 64), (1024, 2, 0)]
+    )
+    def test_positive_geometry(self, capacity, ways, line):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(capacity, ways, line)
+
+    def test_capacity_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(capacity_bytes=1000, ways=2, line_bytes=64)

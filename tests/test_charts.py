@@ -1,0 +1,88 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.bench.charts import bar_chart, chart_table_column, series_chart
+from repro.bench.reporting import ExperimentTable
+from repro.errors import ConfigurationError
+
+
+class TestBarChart:
+    def test_structure(self):
+        chart = bar_chart("T", ["a", "bb"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 4
+
+    def test_bars_proportional(self):
+        chart = bar_chart("T", ["half", "full"], [5.0, 10.0], width=10)
+        half_line, full_line = chart.splitlines()[2:]
+        assert half_line.count("#") == 5
+        assert full_line.count("#") == 10
+
+    def test_zero_value_gets_no_bar(self):
+        chart = bar_chart("T", ["z", "v"], [0.0, 1.0], width=10)
+        assert chart.splitlines()[2].count("#") == 0
+
+    def test_values_printed(self):
+        chart = bar_chart("T", ["x"], [42.5], unit=" Mt/s")
+        assert "42.5 Mt/s" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart("T", ["a"], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            bar_chart("T", [], [])
+        with pytest.raises(ConfigurationError):
+            bar_chart("T", ["a"], [-1.0])
+
+
+class TestSeriesChart:
+    def test_structure(self):
+        chart = series_chart(
+            "T", [1, 2, 3], {"up": [1, 2, 3], "down": [3, 2, 1]},
+            height=5, width=20,
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert "o up" in lines[-1]
+        assert "x down" in lines[-1]
+
+    def test_marks_land_on_extremes(self):
+        chart = series_chart(
+            "T", [0, 1], {"s": [0.0, 10.0]}, height=5, width=10
+        )
+        grid_lines = chart.splitlines()[2:7]
+        assert "o" in grid_lines[0]   # max at the top row
+        assert "o" in grid_lines[-1]  # min at the bottom row
+
+    def test_axis_ticks(self):
+        chart = series_chart("T", [1, 5], {"s": [2.0, 8.0]}, height=4)
+        assert "8" in chart and "1" in chart and "5" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            series_chart("T", [1, 2], {})
+        with pytest.raises(ConfigurationError):
+            series_chart("T", [1], {"s": [1.0]})
+        with pytest.raises(ConfigurationError):
+            series_chart("T", [1, 2], {"s": [1.0]})
+
+
+class TestTableColumnChart:
+    def make_table(self):
+        return ExperimentTable(
+            experiment_id="Fig X",
+            title="demo",
+            headers=["config", "rate"],
+            rows=[["a", 100.0], ["ref", "-"], ["b", 200.0]],
+        )
+
+    def test_skips_non_numeric_cells(self):
+        chart = chart_table_column(self.make_table(), "rate")
+        assert "ref" not in chart
+        assert "a" in chart and "b" in chart
+
+    def test_unknown_column(self):
+        with pytest.raises(ConfigurationError):
+            chart_table_column(self.make_table(), "nope")

@@ -1,0 +1,227 @@
+"""Tests for the top-level cycle-level circuit (Figure 5).
+
+These verify the paper's architectural claims on real simulated clocks:
+functional equivalence across all four modes, the no-internal-stall
+property on adversarial inputs, steady-state throughput of one cache
+line per cycle when the link allows it, and correct behaviour under
+QPI back-pressure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import PartitionerCircuit
+from repro.core.modes import (
+    HashKind,
+    LayoutMode,
+    OutputMode,
+    PartitionerConfig,
+)
+from repro.core.partitioner import FpgaPartitioner
+from repro.errors import SimulationError
+from tests.conftest import assert_same_partitions
+
+
+def run_both(config, keys, payloads, **circuit_kwargs):
+    circuit = PartitionerCircuit(config, **circuit_kwargs)
+    if config.layout_mode is LayoutMode.VRID:
+        sim = circuit.run(keys, None)
+    else:
+        sim = circuit.run(keys, payloads)
+    func = FpgaPartitioner(config).partition(keys, payloads)
+    return sim, func
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("output_mode", [OutputMode.PAD, OutputMode.HIST])
+    @pytest.mark.parametrize("layout_mode", [LayoutMode.RID, LayoutMode.VRID])
+    def test_modes_agree_with_functional(
+        self, output_mode, layout_mode, small_keys, small_payloads
+    ):
+        config = PartitionerConfig(
+            num_partitions=16,
+            output_mode=output_mode,
+            layout_mode=layout_mode,
+            pad_tuples=256,
+        )
+        sim, func = run_both(config, small_keys, small_payloads)
+        assert_same_partitions(sim.partitions_keys, func.partition_keys)
+        assert np.array_equal(sim.lines_per_partition, func.lines_per_partition)
+        assert np.array_equal(sim.base_lines, func.base_lines)
+
+    def test_radix_mode(self, small_keys, small_payloads):
+        config = PartitionerConfig(
+            num_partitions=16,
+            output_mode=OutputMode.PAD,
+            hash_kind=HashKind.RADIX,
+            pad_tuples=256,
+        )
+        sim, func = run_both(config, small_keys, small_payloads)
+        assert_same_partitions(sim.partitions_keys, func.partition_keys)
+
+    @pytest.mark.parametrize("tuple_bytes", [16, 32, 64])
+    def test_wider_tuples(self, tuple_bytes, rng):
+        keys = rng.integers(0, 2**32, size=200, dtype=np.uint64).astype(
+            np.uint32
+        )
+        payloads = np.arange(200, dtype=np.uint32)
+        config = PartitionerConfig(
+            num_partitions=8,
+            tuple_bytes=tuple_bytes,
+            output_mode=OutputMode.HIST,
+        )
+        sim, func = run_both(config, keys, payloads)
+        assert_same_partitions(sim.partitions_keys, func.partition_keys)
+        assert np.array_equal(sim.lines_per_partition, func.lines_per_partition)
+
+    def test_payloads_follow_their_keys(self, small_keys, small_payloads):
+        config = PartitionerConfig(num_partitions=8, output_mode=OutputMode.HIST)
+        sim = PartitionerCircuit(config).run(small_keys, small_payloads)
+        pairs_in = dict(zip(map(int, small_keys), map(int, small_payloads)))
+        for p_keys, p_payloads in zip(
+            sim.partitions_keys, sim.partitions_payloads
+        ):
+            for k, v in zip(p_keys, p_payloads):
+                assert pairs_in[int(k)] == int(v)
+
+
+class TestNoStallClaim:
+    def test_single_partition_burst_no_stalls(self):
+        """The adversarial input for the forwarding logic: every tuple
+        goes to the same partition.  The claim: no internal stalls
+        'regardless of input type'."""
+        keys = np.full(512, 16, dtype=np.uint32)  # all -> one partition
+        payloads = np.arange(512, dtype=np.uint32)
+        config = PartitionerConfig(
+            num_partitions=16,
+            output_mode=OutputMode.PAD,
+            hash_kind=HashKind.RADIX,
+            pad_tuples=1024,
+        )
+        sim = PartitionerCircuit(config).run(keys, payloads)
+        assert sim.stats.combiner_stall_cycles == 0
+        assert sim.stats.writeback_stall_cycles == 0
+        assert sum(len(k) for k in sim.partitions_keys) == 512
+
+    def test_alternating_partitions_no_stalls(self):
+        keys = np.tile(np.array([3, 7], dtype=np.uint32), 256)
+        payloads = np.arange(512, dtype=np.uint32)
+        config = PartitionerConfig(
+            num_partitions=16,
+            output_mode=OutputMode.PAD,
+            hash_kind=HashKind.RADIX,
+            pad_tuples=1024,
+        )
+        sim = PartitionerCircuit(config).run(keys, payloads)
+        assert sim.stats.combiner_stall_cycles == 0
+        counts = [len(k) for k in sim.partitions_keys]
+        assert counts[3] == 256 and counts[7] == 256
+
+
+class TestThroughput:
+    def test_one_line_per_cycle_unthrottled(self, rng):
+        """Without a bandwidth cap, the streaming portion must approach
+        one input line per clock cycle (Section 4's headline claim)."""
+        n = 2048
+        keys = rng.integers(0, 2**32, size=n, dtype=np.uint64).astype(
+            np.uint32
+        )
+        payloads = np.arange(n, dtype=np.uint32)
+        config = PartitionerConfig(
+            num_partitions=16, output_mode=OutputMode.PAD, pad_tuples=512
+        )
+        sim = PartitionerCircuit(config).run(keys, payloads)
+        lines_in = n // 8
+        streaming_cycles = sim.stats.partition_pass_cycles - sim.stats.flush_cycles
+        # pipeline fill + read latency add a small constant
+        assert streaming_cycles < lines_in + 80
+
+    def test_hist_costs_a_second_pass(self, small_keys, small_payloads):
+        pad = PartitionerConfig(
+            num_partitions=16, output_mode=OutputMode.PAD, pad_tuples=256
+        )
+        hist = PartitionerConfig(num_partitions=16, output_mode=OutputMode.HIST)
+        sim_pad = PartitionerCircuit(pad).run(small_keys, small_payloads)
+        sim_hist = PartitionerCircuit(hist).run(small_keys, small_payloads)
+        assert sim_hist.stats.histogram_pass_cycles > 0
+        assert sim_hist.stats.cycles > sim_pad.stats.cycles
+
+    def test_backpressure_slows_but_preserves_data(self, rng):
+        n = 1024
+        keys = rng.integers(0, 2**32, size=n, dtype=np.uint64).astype(
+            np.uint32
+        )
+        payloads = np.arange(n, dtype=np.uint32)
+        config = PartitionerConfig(
+            num_partitions=16, output_mode=OutputMode.PAD, pad_tuples=512
+        )
+        free = PartitionerCircuit(config).run(keys, payloads)
+        slow = PartitionerCircuit(config, qpi_bandwidth_gbs=6.5).run(
+            keys, payloads
+        )
+        assert slow.stats.cycles > free.stats.cycles
+        assert slow.stats.input_backpressure_cycles > 0
+        assert_same_partitions(slow.partitions_keys, free.partitions_keys)
+
+    def test_vrid_reads_half_the_lines(self, rng):
+        n = 1024
+        keys = rng.integers(0, 2**32, size=n, dtype=np.uint64).astype(
+            np.uint32
+        )
+        rid = PartitionerConfig(
+            num_partitions=16, output_mode=OutputMode.PAD, pad_tuples=512
+        )
+        vrid = PartitionerConfig(
+            num_partitions=16,
+            output_mode=OutputMode.PAD,
+            layout_mode=LayoutMode.VRID,
+            pad_tuples=512,
+        )
+        sim_rid = PartitionerCircuit(rid).run(keys, np.arange(n, dtype=np.uint32))
+        sim_vrid = PartitionerCircuit(vrid).run(keys, None)
+        assert sim_vrid.stats.lines_in * 2 == sim_rid.stats.lines_in
+
+
+class TestSafetyRails:
+    def test_max_cycles_guard(self, small_keys, small_payloads):
+        config = PartitionerConfig(
+            num_partitions=16, output_mode=OutputMode.PAD, pad_tuples=256
+        )
+        with pytest.raises(SimulationError, match="livelock"):
+            PartitionerCircuit(config).run(
+                small_keys, small_payloads, max_cycles=10
+            )
+
+    def test_vrid_rejects_payloads(self, small_keys, small_payloads):
+        config = PartitionerConfig(
+            num_partitions=16,
+            output_mode=OutputMode.PAD,
+            layout_mode=LayoutMode.VRID,
+        )
+        with pytest.raises(SimulationError):
+            PartitionerCircuit(config).run(small_keys, small_payloads)
+
+    def test_rid_requires_payloads(self, small_keys):
+        config = PartitionerConfig(num_partitions=16, output_mode=OutputMode.HIST)
+        with pytest.raises(SimulationError):
+            PartitionerCircuit(config).run(small_keys, None)
+
+    def test_forwarding_disabled_corrupts_end_to_end(self):
+        """The ablation: without forwarding registers the circuit
+        produces wrong partitions on bursty input."""
+        keys = np.full(256, 5, dtype=np.uint32)
+        payloads = np.arange(256, dtype=np.uint32)
+        config = PartitionerConfig(
+            num_partitions=16,
+            output_mode=OutputMode.PAD,
+            hash_kind=HashKind.RADIX,
+            pad_tuples=512,
+        )
+        sim = PartitionerCircuit(config, enable_forwarding=False).run(
+            keys, payloads
+        )
+        out_payloads = sorted(
+            int(v) for p in sim.partitions_payloads for v in p
+        )
+        # corruption shows as lost and/or duplicated tuples
+        assert out_payloads != list(range(256))

@@ -1,0 +1,131 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("fig9", "tab1", "sec48"):
+            assert key in out
+
+
+class TestValidate:
+    def test_prints_table(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "HIST/RID" in out and "PAD/VRID" in out
+        assert "294" in out
+
+
+class TestPartition:
+    def test_fpga_engine(self, capsys):
+        assert main(
+            ["partition", "--tuples", "5000", "--partitions", "64"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "5,000 tuples" in out
+        assert "Mtuples/s" in out
+
+    def test_cpu_engine(self, capsys):
+        assert main(
+            [
+                "partition", "--tuples", "5000", "--partitions", "64",
+                "--engine", "cpu", "--radix",
+            ]
+        ) == 0
+        assert "cpu" in capsys.readouterr().out
+
+    def test_vrid_mode(self, capsys):
+        assert main(
+            [
+                "partition", "--tuples", "5000", "--partitions", "64",
+                "--mode", "HIST/VRID",
+            ]
+        ) == 0
+        assert "HIST/VRID" in capsys.readouterr().out
+
+    def test_bad_mode(self):
+        with pytest.raises(SystemExit):
+            main(["partition", "--mode", "FAST/FURIOUS"])
+
+
+class TestJoin:
+    def test_join_table(self, capsys):
+        assert main(
+            ["join", "--workload", "A", "--scale", "200000",
+             "--threads", "4", "--partitions", "256"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cpu" in out and "matches" in out
+
+    def test_skewed_join_falls_back(self, capsys):
+        assert main(
+            ["join", "--workload", "A", "--scale", "200000",
+             "--threads", "4", "--partitions", "256", "--zipf", "1.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "HIST" in out  # the skewed side retried in HIST mode
+
+
+class TestSimulate:
+    def test_unthrottled(self, capsys):
+        assert main(
+            ["simulate", "--tuples", "512", "--partitions", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "lines/cycle" in out
+
+    def test_throttled(self, capsys):
+        assert main(
+            ["simulate", "--tuples", "512", "--partitions", "16",
+             "--bandwidth", "6.5"]
+        ) == 0
+        assert "back-pressure" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_written(self, tmp_path, capsys):
+        out = tmp_path / "REPORT.md"
+        assert main(["report", "--output", str(out)]) == 0
+        text = out.read_text()
+        assert "# Reproduction report" in text
+        assert "[Figure 9]" in text
+        assert "[Section 4.8]" in text
+
+
+class TestExperiment:
+    def test_unknown_id(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_loads_a_light_bench(self, capsys):
+        assert main(["experiment", "tab2"]) == 0
+        out = capsys.readouterr().out
+        assert "[Table 2]" in out
+
+    def test_chart_option(self, capsys):
+        assert main(["experiment", "tab2", "--chart", "bram"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out and "[Table 2] bram" in out
+
+    def test_every_registered_experiment_has_a_module(self):
+        from repro.cli import _benchmarks_dir
+
+        directory = _benchmarks_dir()
+        assert directory is not None
+        for module_name, _builder in _EXPERIMENTS.values():
+            assert (directory / f"{module_name}.py").exists(), module_name

@@ -1,0 +1,96 @@
+"""Tests for the coherence / snoop-penalty model (Section 2.2, Table 1)."""
+
+import pytest
+
+from repro.constants import (
+    COHERENCE_RANDOM_READ_PENALTY,
+    COHERENCE_SEQ_READ_PENALTY,
+)
+from repro.errors import ConfigurationError
+from repro.platform.coherence import (
+    CoherenceDirectory,
+    Socket,
+    table1_read_seconds,
+)
+
+
+class TestTable1:
+    def test_published_values(self):
+        assert table1_read_seconds(Socket.CPU, random_access=False) == 0.1381
+        assert table1_read_seconds(Socket.CPU, random_access=True) == 1.1537
+        assert table1_read_seconds(Socket.FPGA, random_access=False) == 0.1533
+        assert table1_read_seconds(Socket.FPGA, random_access=True) == 2.4876
+
+    def test_penalty_factors(self):
+        assert COHERENCE_RANDOM_READ_PENALTY == pytest.approx(2.156, abs=0.01)
+        assert COHERENCE_SEQ_READ_PENALTY == pytest.approx(1.11, abs=0.01)
+
+    def test_string_socket(self):
+        assert table1_read_seconds("fpga", True) == 2.4876
+
+    def test_bad_socket(self):
+        with pytest.raises(ValueError):
+            table1_read_seconds("gpu", True)
+
+
+class TestDirectory:
+    def test_default_is_cpu_homed(self):
+        directory = CoherenceDirectory()
+        assert directory.cpu_read_penalty("anything", random_access=True) == 1.0
+
+    def test_fpga_write_slows_random_reads(self):
+        directory = CoherenceDirectory()
+        directory.record_region_write("parts", Socket.FPGA)
+        penalty = directory.cpu_read_penalty("parts", random_access=True)
+        assert penalty == pytest.approx(COHERENCE_RANDOM_READ_PENALTY)
+
+    def test_fpga_write_mildly_slows_sequential_reads(self):
+        directory = CoherenceDirectory()
+        directory.record_region_write("parts", Socket.FPGA)
+        penalty = directory.cpu_read_penalty("parts", random_access=False)
+        assert 1.0 < penalty < 1.2
+
+    def test_reads_do_not_clear_the_penalty(self):
+        """The paper's observation: 'no matter how many times the CPU
+        reads it, it does not get faster' — the snoop filter updates on
+        writes only."""
+        directory = CoherenceDirectory()
+        directory.record_region_write("parts", Socket.FPGA)
+        for _ in range(5):
+            penalty = directory.cpu_read_penalty("parts", random_access=True)
+        assert penalty > 2.0
+
+    def test_cpu_write_rehomes(self):
+        """'Only after the CPU writes that same region do the reads
+        become just as fast.'"""
+        directory = CoherenceDirectory()
+        directory.record_region_write("parts", Socket.FPGA)
+        directory.record_region_write("parts", Socket.CPU)
+        assert directory.cpu_read_penalty("parts", random_access=True) == 1.0
+
+    def test_snoop_counter(self):
+        directory = CoherenceDirectory()
+        directory.record_region_write("parts", Socket.FPGA)
+        directory.cpu_read_penalty("parts", random_access=True)
+        directory.cpu_read_penalty("parts", random_access=False)
+        assert directory.snoops_to_fpga == 2
+
+
+class TestLineGranularity:
+    def test_mixed_writers_within_region(self):
+        directory = CoherenceDirectory()
+        directory.record_region_write("r", Socket.CPU)
+        directory.record_line_write("r", 128, Socket.FPGA)
+        assert directory.last_writer("r", 128) is Socket.FPGA
+        assert directory.last_writer("r", 0) is Socket.CPU
+
+    def test_region_write_clears_line_records(self):
+        directory = CoherenceDirectory()
+        directory.record_line_write("r", 128, Socket.FPGA)
+        directory.record_region_write("r", Socket.CPU)
+        assert directory.last_writer("r", 128) is Socket.CPU
+
+    def test_line_granularity_is_cache_lines(self):
+        directory = CoherenceDirectory()
+        directory.record_line_write("r", 64, Socket.FPGA)
+        assert directory.last_writer("r", 100) is Socket.FPGA  # same line

@@ -1,0 +1,123 @@
+"""Tests for the CPU partitioning cost model (Figure 4 shapes)."""
+
+import pytest
+
+from repro.core.modes import HashKind
+from repro.cpu.cost_model import CpuCostModel
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import KeyDistribution
+
+
+@pytest.fixture
+def model():
+    return CpuCostModel()
+
+
+class TestMemoryCeiling:
+    def test_10_thread_anchor(self, model):
+        """Figure 9: the 10-thread CPU partitioner reaches ~506
+        Mtuples/s for 8 B tuples."""
+        rate = model.estimate(10, HashKind.RADIX).tuples_per_second
+        assert rate == pytest.approx(506e6, rel=0.03)
+
+    def test_ceiling_independent_of_hash(self, model):
+        radix = model.memory_bound_rate(8)
+        assert radix == model.memory_bound_rate(8)
+
+    def test_wider_tuples_lower_ceiling(self, model):
+        assert model.memory_bound_rate(16) < model.memory_bound_rate(8)
+
+    def test_interference_lowers_ceiling(self, model):
+        assert model.memory_bound_rate(8, interfered=True) < \
+            model.memory_bound_rate(8)
+
+
+class TestFigure4Shapes:
+    def test_radix_faster_single_threaded(self, model):
+        """Hash partitioning costs up to ~50% more time at 1 thread
+        (Section 5.3)."""
+        radix = model.estimate(1, HashKind.RADIX).tuples_per_second
+        hash_ = model.estimate(1, HashKind.MURMUR).tuples_per_second
+        assert radix / hash_ == pytest.approx(1.5, abs=0.1)
+
+    def test_parity_at_ten_threads(self, model):
+        """'the throughput slowdown observed with few threads
+        disappears' — both saturate the memory ceiling."""
+        radix = model.estimate(10, HashKind.RADIX).tuples_per_second
+        hash_ = model.estimate(10, HashKind.MURMUR).tuples_per_second
+        assert radix == pytest.approx(hash_, rel=0.01)
+
+    def test_linear_scaling_before_saturation(self, model):
+        one = model.estimate(1, HashKind.MURMUR).tuples_per_second
+        two = model.estimate(2, HashKind.MURMUR).tuples_per_second
+        assert two == pytest.approx(2 * one, rel=0.01)
+
+    def test_memory_bound_flag_flips(self, model):
+        assert not model.estimate(1, HashKind.RADIX).memory_bound
+        assert model.estimate(10, HashKind.RADIX).memory_bound
+
+    def test_radix_degrades_on_grid_distributions(self, model):
+        linear = model.estimate(
+            1, HashKind.RADIX, KeyDistribution.LINEAR
+        ).tuples_per_second
+        rev_grid = model.estimate(
+            1, HashKind.RADIX, KeyDistribution.REVERSE_GRID
+        ).tuples_per_second
+        assert rev_grid < linear
+
+    def test_hash_is_distribution_blind(self, model):
+        """Figure 4: 'hash partitioning delivers for every key
+        distribution the same throughput'."""
+        rates = {
+            model.estimate(4, HashKind.MURMUR, d).tuples_per_second
+            for d in (
+                KeyDistribution.LINEAR,
+                KeyDistribution.RANDOM,
+                KeyDistribution.GRID,
+                KeyDistribution.REVERSE_GRID,
+            )
+        }
+        assert len(rates) == 1
+
+
+class TestFanoutEffect:
+    def test_single_thread_slower_with_more_partitions(self, model):
+        """Figure 10a: more partitions, more single-thread partitioning
+        time."""
+        few = model.estimate(
+            1, HashKind.RADIX, num_partitions=256
+        ).tuples_per_second
+        many = model.estimate(
+            1, HashKind.RADIX, num_partitions=8192
+        ).tuples_per_second
+        assert few > many
+
+    def test_10_threads_insensitive_to_partitions(self, model):
+        """Figure 10b: the 10-thread partitioner is memory bound, so
+        'the performance remains the same across all the number of
+        partitions'."""
+        few = model.estimate(
+            10, HashKind.RADIX, num_partitions=256
+        ).tuples_per_second
+        many = model.estimate(
+            10, HashKind.RADIX, num_partitions=8192
+        ).tuples_per_second
+        assert few == pytest.approx(many, rel=0.01)
+
+
+class TestApi:
+    def test_seconds_scale_with_input(self, model):
+        t1 = model.partitioning_seconds(10**6, 4)
+        t2 = model.partitioning_seconds(2 * 10**6, 4)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_invalid_threads(self, model):
+        with pytest.raises(ConfigurationError):
+            model.estimate(0, HashKind.RADIX)
+
+    def test_string_enums_accepted(self, model):
+        rate = model.estimate(2, "murmur", "grid").tuples_per_second
+        assert rate > 0
+
+    def test_throughput_helper(self, model):
+        assert model.throughput_mtuples(10) == pytest.approx(506, rel=0.03)

@@ -1,0 +1,187 @@
+"""Tests for the CPU partitioning implementations (Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.modes import HashKind, PartitionerConfig
+from repro.core.partitioner import FpgaPartitioner
+from repro.cpu.naive import naive_partition
+from repro.cpu.partitioner import CpuPartitioner
+from repro.cpu.swwc_buffers import swwc_partition
+from repro.errors import ConfigurationError
+from tests.conftest import assert_same_partitions
+
+
+class TestSwwcPartitioning:
+    def test_nothing_lost(self, small_keys, small_payloads):
+        keys_out, payloads_out, counts, _ = swwc_partition(
+            small_keys, small_payloads, 16, use_hash=True
+        )
+        assert counts.sum() == small_keys.shape[0]
+        collected = sorted(
+            int(v) for arr in payloads_out for v in arr
+        )
+        assert collected == list(range(small_keys.shape[0]))
+
+    def test_matches_naive(self, small_keys, small_payloads):
+        swwc_keys, _, _, _ = swwc_partition(
+            small_keys, small_payloads, 16, use_hash=True
+        )
+        naive_keys, _, _, _ = naive_partition(
+            small_keys, small_payloads, 16, use_hash=True
+        )
+        assert_same_partitions(swwc_keys, naive_keys)
+
+    @pytest.mark.parametrize("threads", [1, 2, 4, 10])
+    def test_thread_count_invariant_multisets(
+        self, threads, small_keys, small_payloads
+    ):
+        single, _, counts1, _ = swwc_partition(
+            small_keys, small_payloads, 16, use_hash=True, threads=1
+        )
+        multi, _, countsn, _ = swwc_partition(
+            small_keys, small_payloads, 16, use_hash=True, threads=threads
+        )
+        assert np.array_equal(counts1, countsn)
+        assert_same_partitions(single, multi)
+
+    def test_thread_order_within_partition(self):
+        """Thread 0's tuples precede thread 1's within each partition —
+        the layout the two-level prefix sum produces."""
+        keys = np.array([0, 0, 0, 0], dtype=np.uint32)
+        payloads = np.array([10, 11, 20, 21], dtype=np.uint32)
+        _, payloads_out, _, _ = swwc_partition(
+            keys, payloads, 2, use_hash=False, threads=2
+        )
+        assert list(payloads_out[0]) == [10, 11, 20, 21]
+
+    def test_single_thread_preserves_input_order(self):
+        keys = np.array([2, 0, 2, 0], dtype=np.uint32)
+        payloads = np.array([0, 1, 2, 3], dtype=np.uint32)
+        _, payloads_out, _, _ = swwc_partition(
+            keys, payloads, 4, use_hash=False, threads=1
+        )
+        assert list(payloads_out[0]) == [1, 3]
+        assert list(payloads_out[2]) == [0, 2]
+
+    def test_buffer_flush_accounting(self):
+        keys = np.zeros(20, dtype=np.uint32)  # one partition, 20 tuples
+        payloads = np.arange(20, dtype=np.uint32)
+        _, _, _, stats = swwc_partition(
+            keys, payloads, 4, use_hash=False, buffer_tuples=8
+        )
+        assert stats.full_buffer_flushes == 2   # 16 tuples
+        assert stats.partial_buffer_flushes == 1  # final 4
+        assert stats.tuples_written == 20
+        assert stats.non_temporal_bytes == 20 * 8
+
+    def test_more_threads_than_tuples(self):
+        keys = np.array([1, 2], dtype=np.uint32)
+        payloads = np.array([0, 1], dtype=np.uint32)
+        _, _, counts, _ = swwc_partition(
+            keys, payloads, 4, use_hash=False, threads=8
+        )
+        assert counts.sum() == 2
+
+    def test_invalid_threads(self, small_keys, small_payloads):
+        with pytest.raises(ConfigurationError):
+            swwc_partition(small_keys, small_payloads, 16, threads=0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            swwc_partition(
+                np.zeros(3, dtype=np.uint32),
+                np.zeros(2, dtype=np.uint32),
+                4,
+            )
+
+
+class TestNaiveTrafficClaim:
+    def test_16x_write_combining_gain_for_8b(self, small_keys, small_payloads):
+        """Section 4.2's arithmetic: (64+64) bytes per tuple without
+        combining vs 8 bytes with it."""
+        _, _, _, stats = naive_partition(
+            small_keys, small_payloads, 16, tuple_bytes=8
+        )
+        assert stats.write_combining_gain == pytest.approx(16.0)
+
+    def test_gain_shrinks_for_wide_tuples(self, small_keys, small_payloads):
+        _, _, _, stats = naive_partition(
+            small_keys, small_payloads, 16, tuple_bytes=64
+        )
+        assert stats.write_combining_gain == pytest.approx(2.0)
+
+
+class TestCpuPartitionerApi:
+    def test_counts_match_fpga_same_hash(self, small_keys, small_payloads):
+        cpu = CpuPartitioner(
+            num_partitions=32, hash_kind=HashKind.MURMUR
+        ).partition(small_keys, small_payloads)
+        fpga = FpgaPartitioner(
+            PartitionerConfig(num_partitions=32)
+        ).partition(small_keys, small_payloads)
+        assert np.array_equal(cpu.counts, fpga.counts)
+        assert_same_partitions(cpu.partition_keys, fpga.partition_keys)
+
+    def test_no_dummy_padding(self, small_keys, small_payloads):
+        out = CpuPartitioner(num_partitions=16).partition(
+            small_keys, small_payloads
+        )
+        assert out.dummy_slots == 0
+        assert out.padding_fraction == 0.0
+
+    def test_traffic_is_three_scans(self, small_keys, small_payloads):
+        out = CpuPartitioner(num_partitions=16).partition(
+            small_keys, small_payloads
+        )
+        n = small_keys.shape[0]
+        assert out.bytes_read == 2 * n * 8
+        assert out.bytes_written == n * 8
+
+    def test_produced_by(self, small_keys, small_payloads):
+        out = CpuPartitioner(num_partitions=16).partition(
+            small_keys, small_payloads
+        )
+        assert out.produced_by == "cpu"
+
+    def test_matching_config(self):
+        config = PartitionerConfig(num_partitions=256, hash_kind=HashKind.RADIX)
+        cpu = CpuPartitioner.matching(config)
+        assert cpu.num_partitions == 256
+        assert cpu.hash_kind is HashKind.RADIX
+
+    def test_estimate_seconds_positive(self):
+        cpu = CpuPartitioner(num_partitions=8192, threads=10)
+        assert cpu.estimate_seconds(128 * 10**6) > 0
+
+
+class TestMultipassRadix:
+    @pytest.mark.parametrize("passes", [1, 2, 3])
+    def test_equals_single_pass(self, passes, small_keys, small_payloads):
+        cpu = CpuPartitioner(num_partitions=64, hash_kind=HashKind.RADIX)
+        single = cpu.partition(small_keys, small_payloads)
+        multi_keys, multi_payloads, counts, _ = cpu.multipass_radix(
+            small_keys, small_payloads, passes=passes
+        )
+        assert np.array_equal(counts, single.counts)
+        assert_same_partitions(multi_keys, single.partition_keys)
+
+    def test_more_passes_more_traffic(self, small_keys, small_payloads):
+        cpu = CpuPartitioner(num_partitions=64, hash_kind=HashKind.RADIX)
+        _, _, _, bytes_1 = cpu.multipass_radix(
+            small_keys, small_payloads, passes=1
+        )
+        _, _, _, bytes_2 = cpu.multipass_radix(
+            small_keys, small_payloads, passes=2
+        )
+        assert bytes_2 > bytes_1
+
+    def test_requires_radix(self, small_keys, small_payloads):
+        cpu = CpuPartitioner(num_partitions=64, hash_kind=HashKind.MURMUR)
+        with pytest.raises(ConfigurationError):
+            cpu.multipass_radix(small_keys, small_payloads)
+
+    def test_too_many_passes(self, small_keys, small_payloads):
+        cpu = CpuPartitioner(num_partitions=4, hash_kind=HashKind.RADIX)
+        with pytest.raises(ConfigurationError):
+            cpu.multipass_radix(small_keys, small_payloads, passes=3)

@@ -1,0 +1,79 @@
+"""Tests for the streamed key generation and histograms."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import (
+    partition_histogram,
+    partition_histogram_streamed,
+)
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import (
+    KeyDistribution,
+    generate_keys,
+    iter_key_chunks,
+)
+
+
+class TestIterKeyChunks:
+    @pytest.mark.parametrize(
+        "name", ["linear", "grid", "reverse_grid"]
+    )
+    def test_chunks_concatenate_to_whole(self, name):
+        n = 10_000
+        whole = generate_keys(name, n)
+        chunks = list(iter_key_chunks(name, n, chunk_size=1234))
+        assert np.array_equal(np.concatenate(chunks), whole)
+
+    def test_random_chunks_match_whole_stream(self):
+        n = 5000
+        whole = generate_keys("random", n, seed=7)
+        chunks = np.concatenate(
+            list(iter_key_chunks("random", n, chunk_size=999, seed=7))
+        )
+        assert np.array_equal(chunks, whole)
+
+    def test_chunk_sizes(self):
+        chunks = list(iter_key_chunks("linear", 10, chunk_size=4))
+        assert [c.shape[0] for c in chunks] == [4, 4, 2]
+
+    def test_zipf_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(iter_key_chunks(KeyDistribution.ZIPF, 10))
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ConfigurationError):
+            list(iter_key_chunks("linear", 10, chunk_size=0))
+
+
+class TestStreamedHistogram:
+    @pytest.mark.parametrize("use_hash", [True, False])
+    def test_matches_materialised(self, use_hash):
+        n = 20_000
+        whole = partition_histogram(
+            generate_keys("grid", n), 256, use_hash=use_hash
+        )
+        streamed = partition_histogram_streamed(
+            "grid", n, 256, use_hash=use_hash, chunk_size=3000
+        )
+        assert np.array_equal(whole, streamed)
+
+    def test_counts_sum(self):
+        streamed = partition_histogram_streamed(
+            "reverse_grid", 12345, 64, use_hash=False, chunk_size=1000
+        )
+        assert streamed.sum() == 12345
+
+    def test_full_scale_reverse_grid_shape(self):
+        """The Figure 12 timing input: at paper scale, reverse-grid
+        radix partitions are ~4x the fair share — imbalanced enough to
+        hurt build+probe but not collapsed to a handful (that only
+        happens on small samples)."""
+        n = 128 * 10**6
+        counts = partition_histogram_streamed(
+            "reverse_grid", n, 8192, use_hash=False, chunk_size=1 << 23
+        )
+        occupied = int((counts > 0).sum())
+        fair = n / 8192
+        assert 1000 < occupied < 4096
+        assert counts.max() < 10 * fair

@@ -1,0 +1,146 @@
+"""Failure-injection tests: the simulator must fail loudly, not wrongly.
+
+A simulator that silently produces plausible-but-wrong results is worse
+than no simulator; these tests corrupt internal state, misconfigure the
+datapath and break invariants on purpose, and assert that each fault is
+either detected (raises) or visibly corrupts the output — never
+silently absorbed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import PAGE_BYTES
+from repro.core.bram import Bram
+from repro.core.circuit import PartitionerCircuit
+from repro.core.fifo import Fifo
+from repro.core.modes import HashKind, OutputMode, PartitionerConfig
+from repro.core.write_back import WriteBackModule
+from repro.core.tuples import CacheLine
+from repro.errors import (
+    AddressTranslationError,
+    ConfigurationError,
+    FifoOverflowError,
+    MemoryError_,
+    SimulationError,
+)
+from repro.platform.machine import XeonFpgaPlatform
+
+
+def run_circuit(keys, config, circuit=None):
+    circuit = circuit or PartitionerCircuit(config)
+    return circuit.run(keys, np.arange(keys.shape[0], dtype=np.uint32))
+
+
+class TestCorruptedState:
+    def test_corrupted_fill_rate_loses_tuples(self):
+        """Resetting a combiner's fill rate mid-run overwrites the
+        slots that held real tuples — the loss must be visible in the
+        output, not silently papered over."""
+        from repro.core.hash_module import HashedTuple
+        from repro.core.write_combiner import WriteCombiner
+
+        inp, out = Fifo(64), Fifo(64)
+        wc = WriteCombiner(16, 8, inp, out)
+        for i in range(5):  # slots 0..4 of partition 3 fill up
+            inp.push(HashedTuple(key=i, payload=i, partition=3))
+        for _ in range(16):
+            wc.tick()
+        wc._fill_rate.poke(3, 0)  # inject the fault
+        for i in range(5, 13):  # 8 more tuples overwrite slots 0..4
+            inp.push(HashedTuple(key=i, payload=i, partition=3))
+        for _ in range(32):
+            wc.tick()
+        while wc.flush_cycle():
+            pass
+        emitted = 0
+        while not out.is_empty():
+            emitted += out.pop().num_valid
+        assert emitted < 13  # tuples were demonstrably lost
+
+    def test_misloaded_base_addresses_detected(self):
+        """Overlapping partition regions violate the write-back
+        containment invariant and must raise, not interleave data."""
+        out_fifo = Fifo(8)
+        lanes = [Fifo(8)]
+        wb = WriteBackModule(4, lanes, out_fifo)
+        # partitions 0 and 1 share a base: second line of either lands
+        # in foreign territory at collection time; here we check the
+        # module-level symptom — duplicate destination addresses.
+        wb.load_base_addresses(np.array([0, 0, 10, 20]))
+        line_a = CacheLine(
+            keys=np.zeros(8, dtype=np.uint32),
+            payloads=np.zeros(8, dtype=np.uint32),
+            partition=0,
+        )
+        line_b = CacheLine(
+            keys=np.ones(8, dtype=np.uint32),
+            payloads=np.ones(8, dtype=np.uint32),
+            partition=1,
+        )
+        lanes[0].push(line_a)
+        lanes[0].push(line_b)
+        for _ in range(10):
+            wb.tick()
+        addresses = []
+        while not out_fifo.is_empty():
+            addresses.append(out_fifo.pop().address)
+        assert len(set(addresses)) < len(addresses)  # collision visible
+
+
+class TestBrokenFlowControl:
+    def test_fifo_overflow_is_loud(self):
+        fifo = Fifo(2)
+        fifo.push(1)
+        fifo.push(2)
+        with pytest.raises(FifoOverflowError):
+            fifo.push(3)
+
+    def test_too_shallow_fifos_rejected_up_front(self):
+        config = PartitionerConfig(num_partitions=16)
+        with pytest.raises(ConfigurationError, match="read latency"):
+            PartitionerCircuit(config, fifo_depth=4)
+
+    def test_bram_port_contention_is_loud(self):
+        bram = Bram(depth=4, latency=1)
+        bram.tick()
+        bram.write(0, 1)
+        with pytest.raises(SimulationError):
+            bram.write(1, 2)
+
+
+class TestPlatformFaults:
+    def test_cleared_page_table_detected(self):
+        platform = XeonFpgaPlatform(memory_bytes=8 * PAGE_BYTES)
+        region = platform.allocate_shared("r", PAGE_BYTES)
+        platform.page_table.clear()
+        with pytest.raises(AddressTranslationError):
+            platform.page_table.translate(region.virtual_base)
+
+    def test_unmapped_access_detected(self):
+        platform = XeonFpgaPlatform(memory_bytes=8 * PAGE_BYTES)
+        platform.allocate_shared("r", PAGE_BYTES)
+        with pytest.raises(AddressTranslationError):
+            platform.page_table.translate(3 * PAGE_BYTES)
+
+    def test_unaligned_qpi_access_detected(self):
+        platform = XeonFpgaPlatform(memory_bytes=8 * PAGE_BYTES)
+        with pytest.raises(MemoryError_):
+            platform.qpi.read_line(33)
+
+    def test_double_allocation_detected(self):
+        platform = XeonFpgaPlatform(memory_bytes=8 * PAGE_BYTES)
+        platform.allocate_shared("r", PAGE_BYTES)
+        with pytest.raises(MemoryError_):
+            platform.allocate_shared("r", PAGE_BYTES)
+
+
+class TestLivelockGuard:
+    def test_stuck_pipeline_raises_not_spins(self, rng):
+        keys = rng.integers(0, 2**32, 256, dtype=np.uint64).astype(np.uint32)
+        config = PartitionerConfig(num_partitions=16, output_mode=OutputMode.PAD,
+                                   pad_tuples=512)
+        with pytest.raises(SimulationError, match="livelock"):
+            PartitionerCircuit(config).run(
+                keys, np.arange(256, dtype=np.uint32), max_cycles=5
+            )

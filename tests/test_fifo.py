@@ -1,0 +1,64 @@
+"""Tests for the cycle-accurate FIFO model."""
+
+import pytest
+
+from repro.core.fifo import Fifo
+from repro.errors import ConfigurationError, FifoOverflowError, FifoUnderflowError
+
+
+class TestFifoBasics:
+    def test_fifo_order(self):
+        fifo = Fifo(4)
+        for i in range(4):
+            fifo.push(i)
+        assert [fifo.pop() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_len_and_free_slots(self):
+        fifo = Fifo(3)
+        assert len(fifo) == 0 and fifo.free_slots == 3
+        fifo.push("a")
+        assert len(fifo) == 1 and fifo.free_slots == 2
+
+    def test_empty_full_flags(self):
+        fifo = Fifo(1)
+        assert fifo.is_empty() and not fifo.is_full()
+        fifo.push(1)
+        assert fifo.is_full() and not fifo.is_empty()
+
+    def test_peek_is_nondestructive(self):
+        fifo = Fifo(2)
+        fifo.push("x")
+        assert fifo.peek() == "x"
+        assert len(fifo) == 1
+
+    def test_peek_empty_returns_none(self):
+        assert Fifo(1).peek() is None
+
+
+class TestFifoErrors:
+    def test_overflow_raises(self):
+        fifo = Fifo(1, name="t")
+        fifo.push(1)
+        with pytest.raises(FifoOverflowError, match="back-pressure"):
+            fifo.push(2)
+
+    def test_underflow_raises(self):
+        with pytest.raises(FifoUnderflowError):
+            Fifo(1).pop()
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_invalid_capacity(self, bad):
+        with pytest.raises(ConfigurationError):
+            Fifo(bad)
+
+
+class TestFifoStats:
+    def test_counters(self):
+        fifo = Fifo(8)
+        for i in range(5):
+            fifo.push(i)
+        fifo.pop()
+        fifo.push(5)
+        assert fifo.total_pushed == 6
+        assert fifo.total_popped == 1
+        assert fifo.max_occupancy == 5

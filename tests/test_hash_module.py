@@ -1,0 +1,109 @@
+"""Tests for the pipelined hash-function module (Section 4.1)."""
+
+import numpy as np
+
+from repro.constants import CYCLES_HASHING
+from repro.core.hash_module import HashModule
+from repro.core.hashing import murmur3_finalizer, partition_of
+
+
+class TestLatency:
+    def test_exactly_five_cycles(self):
+        module = HashModule(partition_bits=8)
+        out = module.tick((42, 0))
+        assert out is None
+        for _ in range(CYCLES_HASHING - 1):
+            assert module.tick() is None
+        result = module.tick()
+        assert result is not None
+        assert result.key == 42
+
+    def test_empty_then_refill(self):
+        module = HashModule(partition_bits=4)
+        module.tick((1, 1))
+        for _ in range(CYCLES_HASHING):
+            module.tick()
+        assert module.is_empty()
+        module.tick((2, 2))
+        assert not module.is_empty()
+
+
+class TestThroughput:
+    def test_one_tuple_per_cycle(self):
+        """Code 3's point: the 5-stage pipeline accepts a new input
+        every cycle and emits one output every cycle once full."""
+        module = HashModule(partition_bits=8)
+        outputs = []
+        n = 50
+        for i in range(n + CYCLES_HASHING):
+            incoming = (i, i) if i < n else None
+            out = module.tick(incoming)
+            if out is not None:
+                outputs.append(out)
+        assert len(outputs) == n
+        assert [o.key for o in outputs] == list(range(n))
+
+    def test_bubbles_pass_through(self):
+        module = HashModule(partition_bits=8)
+        pattern = [(1, 1), None, (2, 2), None, None, (3, 3)]
+        outputs = []
+        for incoming in pattern + [None] * CYCLES_HASHING:
+            out = module.tick(incoming)
+            if out is not None:
+                outputs.append(out.key)
+        assert outputs == [1, 2, 3]
+
+
+class TestBitExactness:
+    def test_matches_functional_murmur(self):
+        module = HashModule(partition_bits=13, use_hash=True)
+        keys = [0, 1, 0xDEADBEEF, 2**32 - 1, 12345]
+        outputs = {}
+        for i, key in enumerate(keys):
+            module.tick((key, i))
+        for _ in range(CYCLES_HASHING):
+            out = module.tick()
+            if out is not None:
+                outputs[out.key] = out.partition
+        # drain remaining
+        while not module.is_empty():
+            out = module.tick()
+            if out is not None:
+                outputs[out.key] = out.partition
+        for key in keys:
+            expected = int(murmur3_finalizer(key)) & (2**13 - 1)
+            assert outputs[key] == expected
+
+    def test_radix_mode(self):
+        module = HashModule(partition_bits=4, use_hash=False)
+        module.tick((0b10110101, 0))
+        result = None
+        while result is None:
+            result = module.tick()
+        assert result.partition == 0b0101
+
+    def test_matches_partition_of_vectorised(self, rng):
+        keys = rng.integers(0, 2**32, size=64, dtype=np.uint64).astype(
+            np.uint32
+        )
+        expected = np.asarray(partition_of(keys, 256, use_hash=True))
+        module = HashModule(partition_bits=8, use_hash=True)
+        got = {}
+        for i, key in enumerate(keys):
+            out = module.tick((int(key), i))
+            if out is not None:
+                got[out.payload] = out.partition
+        while not module.is_empty():
+            out = module.tick()
+            if out is not None:
+                got[out.payload] = out.partition
+        for i in range(64):
+            assert got[i] == int(expected[i])
+
+    def test_payload_carried_untouched(self):
+        module = HashModule(partition_bits=8)
+        module.tick((99, 0xCAFE))
+        result = None
+        while result is None:
+            result = module.tick()
+        assert result.payload == 0xCAFE

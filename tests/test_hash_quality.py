@@ -1,0 +1,100 @@
+"""Tests for the hash-family robustness analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.hash_quality import (
+    TabulationHash,
+    hash_families,
+    multiply_shift,
+    robust_families,
+    robustness_report,
+)
+from repro.errors import ConfigurationError
+
+
+class TestMultiplyShift:
+    def test_deterministic(self):
+        keys = np.arange(100, dtype=np.uint32)
+        assert np.array_equal(multiply_shift(keys), multiply_shift(keys))
+
+    def test_output_range(self):
+        keys = np.arange(1000, dtype=np.uint32)
+        out = multiply_shift(keys, bits=8)
+        assert int(out.max()) < 256
+
+    def test_spreads_consecutive_keys(self):
+        keys = np.arange(10000, dtype=np.uint32)
+        out = multiply_shift(keys, bits=8)
+        counts = np.bincount(out, minlength=256)
+        assert counts.max() < 3 * counts.mean()
+
+    def test_bits_validated(self):
+        with pytest.raises(ConfigurationError):
+            multiply_shift(np.arange(4, dtype=np.uint32), bits=0)
+
+
+class TestTabulation:
+    def test_deterministic_per_seed(self):
+        keys = np.arange(100, dtype=np.uint32)
+        a = TabulationHash(seed=1)(keys)
+        b = TabulationHash(seed=1)(keys)
+        c = TabulationHash(seed=2)(keys)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_single_byte_change_changes_hash(self):
+        tab = TabulationHash()
+        a = tab(np.array([0x00000000], dtype=np.uint32))
+        b = tab(np.array([0x00000100], dtype=np.uint32))
+        assert int(a[0]) != int(b[0])
+
+    def test_spreads_grid_keys(self):
+        from repro.workloads.distributions import grid_keys
+
+        tab = TabulationHash()
+        out = tab(grid_keys(50000)) & np.uint32(0xFF)
+        counts = np.bincount(out, minlength=256)
+        assert counts.min() > 0
+
+
+class TestRobustnessReport:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return robustness_report(num_keys=100_000, num_partitions=512)
+
+    def test_radix_is_the_only_fragile_family(self, matrix):
+        verdicts = robust_families(matrix)
+        assert verdicts == {
+            "radix": False,
+            "multiply_shift": True,
+            "tabulation": True,
+            "murmur": True,
+        }
+
+    def test_radix_fails_exactly_the_grid_family(self, matrix):
+        cells = matrix["radix"]
+        assert cells["linear"].balanced
+        assert cells["random"].balanced
+        assert not cells["grid"].balanced
+        assert not cells["reverse_grid"].balanced
+
+    def test_murmur_tightest_balance(self, matrix):
+        """The paper's choice is at least as balanced as the cheaper
+        robust families on the adversarial inputs."""
+        for distribution in ("grid", "reverse_grid"):
+            murmur = matrix["murmur"][distribution].report.max_over_mean
+            assert murmur < 1.5
+
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ConfigurationError):
+            robustness_report(num_keys=100, num_partitions=100)
+
+    def test_families_registry(self):
+        families = hash_families()
+        assert set(families) == {
+            "radix", "multiply_shift", "tabulation", "murmur"
+        }
+        keys = np.arange(16, dtype=np.uint32)
+        for fn in families.values():
+            assert fn(keys).shape == keys.shape

@@ -1,0 +1,124 @@
+"""Tests for the bucket-chaining hash table ([21])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.join.hash_table import BucketChainingHashTable
+
+
+class TestBuild:
+    def test_power_of_two_buckets(self):
+        table = BucketChainingHashTable(np.arange(10, dtype=np.uint32))
+        assert table.num_buckets == 16
+
+    def test_explicit_buckets_validated(self):
+        with pytest.raises(ConfigurationError):
+            BucketChainingHashTable(
+                np.arange(4, dtype=np.uint32), num_buckets=3
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BucketChainingHashTable(np.empty(0, dtype=np.uint32))
+
+    def test_chains_cover_all_tuples(self, rng):
+        keys = rng.integers(0, 1000, size=200, dtype=np.uint64).astype(
+            np.uint32
+        )
+        table = BucketChainingHashTable(keys)
+        visited = set()
+        for head in table.heads:
+            cursor = int(head)
+            while cursor != -1:
+                assert cursor not in visited
+                visited.add(cursor)
+                cursor = int(table.next[cursor])
+        assert visited == set(range(200))
+
+
+class TestProbe:
+    def test_unique_keys_single_match(self):
+        keys = np.array([5, 9, 13, 2], dtype=np.uint32)
+        table = BucketChainingHashTable(keys)
+        probe_idx, build_idx, _ = table.probe(np.array([13, 5], dtype=np.uint32))
+        got = {int(p): int(b) for p, b in zip(probe_idx, build_idx)}
+        assert got == {0: 2, 1: 0}
+
+    def test_missing_keys_no_match(self):
+        table = BucketChainingHashTable(np.array([1, 2, 3], dtype=np.uint32))
+        probe_idx, build_idx, _ = table.probe(
+            np.array([100, 200], dtype=np.uint32)
+        )
+        assert probe_idx.size == 0
+
+    def test_duplicate_build_keys_all_matched(self):
+        keys = np.array([7, 7, 7, 9], dtype=np.uint32)
+        table = BucketChainingHashTable(keys)
+        probe_idx, build_idx, _ = table.probe(np.array([7], dtype=np.uint32))
+        assert probe_idx.size == 3
+        assert sorted(map(int, build_idx)) == [0, 1, 2]
+
+    def test_duplicate_probe_keys(self):
+        table = BucketChainingHashTable(np.array([4], dtype=np.uint32))
+        probe_idx, _, _ = table.probe(np.array([4, 4, 4], dtype=np.uint32))
+        assert probe_idx.size == 3
+
+    def test_empty_probe(self):
+        table = BucketChainingHashTable(np.array([1], dtype=np.uint32))
+        probe_idx, build_idx, hops = table.probe(np.empty(0, dtype=np.uint32))
+        assert probe_idx.size == 0 and hops == 0
+
+    def test_vector_matches_scalar_walk(self, rng):
+        keys = rng.integers(0, 50, size=100, dtype=np.uint64).astype(np.uint32)
+        table = BucketChainingHashTable(keys)
+        probes = rng.integers(0, 60, size=40, dtype=np.uint64).astype(np.uint32)
+        probe_idx, build_idx, _ = table.probe(probes)
+        vector_pairs = set(zip(map(int, probe_idx), map(int, build_idx)))
+        scalar_pairs = set()
+        for i, key in enumerate(probes):
+            for match in table.probe_scalar(int(key)):
+                scalar_pairs.add((i, match))
+        assert vector_pairs == scalar_pairs
+
+    def test_chain_hops_counted(self):
+        keys = np.array([1, 2, 3, 4], dtype=np.uint32)
+        table = BucketChainingHashTable(keys)
+        _, _, hops = table.probe(keys)
+        assert hops >= 4  # at least one hop per probe that hits a chain
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=30), min_size=1, max_size=60
+        ),
+        st.lists(
+            st.integers(min_value=0, max_value=40), min_size=0, max_size=60
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dictionary_reference(self, build, probe):
+        """Property: the table finds exactly the pairs a reference
+        dict-of-lists join finds."""
+        build_arr = np.array(build, dtype=np.uint32)
+        probe_arr = np.array(probe, dtype=np.uint32)
+        table = BucketChainingHashTable(build_arr)
+        probe_idx, build_idx, _ = table.probe(probe_arr)
+        got = sorted(zip(map(int, probe_idx), map(int, build_idx)))
+        reference = {}
+        for i, key in enumerate(build):
+            reference.setdefault(key, []).append(i)
+        expected = sorted(
+            (i, j)
+            for i, key in enumerate(probe)
+            for j in reference.get(key, ())
+        )
+        assert got == expected
+
+
+class TestChainStats:
+    def test_max_chain_length(self):
+        keys = np.array([1, 1, 1, 1], dtype=np.uint32)
+        table = BucketChainingHashTable(keys)
+        assert table.max_chain_length == 4

@@ -1,0 +1,149 @@
+"""Tests for repro.core.hashing (Section 4.1, Code 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import (
+    fanout_bits,
+    murmur3_finalizer,
+    murmur3_finalizer64,
+    partition_of,
+    radix_bits,
+)
+from repro.errors import ConfigurationError
+
+
+class TestMurmur32:
+    def test_zero_maps_to_zero(self):
+        # The finalizer is a bijection fixing 0.
+        assert murmur3_finalizer(0) == 0
+
+    def test_known_vector(self):
+        # Reference value computed from the Code 3 steps by hand.
+        key = 0x12345678
+        h = key
+        h ^= h >> 16
+        h = (h * 0x85EBCA6B) & 0xFFFFFFFF
+        h ^= h >> 13
+        h = (h * 0xC2B2AE35) & 0xFFFFFFFF
+        h ^= h >> 16
+        assert murmur3_finalizer(key) == h
+
+    def test_scalar_range(self):
+        for key in (0, 1, 2**31, 2**32 - 1, 0xDEADBEEF):
+            assert 0 <= murmur3_finalizer(key) <= 2**32 - 1
+
+    def test_vector_matches_scalar(self):
+        keys = np.array([0, 1, 7, 2**31, 2**32 - 1], dtype=np.uint32)
+        hashed = murmur3_finalizer(keys)
+        for k, h in zip(keys, hashed):
+            assert murmur3_finalizer(int(k)) == int(h)
+
+    def test_vector_requires_uint32(self):
+        with pytest.raises(ConfigurationError):
+            murmur3_finalizer(np.array([1, 2], dtype=np.int64))
+
+    def test_vector_does_not_mutate_input(self):
+        keys = np.array([1, 2, 3], dtype=np.uint32)
+        copy = keys.copy()
+        murmur3_finalizer(keys)
+        assert np.array_equal(keys, copy)
+
+    def test_avalanche_on_sequential_keys(self):
+        # Sequential keys must spread across the low bits (the property
+        # radix partitioning lacks on structured keys).
+        keys = np.arange(1, 10001, dtype=np.uint32)
+        low = murmur3_finalizer(keys) & np.uint32(0xFF)
+        counts = np.bincount(low, minlength=256)
+        assert counts.min() > 0
+        assert counts.max() < 4 * counts.mean()
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=200)
+    def test_scalar_vector_agree(self, key):
+        vec = murmur3_finalizer(np.array([key], dtype=np.uint32))
+        assert int(vec[0]) == murmur3_finalizer(key)
+
+    def test_bijective_on_sample(self):
+        keys = np.arange(100000, dtype=np.uint32)
+        hashed = murmur3_finalizer(keys)
+        assert np.unique(hashed).size == keys.size
+
+
+class TestMurmur64:
+    def test_zero(self):
+        assert murmur3_finalizer64(0) == 0
+
+    def test_scalar_vector_agree(self):
+        keys = np.array([1, 2**40, 2**64 - 1], dtype=np.uint64)
+        hashed = murmur3_finalizer64(keys)
+        for k, h in zip(keys, hashed):
+            assert murmur3_finalizer64(int(k)) == int(h)
+
+    def test_vector_requires_uint64(self):
+        with pytest.raises(ConfigurationError):
+            murmur3_finalizer64(np.array([1], dtype=np.uint32))
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=100)
+    def test_range(self, key):
+        assert 0 <= murmur3_finalizer64(key) <= 2**64 - 1
+
+
+class TestRadixBits:
+    def test_scalar(self):
+        assert radix_bits(0b101101, 3) == 0b101
+        assert radix_bits(0b101101, 6) == 0b101101
+
+    def test_vector(self):
+        keys = np.array([0b1111, 0b1000], dtype=np.uint32)
+        assert list(radix_bits(keys, 3)) == [0b111, 0b000]
+
+    @pytest.mark.parametrize("bad", [0, -1, 33])
+    def test_invalid_bit_counts(self, bad):
+        with pytest.raises(ConfigurationError):
+            radix_bits(1, bad)
+
+
+class TestFanoutBits:
+    @pytest.mark.parametrize(
+        "partitions,bits", [(2, 1), (256, 8), (8192, 13), (2**20, 20)]
+    )
+    def test_powers_of_two(self, partitions, bits):
+        assert fanout_bits(partitions) == bits
+
+    @pytest.mark.parametrize("bad", [0, 1, 3, 100, 8191])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ConfigurationError):
+            fanout_bits(bad)
+
+
+class TestPartitionOf:
+    def test_radix_is_low_bits(self):
+        keys = np.arange(64, dtype=np.uint32)
+        parts = partition_of(keys, 16, use_hash=False)
+        assert np.array_equal(parts, keys % 16)
+
+    def test_hash_differs_from_radix(self):
+        keys = np.arange(1, 1025, dtype=np.uint32)
+        hashed = partition_of(keys, 16, use_hash=True)
+        radix = partition_of(keys, 16, use_hash=False)
+        assert not np.array_equal(np.asarray(hashed), np.asarray(radix))
+
+    def test_scalar_matches_vector(self):
+        keys = np.array([3, 17, 12345], dtype=np.uint32)
+        vec = partition_of(keys, 64, use_hash=True)
+        for k, p in zip(keys, vec):
+            assert partition_of(int(k), 64, use_hash=True) == int(p)
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.sampled_from([2, 16, 256, 8192]),
+        st.booleans(),
+    )
+    @settings(max_examples=200)
+    def test_always_in_range(self, key, partitions, use_hash):
+        p = partition_of(key, partitions, use_hash)
+        assert 0 <= p < partitions

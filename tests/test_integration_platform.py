@@ -1,0 +1,136 @@
+"""Platform integration tests: the Section 2.1 start-up and data flow.
+
+These run the whole substrate together the way the real system does:
+allocate shared 4 MB pages, hand the physical addresses to the FPGA
+page table, move real bytes through the QPI end-point at physical
+addresses, and observe the coherence consequences on the CPU side.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import CACHE_LINE_BYTES, PAGE_BYTES
+from repro.core.modes import OutputMode, PartitionerConfig
+from repro.core.partitioner import FpgaPartitioner
+from repro.platform.coherence import Socket
+from repro.platform.machine import XeonFpgaPlatform
+
+
+@pytest.fixture
+def platform():
+    return XeonFpgaPlatform(memory_bytes=64 * PAGE_BYTES)
+
+
+class TestStartupFlow:
+    def test_allocate_populates_page_table(self, platform):
+        region = platform.allocate_shared("input", 2 * PAGE_BYTES)
+        assert platform.page_table.mapped_bytes >= region.size_bytes
+        # FPGA-side and CPU-side translation agree
+        for offset in (0, 4096, PAGE_BYTES + 17):
+            assert platform.page_table.translate(
+                region.virtual_base + offset
+            ) == region.physical_address(offset)
+
+    def test_multiple_regions_contiguous_virtual_space(self, platform):
+        a = platform.allocate_shared("a", PAGE_BYTES)
+        b = platform.allocate_shared("b", PAGE_BYTES)
+        assert b.virtual_base == a.virtual_end
+        assert platform.page_table.translate(
+            b.virtual_base
+        ) == b.physical_address(0)
+
+
+class TestDataPlane:
+    def test_fpga_writes_cpu_reads(self, platform, rng):
+        """The AFU writes a cache line through page table + QPI; the
+        CPU software reads the same bytes through its own translation."""
+        region = platform.allocate_shared("shared", PAGE_BYTES)
+        line = rng.integers(0, 256, CACHE_LINE_BYTES, dtype=np.uint8)
+        virtual = region.virtual_base + 42 * CACHE_LINE_BYTES
+        physical = platform.page_table.translate(virtual)
+        platform.qpi.write_line(physical, line)
+        got = region.read_bytes(42 * CACHE_LINE_BYTES, CACHE_LINE_BYTES)
+        assert np.array_equal(got, line)
+        assert platform.qpi.bytes_written == CACHE_LINE_BYTES
+
+    def test_cpu_writes_fpga_reads(self, platform, rng):
+        region = platform.allocate_shared("shared", PAGE_BYTES)
+        data = rng.integers(0, 256, CACHE_LINE_BYTES, dtype=np.uint8)
+        region.write_bytes(0, data)
+        physical = platform.page_table.translate(region.virtual_base)
+        assert np.array_equal(platform.qpi.read_line(physical), data)
+
+
+class TestEndToEndPartitioningOnPlatform:
+    def test_partition_write_back_and_cpu_readback(self, platform, rng):
+        """Full flow: partition a small relation, materialise the
+        partitions into a shared region via the cycle circuit's memory
+        image, read them back from the CPU side and verify contents."""
+        n = 512
+        keys = rng.integers(0, 2**32, size=n, dtype=np.uint64).astype(
+            np.uint32
+        )
+        payloads = np.arange(n, dtype=np.uint32)
+        config = PartitionerConfig(
+            num_partitions=8, output_mode=OutputMode.HIST
+        )
+        partitioner = FpgaPartitioner(config, platform=platform)
+        sim = partitioner.simulate(keys, payloads, qpi_bandwidth_gbs=None)
+
+        region = platform.allocate_shared(
+            "partitions", (max(sim.memory_image) + 1) * CACHE_LINE_BYTES
+        )
+        for address, line in sim.memory_image.items():
+            raw = np.empty(CACHE_LINE_BYTES, dtype=np.uint8)
+            raw[:32] = np.frombuffer(line.keys.tobytes(), dtype=np.uint8)
+            raw[32:] = np.frombuffer(line.payloads.tobytes(), dtype=np.uint8)
+            physical = platform.page_table.translate(
+                region.virtual_base + address * CACHE_LINE_BYTES
+            )
+            platform.qpi.write_line(physical, raw)
+        platform.coherence.record_region_write("partitions", Socket.FPGA)
+
+        # CPU-side readback of partition 3
+        base = int(sim.base_lines[3])
+        lines = int(sim.lines_per_partition[3])
+        got_keys = []
+        for i in range(lines):
+            raw = region.read_bytes(
+                (base + i) * CACHE_LINE_BYTES, CACHE_LINE_BYTES
+            )
+            line_keys = np.frombuffer(raw[:32].tobytes(), dtype=np.uint32)
+            line_payloads = np.frombuffer(raw[32:].tobytes(), dtype=np.uint32)
+            valid = line_payloads != np.uint32(0xFFFFFFFF)
+            got_keys.extend(map(int, line_keys[valid]))
+        assert sorted(got_keys) == sorted(map(int, sim.partitions_keys[3]))
+
+        # and the CPU now pays the snoop penalty on random access
+        assert platform.coherence.cpu_read_penalty(
+            "partitions", random_access=True
+        ) > 2.0
+
+    def test_simulate_uses_platform_bandwidth(self, platform, rng):
+        keys = rng.integers(0, 2**32, size=256, dtype=np.uint64).astype(
+            np.uint32
+        )
+        config = PartitionerConfig(num_partitions=8, output_mode=OutputMode.PAD,
+                                   pad_tuples=256)
+        partitioner = FpgaPartitioner(config, platform=platform)
+        sim = partitioner.simulate(keys, np.arange(256, dtype=np.uint32))
+        # platform B(r=1) ~6.97 GB/s < 12.8 -> back-pressure must appear
+        assert sim.stats.input_backpressure_cycles > 0
+
+
+class TestHypotheticalPlatforms:
+    def test_raw_wrapper_removes_backpressure(self, rng):
+        keys = rng.integers(0, 2**32, size=256, dtype=np.uint64).astype(
+            np.uint32
+        )
+        platform = XeonFpgaPlatform.raw_wrapper()
+        config = PartitionerConfig(
+            num_partitions=8, output_mode=OutputMode.PAD, pad_tuples=256
+        )
+        partitioner = FpgaPartitioner(config, platform=platform)
+        sim = partitioner.simulate(keys, np.arange(256, dtype=np.uint32))
+        # 25.6 GB/s = 2 lines/cycle >= the circuit's 1 line/cycle
+        assert sim.stats.input_backpressure_cycles == 0

@@ -1,0 +1,223 @@
+"""End-to-end join tests (Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    PartitionerConfig,
+    cpu_radix_join,
+    hybrid_join,
+    make_workload,
+)
+from repro.core.modes import HashKind, LayoutMode, OutputMode
+from repro.workloads.relations import make_relation, Relation, Workload
+from repro.workloads.distributions import KeyDistribution
+
+PAPER_N = 128 * 10**6
+
+
+def small_workload(name, scale=200000):
+    return make_workload(name, scale=scale)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", ["A", "B", "C", "D", "E"])
+    def test_cpu_join_finds_all_matches(self, name):
+        wl = small_workload(name)
+        result = cpu_radix_join(wl, num_partitions=64, threads=4)
+        expected = _reference_match_count(wl)
+        assert result.matches == expected
+
+    @pytest.mark.parametrize("name", ["A", "C", "D"])
+    def test_hybrid_matches_cpu(self, name):
+        wl = small_workload(name)
+        cpu = cpu_radix_join(wl, num_partitions=64, threads=4)
+        hybrid = hybrid_join(
+            wl, PartitionerConfig(num_partitions=64), threads=4
+        )
+        assert hybrid.matches == cpu.matches
+
+    def test_hash_vs_radix_same_matches(self):
+        wl = small_workload("E")
+        radix = cpu_radix_join(
+            wl, num_partitions=64, threads=2, hash_kind=HashKind.RADIX
+        )
+        hashed = cpu_radix_join(
+            wl, num_partitions=64, threads=2, hash_kind=HashKind.MURMUR
+        )
+        assert radix.matches == hashed.matches
+
+    def test_payload_collection(self):
+        wl = small_workload("A")
+        result = cpu_radix_join(
+            wl, num_partitions=64, threads=1, collect_payloads=True
+        )
+        assert result.r_payloads.shape[0] == result.matches
+        # payloads are positions; every matched pair must share its key
+        r_keys = wl.r.keys[result.r_payloads]
+        s_keys = wl.s.keys[result.s_payloads]
+        assert np.array_equal(r_keys, s_keys)
+
+
+class TestHybridTimingShapes:
+    def test_hybrid_build_probe_slower_than_cpu(self):
+        """Section 2.2 / Figure 10: the coherence penalty."""
+        wl = small_workload("A")
+        cpu = cpu_radix_join(
+            wl, 8192, threads=10,
+            timing_r_tuples=PAPER_N, timing_s_tuples=PAPER_N,
+        )
+        hybrid = hybrid_join(
+            wl, PartitionerConfig(num_partitions=8192), threads=10,
+            timing_r_tuples=PAPER_N, timing_s_tuples=PAPER_N,
+        )
+        assert (
+            hybrid.timing.build_probe_seconds
+            > cpu.timing.build_probe_seconds
+        )
+
+    def test_workload_a_anchors(self):
+        """The Section 5.2 numbers: hybrid ~406 vs CPU ~436 Mtuples/s
+        at 10 threads (we land within a few percent)."""
+        wl = small_workload("A")
+        cpu = cpu_radix_join(
+            wl, 8192, threads=10,
+            timing_r_tuples=PAPER_N, timing_s_tuples=PAPER_N,
+        )
+        hybrid = hybrid_join(
+            wl,
+            PartitionerConfig(
+                num_partitions=8192,
+                output_mode=OutputMode.PAD,
+                layout_mode=LayoutMode.VRID,
+            ),
+            threads=10,
+            timing_r_tuples=PAPER_N, timing_s_tuples=PAPER_N,
+        )
+        assert cpu.throughput_mtuples == pytest.approx(436, rel=0.05)
+        assert hybrid.throughput_mtuples == pytest.approx(406, rel=0.05)
+        assert hybrid.throughput_mtuples < cpu.throughput_mtuples
+
+    def test_fpga_partitioning_flat_across_fanout(self):
+        """Figure 10: 'FPGA partitioning delivers the same performance
+        regardless of the number of partitions'."""
+        wl = small_workload("A")
+        times = []
+        for partitions in (256, 1024, 8192):
+            result = hybrid_join(
+                wl,
+                PartitionerConfig(num_partitions=partitions),
+                threads=1,
+                timing_r_tuples=PAPER_N, timing_s_tuples=PAPER_N,
+            )
+            times.append(result.timing.partition_seconds)
+        assert max(times) == pytest.approx(min(times), rel=0.01)
+
+    def test_cpu_single_thread_partitioning_grows_with_fanout(self):
+        wl = small_workload("A")
+        few = cpu_radix_join(
+            wl, 256, threads=1,
+            timing_r_tuples=PAPER_N, timing_s_tuples=PAPER_N,
+        )
+        many = cpu_radix_join(
+            wl, 8192, threads=1,
+            timing_r_tuples=PAPER_N, timing_s_tuples=PAPER_N,
+        )
+        assert many.timing.partition_seconds > few.timing.partition_seconds
+
+    def test_vrid_partitioning_fastest(self):
+        wl = small_workload("A")
+        times = {}
+        for layout in (LayoutMode.RID, LayoutMode.VRID):
+            result = hybrid_join(
+                wl,
+                PartitionerConfig(
+                    num_partitions=8192,
+                    output_mode=OutputMode.PAD,
+                    layout_mode=layout,
+                ),
+                threads=10,
+                timing_r_tuples=PAPER_N, timing_s_tuples=PAPER_N,
+            )
+            times[layout] = result.timing.partition_seconds
+        assert times[LayoutMode.VRID] < times[LayoutMode.RID]
+
+
+class TestSkewHandling:
+    def make_skewed(self, zipf):
+        return make_workload("A", scale=200000, skew_s_zipf=zipf)
+
+    def test_pad_overflows_into_hist_retry(self):
+        """Section 5.4: PAD fails above ~0.25 Zipf and HIST takes
+        over."""
+        wl = self.make_skewed(1.0)
+        result = hybrid_join(
+            wl,
+            PartitionerConfig(
+                num_partitions=64, output_mode=OutputMode.PAD, pad_tuples=16
+            ),
+            threads=4,
+            on_overflow="hist",
+        )
+        assert not result.fell_back_to_cpu
+        assert "HIST" in result.timing.partitioner
+        assert result.matches == _reference_match_count(wl)
+
+    def test_cpu_fallback_policy(self):
+        wl = self.make_skewed(1.5)
+        result = hybrid_join(
+            wl,
+            PartitionerConfig(
+                num_partitions=64, output_mode=OutputMode.PAD, pad_tuples=16
+            ),
+            threads=4,
+            on_overflow="cpu",
+        )
+        assert result.fell_back_to_cpu
+        assert result.matches == _reference_match_count(wl)
+
+    def test_hist_mode_handles_any_skew_directly(self):
+        wl = self.make_skewed(1.75)
+        result = hybrid_join(
+            wl,
+            PartitionerConfig(num_partitions=64, output_mode=OutputMode.HIST),
+            threads=4,
+        )
+        assert result.matches == _reference_match_count(wl)
+        assert not result.fell_back_to_cpu
+
+    def test_mild_skew_keeps_pad(self):
+        wl = self.make_skewed(0.1)
+        result = hybrid_join(
+            wl,
+            PartitionerConfig(num_partitions=64, output_mode=OutputMode.PAD),
+            threads=4,
+            on_overflow="hist",
+        )
+        assert "PAD" in result.timing.partitioner
+
+
+class TestTimingContainer:
+    def test_throughput_definition(self):
+        wl = small_workload("A")
+        result = cpu_radix_join(wl, 64, threads=1)
+        timing = result.timing
+        expected = timing.total_tuples / timing.total_seconds / 1e6
+        assert timing.throughput_mtuples == pytest.approx(expected)
+
+    def test_scaled_to(self):
+        wl = small_workload("A")
+        result = cpu_radix_join(wl, 64, threads=1)
+        scaled = result.timing.scaled_to(PAPER_N, PAPER_N)
+        assert scaled.total_seconds > result.timing.total_seconds
+        assert scaled.r_tuples == PAPER_N
+
+
+def _reference_match_count(wl: Workload) -> int:
+    """NumPy reference equi-join cardinality."""
+    r_keys, r_counts = np.unique(wl.r.keys, return_counts=True)
+    s_keys, s_counts = np.unique(wl.s.keys, return_counts=True)
+    common, r_idx, s_idx = np.intersect1d(
+        r_keys, s_keys, assume_unique=True, return_indices=True
+    )
+    return int((r_counts[r_idx] * s_counts[s_idx]).sum())

@@ -1,0 +1,118 @@
+"""Tests for the shared memory pool (Section 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import PAGE_BYTES
+from repro.errors import ConfigurationError, MemoryError_
+from repro.platform.memory import SharedMemory
+
+
+@pytest.fixture
+def pool():
+    # a small pool so tests stay cheap: 16 pages of 4 MB
+    return SharedMemory(total_bytes=16 * PAGE_BYTES)
+
+
+class TestAllocation:
+    def test_rounds_up_to_pages(self, pool):
+        region = pool.allocate("r", 1000)
+        assert region.size_bytes == PAGE_BYTES
+
+    def test_multi_page_region(self, pool):
+        region = pool.allocate("r", PAGE_BYTES + 1)
+        assert region.size_bytes == 2 * PAGE_BYTES
+        assert len(region.frames) == 2
+
+    def test_virtual_addresses_contiguous(self, pool):
+        a = pool.allocate("a", PAGE_BYTES)
+        b = pool.allocate("b", PAGE_BYTES)
+        assert b.virtual_base == a.virtual_end
+
+    def test_out_of_memory(self, pool):
+        with pytest.raises(MemoryError_):
+            pool.allocate("big", 17 * PAGE_BYTES)
+
+    def test_duplicate_names_rejected(self, pool):
+        pool.allocate("r", 100)
+        with pytest.raises(MemoryError_):
+            pool.allocate("r", 100)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_invalid_sizes(self, pool, bad):
+        with pytest.raises(ConfigurationError):
+            pool.allocate("r", bad)
+
+    def test_physical_pages_aligned(self, pool):
+        region = pool.allocate("r", 3 * PAGE_BYTES)
+        for physical in region.physical_page_addresses():
+            assert physical % PAGE_BYTES == 0
+
+
+class TestTranslation:
+    def test_cpu_side_translation(self, pool):
+        region = pool.allocate("r", 2 * PAGE_BYTES)
+        assert region.physical_address(0) == region.frames[0].physical_base
+        assert (
+            region.physical_address(PAGE_BYTES)
+            == region.frames[1].physical_base
+        )
+        assert (
+            region.physical_address(PAGE_BYTES + 7)
+            == region.frames[1].physical_base + 7
+        )
+
+    def test_out_of_region_offset(self, pool):
+        region = pool.allocate("r", PAGE_BYTES)
+        with pytest.raises(MemoryError_):
+            region.physical_address(PAGE_BYTES)
+        with pytest.raises(MemoryError_):
+            region.physical_address(-1)
+
+
+class TestDataPlane:
+    def test_write_read_roundtrip(self, pool, rng):
+        region = pool.allocate("r", PAGE_BYTES)
+        data = rng.integers(0, 256, size=1024, dtype=np.uint8)
+        region.write_bytes(100, data)
+        assert np.array_equal(region.read_bytes(100, 1024), data)
+
+    def test_span_across_pages(self, pool, rng):
+        region = pool.allocate("r", 2 * PAGE_BYTES)
+        data = rng.integers(0, 256, size=4096, dtype=np.uint8)
+        offset = PAGE_BYTES - 2048  # straddles the page boundary
+        region.write_bytes(offset, data)
+        assert np.array_equal(region.read_bytes(offset, 4096), data)
+
+    def test_write_escaping_region_rejected(self, pool):
+        region = pool.allocate("r", PAGE_BYTES)
+        with pytest.raises(MemoryError_):
+            region.write_bytes(
+                PAGE_BYTES - 10, np.zeros(100, dtype=np.uint8)
+            )
+
+    def test_unwritten_memory_reads_zero(self, pool):
+        region = pool.allocate("r", PAGE_BYTES)
+        assert int(region.read_bytes(0, 64).sum()) == 0
+
+    def test_physical_page_boundary_enforced(self, pool):
+        pool.allocate("r", PAGE_BYTES)
+        with pytest.raises(MemoryError_):
+            pool.read_physical(PAGE_BYTES - 10, 100)
+
+    def test_lazy_page_materialisation(self, pool):
+        region = pool.allocate("r", 8 * PAGE_BYTES)
+        assert len(pool._page_data) == 0
+        region.write_bytes(0, np.ones(16, dtype=np.uint8))
+        assert len(pool._page_data) == 1
+
+
+class TestGeometryValidation:
+    def test_non_page_multiple_total(self):
+        with pytest.raises(ConfigurationError):
+            SharedMemory(total_bytes=PAGE_BYTES + 1)
+
+    def test_allocated_bytes_tracked(self, pool):
+        pool.allocate("a", PAGE_BYTES)
+        pool.allocate("b", 2 * PAGE_BYTES)
+        assert pool.allocated_bytes == 3 * PAGE_BYTES

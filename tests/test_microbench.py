@@ -1,0 +1,100 @@
+"""Tests for the mechanistic Table 1 simulation (Section 2.2)."""
+
+import pytest
+
+from repro.constants import CPU_L3_BYTES, FPGA_CACHE_BYTES, TABLE1_SECONDS
+from repro.errors import ConfigurationError
+from repro.platform.coherence import Socket
+from repro.platform.microbench import MemoryMicrobench, MicrobenchResult
+
+
+@pytest.fixture(scope="module")
+def table1_sim():
+    return MemoryMicrobench(simulate_lines=1 << 14).table1()
+
+
+class TestCalibratedCells:
+    def test_cpu_rows_match_exactly(self, table1_sim):
+        """The CPU-writer rows calibrate the base latencies."""
+        assert table1_sim[("cpu", "sequential")].seconds == pytest.approx(
+            TABLE1_SECONDS[("cpu", "sequential")], rel=0.001
+        )
+        assert table1_sim[("cpu", "random")].seconds == pytest.approx(
+            TABLE1_SECONDS[("cpu", "random")], rel=0.001
+        )
+
+
+class TestPredictedCells:
+    def test_fpga_random_row_predicted(self, table1_sim):
+        """The headline: the snoop mechanism *predicts* the 2.49 s
+        random-read cell from the round-trip latency and the 128 KB
+        cache, within a few percent."""
+        assert table1_sim[("fpga", "random")].seconds == pytest.approx(
+            TABLE1_SECONDS[("fpga", "random")], rel=0.05
+        )
+
+    def test_fpga_sequential_row_predicted(self, table1_sim):
+        """...and the asymmetry: prefetching hides the snoops on the
+        sequential stream, leaving only the mild 1.1x penalty."""
+        assert table1_sim[("fpga", "sequential")].seconds == pytest.approx(
+            TABLE1_SECONDS[("fpga", "sequential")], rel=0.05
+        )
+
+    def test_snoops_mostly_miss_the_tiny_fpga_cache(self, table1_sim):
+        """'any cache-line that is snooped on the FPGA socket is most
+        likely not found'."""
+        result = table1_sim[("fpga", "random")]
+        assert result.snoops > 0
+        assert result.snoop_hit_rate < 0.1
+
+    def test_no_snoops_for_cpu_homed_memory(self, table1_sim):
+        assert table1_sim[("cpu", "random")].snoops == 0
+
+
+class TestHomogeneousCounterfactual:
+    """Section 2.2: 'In a homogeneous 2-socket machine with 2 CPUs,
+    this is not an issue because both sockets would have the same
+    amount of L3 cache' — a snoop to a 25 MB L3 usually finds the line
+    a working set of that size, where the 128 KB FPGA cache cannot."""
+
+    REGION = 16 * 1024 * 1024  # fits the remote L3, dwarfs the FPGA cache
+
+    def run(self, remote_cache_bytes, ways):
+        bench = MemoryMicrobench(
+            region_bytes=self.REGION,
+            simulate_lines=self.REGION // 64,
+            remote_cache_bytes=remote_cache_bytes,
+            remote_cache_ways=ways,
+        )
+        return bench.run(Socket.FPGA, random_access=True)
+
+    def test_big_remote_cache_absorbs_snoops(self):
+        remote_l3 = self.run(CPU_L3_BYTES, 16)
+        fpga_cache = self.run(FPGA_CACHE_BYTES, 2)
+        assert remote_l3.snoop_hit_rate > 0.95
+        assert fpga_cache.snoop_hit_rate < 0.05
+        assert remote_l3.seconds < 0.6 * fpga_cache.seconds
+
+
+class TestScaling:
+    def test_sample_size_invariance(self):
+        """Per-line behaviour is scale-free: a 4x larger sample gives
+        the same extrapolated seconds."""
+        small = MemoryMicrobench(simulate_lines=1 << 12).run(
+            Socket.FPGA, random_access=True
+        )
+        large = MemoryMicrobench(simulate_lines=1 << 14).run(
+            Socket.FPGA, random_access=True
+        )
+        assert small.seconds == pytest.approx(large.seconds, rel=0.02)
+
+    def test_result_fields(self):
+        result = MemoryMicrobench(simulate_lines=1 << 10).run(
+            Socket.CPU, random_access=False
+        )
+        assert isinstance(result, MicrobenchResult)
+        assert result.lines_read == 512 * 1024 * 1024 // 64
+
+    def test_unaligned_region_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryMicrobench(region_bytes=1000)

@@ -1,0 +1,141 @@
+"""Tests for the Section 4.6 analytical model and its 4.8 validation."""
+
+import pytest
+
+from repro.constants import FIGURE9_MEASURED_MTUPLES
+from repro.core.model import MEASURED_CALIBRATION, FpgaCostModel
+from repro.core.modes import LayoutMode, OutputMode, PartitionerConfig
+from repro.errors import ConfigurationError
+from repro.platform.machine import XeonFpgaPlatform
+
+
+@pytest.fixture
+def model():
+    return FpgaCostModel()
+
+
+class TestEquation3:
+    @pytest.mark.parametrize(
+        "width,rate", [(8, 1.6e9), (16, 0.8e9), (32, 0.4e9), (64, 0.2e9)]
+    )
+    def test_circuit_rate(self, model, width, rate):
+        config = PartitionerConfig(tuple_bytes=width)
+        assert model.circuit_tuple_rate(config) == pytest.approx(rate)
+
+
+class TestEquation4:
+    def test_latency_is_microseconds(self, model):
+        # (5 + 65540 + 4) * 5 ns ~= 328 us
+        assert model.latency_seconds() == pytest.approx(327.745e-6, rel=1e-3)
+
+
+class TestEquation5:
+    def test_latency_hidden_for_large_n(self, model):
+        config = PartitionerConfig(output_mode=OutputMode.PAD)
+        rate = model.process_rate(config, 128 * 10**6)
+        assert rate == pytest.approx(1.59e9, rel=0.01)
+
+    def test_latency_dominates_small_n(self, model):
+        config = PartitionerConfig(output_mode=OutputMode.PAD)
+        small = model.process_rate(config, 1000)
+        large = model.process_rate(config, 128 * 10**6)
+        assert small < large / 100
+
+    def test_hist_halves_the_rate(self, model):
+        n = 128 * 10**6
+        pad = model.process_rate(PartitionerConfig(output_mode=OutputMode.PAD), n)
+        hist = model.process_rate(
+            PartitionerConfig(output_mode=OutputMode.HIST), n
+        )
+        assert hist == pytest.approx(pad / 2, rel=0.01)
+
+    def test_invalid_n(self, model):
+        with pytest.raises(ConfigurationError):
+            model.process_rate(PartitionerConfig(), 0)
+
+
+class TestEquation6:
+    def test_section48_arithmetic(self, model):
+        """The three worked examples of Section 4.8."""
+        hist_rid = PartitionerConfig(
+            output_mode=OutputMode.HIST, layout_mode=LayoutMode.RID
+        )
+        pad_rid = PartitionerConfig(
+            output_mode=OutputMode.PAD, layout_mode=LayoutMode.RID
+        )
+        pad_vrid = PartitionerConfig(
+            output_mode=OutputMode.PAD, layout_mode=LayoutMode.VRID
+        )
+        assert model.memory_rate(hist_rid) == pytest.approx(294e6, rel=0.01)
+        assert model.memory_rate(pad_rid) == pytest.approx(435e6, rel=0.01)
+        assert model.memory_rate(pad_vrid) == pytest.approx(495e6, rel=0.01)
+
+
+class TestEquation7:
+    def test_prototype_is_memory_bound(self, model):
+        """Section 4.6: on the Xeon+FPGA the bandwidth term always
+        defines the rate."""
+        for output_mode in OutputMode:
+            for layout_mode in LayoutMode:
+                config = PartitionerConfig(
+                    output_mode=output_mode, layout_mode=layout_mode
+                )
+                assert model.predict(config).memory_bound
+
+    def test_raw_wrapper_is_compute_bound_for_pad(self):
+        """Section 4.7: with 25.6 GB/s the circuit term takes over and
+        PAD reaches ~1.6 Gtuples/s, HIST ~0.8 (the 1597/799 raw bars
+        of Figure 9)."""
+        platform = XeonFpgaPlatform.raw_wrapper()
+        model = FpgaCostModel(bandwidth=platform.bandwidth)
+        pad = model.predict(PartitionerConfig(output_mode=OutputMode.PAD))
+        hist = model.predict(PartitionerConfig(output_mode=OutputMode.HIST))
+        assert not pad.memory_bound
+        assert pad.mtuples_per_second == pytest.approx(1593, rel=0.01)
+        assert hist.mtuples_per_second == pytest.approx(796, rel=0.01)
+
+
+class TestValidationTable:
+    def test_within_paper_tolerance(self, model):
+        """Section 4.8: 'the model matches the experiments within 10%'
+        (HIST/VRID is the worst case at ~11% because the model skips
+        the inter-pass pipeline flush — the paper discusses exactly
+        this discrepancy)."""
+        table = model.validation_table()
+        assert set(table) == {"HIST/RID", "HIST/VRID", "PAD/RID", "PAD/VRID"}
+        for label, row in table.items():
+            assert row["relative_error"] < 0.12, label
+        assert table["PAD/RID"]["relative_error"] < 0.01
+
+    def test_measured_values_are_figure9(self, model):
+        table = model.validation_table()
+        for label, row in table.items():
+            assert row["measured_mtuples"] == FIGURE9_MEASURED_MTUPLES[label]
+
+    def test_r_values(self, model):
+        table = model.validation_table()
+        assert table["HIST/RID"]["r"] == 2.0
+        assert table["PAD/VRID"]["r"] == 0.5
+
+
+class TestCalibration:
+    def test_calibrated_matches_figure9(self, model):
+        n = 128 * 10**6
+        for output_mode in OutputMode:
+            for layout_mode in LayoutMode:
+                config = PartitionerConfig(
+                    output_mode=output_mode, layout_mode=layout_mode
+                )
+                measured = FIGURE9_MEASURED_MTUPLES[config.mode_label]
+                got = model.end_to_end_mtuples(config, n, calibrated=True)
+                assert got == pytest.approx(measured, rel=0.01)
+
+    def test_calibration_factors_near_one(self):
+        for factor in MEASURED_CALIBRATION.values():
+            assert 0.85 < factor < 1.15
+
+    def test_seconds_scale_linearly_at_scale(self, model):
+        config = PartitionerConfig(output_mode=OutputMode.PAD)
+        t1 = model.partitioning_seconds(128 * 10**6, config)
+        t2 = model.partitioning_seconds(256 * 10**6, config)
+        assert t2 == pytest.approx(2 * t1, rel=0.01)

@@ -1,0 +1,107 @@
+"""Tests for PartitionerConfig and the Section 4.5 modes."""
+
+import pytest
+
+from repro.core.modes import (
+    HashKind,
+    LayoutMode,
+    OutputMode,
+    PartitionerConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, 1, 3, 1000])
+    def test_partitions_power_of_two(self, bad):
+        with pytest.raises(ConfigurationError):
+            PartitionerConfig(num_partitions=bad)
+
+    @pytest.mark.parametrize("bad", [4, 12, 128, 7])
+    def test_tuple_widths(self, bad):
+        with pytest.raises(ConfigurationError):
+            PartitionerConfig(tuple_bytes=bad)
+
+    def test_negative_padding(self):
+        with pytest.raises(ConfigurationError):
+            PartitionerConfig(pad_tuples=-1)
+
+    def test_vrid_requires_8b_tuples(self):
+        with pytest.raises(ConfigurationError):
+            PartitionerConfig(layout_mode=LayoutMode.VRID, tuple_bytes=16)
+
+    def test_defaults_are_paper_defaults(self):
+        config = PartitionerConfig()
+        assert config.num_partitions == 8192
+        assert config.tuple_bytes == 8
+        assert config.hash_kind is HashKind.MURMUR
+
+
+class TestGeometry:
+    @pytest.mark.parametrize(
+        "width,per_line", [(8, 8), (16, 4), (32, 2), (64, 1)]
+    )
+    def test_tuples_per_line(self, width, per_line):
+        config = PartitionerConfig(tuple_bytes=width)
+        assert config.tuples_per_line == per_line
+        assert config.num_lanes == per_line
+
+    def test_partition_bits(self):
+        assert PartitionerConfig(num_partitions=8192).partition_bits == 13
+        assert PartitionerConfig(num_partitions=256).partition_bits == 8
+
+
+class TestModeSemantics:
+    def test_mode_factor(self):
+        assert PartitionerConfig(output_mode=OutputMode.HIST).mode_factor == 2
+        assert PartitionerConfig(output_mode=OutputMode.PAD).mode_factor == 1
+
+    def test_mode_labels(self):
+        config = PartitionerConfig(
+            output_mode=OutputMode.PAD, layout_mode=LayoutMode.VRID
+        )
+        assert config.mode_label == "PAD/VRID"
+
+    @pytest.mark.parametrize(
+        "output_mode,layout_mode,expected_r",
+        [
+            (OutputMode.HIST, LayoutMode.RID, 2.0),
+            (OutputMode.HIST, LayoutMode.VRID, 1.0),
+            (OutputMode.PAD, LayoutMode.RID, 1.0),
+            (OutputMode.PAD, LayoutMode.VRID, 0.5),
+        ],
+    )
+    def test_read_write_ratios(self, output_mode, layout_mode, expected_r):
+        """Section 4.8's r values for the four modes."""
+        config = PartitionerConfig(
+            output_mode=output_mode, layout_mode=layout_mode
+        )
+        assert config.read_write_ratio() == expected_r
+
+    def test_uses_hash(self):
+        assert PartitionerConfig(hash_kind=HashKind.MURMUR).uses_hash
+        assert not PartitionerConfig(hash_kind=HashKind.RADIX).uses_hash
+
+
+class TestPadCapacity:
+    def test_capacity_covers_fair_share_plus_padding(self):
+        config = PartitionerConfig(num_partitions=16, pad_tuples=100)
+        capacity = config.partition_capacity(1600)
+        assert capacity >= 100 + 100  # fair share + padding
+        assert capacity % config.tuples_per_line == 0
+
+    def test_capacity_includes_lane_slack(self):
+        # One partial line per lane must fit (flush fragmentation).
+        config = PartitionerConfig(num_partitions=16, pad_tuples=0)
+        capacity = config.partition_capacity(16)
+        assert capacity >= config.num_lanes * config.tuples_per_line
+
+    def test_default_padding_scales_with_input(self):
+        config = PartitionerConfig(num_partitions=16)
+        small = config.default_pad_tuples(160)
+        large = config.default_pad_tuples(160000)
+        assert large > small
+
+    def test_explicit_padding_respected(self):
+        config = PartitionerConfig(num_partitions=16, pad_tuples=77)
+        assert config.default_pad_tuples(10**6) == 77

@@ -1,0 +1,93 @@
+"""Tests for the non-partitioned hash join baseline."""
+
+import pytest
+
+from repro.join.no_partition_join import (
+    NoPartitionCostModel,
+    RANDOM_LINES_PER_SECOND_PER_THREAD,
+    no_partition_join,
+)
+from repro.join.radix_join import cpu_radix_join
+from repro.errors import ConfigurationError
+from repro.workloads.relations import make_workload
+
+PAPER_N = 128 * 10**6
+
+
+class TestFunctional:
+    def test_same_matches_as_radix_join(self):
+        wl = make_workload("A", scale=200000)
+        npo = no_partition_join(wl, threads=4)
+        radix = cpu_radix_join(wl, num_partitions=64, threads=4)
+        assert npo.matches == radix.matches
+
+    def test_payload_collection(self):
+        wl = make_workload("C", scale=200000)
+        result = no_partition_join(wl, threads=1, collect_payloads=True)
+        assert result.r_payloads.shape[0] == result.matches
+
+
+class TestCostModel:
+    def test_random_rate_comes_from_table1(self):
+        # 512 MB / 64 B / 1.1537 s
+        assert RANDOM_LINES_PER_SECOND_PER_THREAD == pytest.approx(
+            7.27e6, rel=0.01
+        )
+
+    def test_small_table_in_cache(self):
+        model = NoPartitionCostModel()
+        estimate = model.estimate(100_000, 1_000_000, threads=1)
+        assert estimate.in_cache
+        assert estimate.total_seconds < 0.01
+
+    def test_large_table_pays_random_access(self):
+        model = NoPartitionCostModel()
+        estimate = model.estimate(PAPER_N, PAPER_N, threads=10)
+        assert not estimate.in_cache
+        # dependent random accesses: ~128e6 / 72.7e6 per side
+        assert estimate.total_seconds > 3.0
+
+    def test_thread_scaling(self):
+        model = NoPartitionCostModel()
+        one = model.estimate(PAPER_N, PAPER_N, threads=1)
+        ten = model.estimate(PAPER_N, PAPER_N, threads=10)
+        assert ten.total_seconds == pytest.approx(
+            one.total_seconds / 10, rel=0.01
+        )
+
+    def test_invalid_threads(self):
+        with pytest.raises(ConfigurationError):
+            NoPartitionCostModel().estimate(10, 10, threads=0)
+
+
+class TestSchuhFinding:
+    def test_partitioned_wins_for_large_relations(self):
+        """[31]'s conclusion, the premise of the whole paper: on large
+        non-skewed relations the radix join beats the NPO join."""
+        wl = make_workload("A", scale=200000)
+        radix = cpu_radix_join(
+            wl, 8192, threads=10,
+            timing_r_tuples=PAPER_N, timing_s_tuples=PAPER_N,
+        )
+        npo = no_partition_join(
+            wl, threads=10,
+            timing_r_tuples=PAPER_N, timing_s_tuples=PAPER_N,
+        )
+        assert radix.timing.total_seconds < npo.timing.total_seconds
+        assert radix.throughput_mtuples > 2 * npo.throughput_mtuples
+
+    def test_npo_wins_for_tiny_build_side(self):
+        """...and the flip side: when R's table fits in cache, skipping
+        the partitioning pass wins."""
+        wl = make_workload("B", scale=200000)
+        tiny_r = 1_000_000  # 16 MB table < 25 MB L3
+        big_s = 256 * 10**6
+        radix = cpu_radix_join(
+            wl, 8192, threads=10,
+            timing_r_tuples=tiny_r, timing_s_tuples=big_s,
+        )
+        npo = no_partition_join(
+            wl, threads=10,
+            timing_r_tuples=tiny_r, timing_s_tuples=big_s,
+        )
+        assert npo.timing.total_seconds < radix.timing.total_seconds

@@ -1,0 +1,87 @@
+"""Cycle-level PAD overflow semantics (Section 5.4).
+
+"The detection time for the failure of the PAD mode is random and
+depends on the arrival order of the tuples ... The failure is detected
+when one of the counters for a partition exceeds the preassigned fixed
+size. In the worst case, this might happen at the very end of a
+partitioning run."  These tests observe exactly that on the simulated
+circuit: the overflow is raised by the write-back module's offset
+counter, the detection point moves with the arrival order, and
+front-loaded skew aborts early while back-loaded skew aborts late.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import PartitionerCircuit
+from repro.core.modes import HashKind, OutputMode, PartitionerConfig
+from repro.errors import PartitionOverflowError
+
+
+def config(pad_tuples=8):
+    return PartitionerConfig(
+        num_partitions=16,
+        output_mode=OutputMode.PAD,
+        hash_kind=HashKind.RADIX,
+        pad_tuples=pad_tuples,
+    )
+
+
+def run(keys):
+    payloads = np.arange(keys.shape[0], dtype=np.uint32)
+    return PartitionerCircuit(config()).run(keys, payloads)
+
+
+class TestDetection:
+    def test_skewed_run_overflows(self):
+        keys = np.zeros(2048, dtype=np.uint32)  # everything -> partition 0
+        with pytest.raises(PartitionOverflowError) as excinfo:
+            run(keys)
+        assert excinfo.value.partition == 0
+
+    def test_lines_written_before_abort_vary_with_order(self):
+        """Detection depends on arrival order: heavy hitters up front
+        abort after few lines; spread out, the run gets much further."""
+        n = 2048
+        front = np.zeros(n, dtype=np.uint32)
+        front[n // 2 :] = (np.arange(n // 2) % 15 + 1).astype(np.uint32)
+        back = front[::-1].copy()
+
+        def lines_before_abort(keys):
+            payloads = np.arange(n, dtype=np.uint32)
+            circuit = PartitionerCircuit(config())
+            try:
+                circuit.run(keys, payloads)
+            except PartitionOverflowError:
+                return circuit.write_back.lines_out
+            raise AssertionError("expected an overflow")
+
+        early = lines_before_abort(front)
+        late = lines_before_abort(back)
+        assert late > 2 * early
+
+    def test_balanced_run_never_aborts(self):
+        keys = (np.arange(2048) % 16).astype(np.uint32)
+        result = run(keys)
+        assert sum(len(k) for k in result.partitions_keys) == 2048
+
+    def test_hist_mode_handles_the_same_input(self):
+        """'Then, the procedure has to start from the beginning in HIST
+        mode, which is able [to] handle any Zipf skew factor.'"""
+        keys = np.zeros(512, dtype=np.uint32)
+        payloads = np.arange(512, dtype=np.uint32)
+        hist = PartitionerConfig(
+            num_partitions=16,
+            output_mode=OutputMode.HIST,
+            hash_kind=HashKind.RADIX,
+        )
+        result = PartitionerCircuit(hist).run(keys, payloads)
+        assert len(result.partitions_keys[0]) == 512
+
+    def test_error_carries_diagnostics(self):
+        keys = np.zeros(1024, dtype=np.uint32)
+        with pytest.raises(PartitionOverflowError) as excinfo:
+            run(keys)
+        error = excinfo.value
+        assert error.capacity > 0
+        assert "overflowed" in str(error)

@@ -1,0 +1,104 @@
+"""Tests for the FPGA-side pipelined page table (Section 2.1)."""
+
+import pytest
+
+from repro.constants import PAGE_BYTES, PAGE_TABLE_TRANSLATION_CYCLES
+from repro.errors import AddressTranslationError, ConfigurationError
+from repro.platform.pagetable import PageTable
+
+
+@pytest.fixture
+def table():
+    pt = PageTable(max_pages=8)
+    pt.populate([3 * PAGE_BYTES, 7 * PAGE_BYTES, 1 * PAGE_BYTES])
+    return pt
+
+
+class TestFunctionalTranslation:
+    def test_translate(self, table):
+        assert table.translate(0) == 3 * PAGE_BYTES
+        assert table.translate(PAGE_BYTES + 5) == 7 * PAGE_BYTES + 5
+        assert table.translate(2 * PAGE_BYTES) == PAGE_BYTES
+
+    def test_unpopulated_page(self, table):
+        with pytest.raises(AddressTranslationError):
+            table.translate(3 * PAGE_BYTES)
+
+    def test_beyond_capacity(self, table):
+        with pytest.raises(AddressTranslationError):
+            table.translate(8 * PAGE_BYTES)
+
+    def test_negative(self, table):
+        with pytest.raises(AddressTranslationError):
+            table.translate(-1)
+
+    def test_mapped_bytes(self, table):
+        assert table.mapped_bytes == 3 * PAGE_BYTES
+
+
+class TestPopulation:
+    def test_appending_regions(self):
+        pt = PageTable(max_pages=4)
+        pt.populate([0])
+        pt.populate([PAGE_BYTES])
+        assert pt.num_entries == 2
+        assert pt.translate(PAGE_BYTES) == PAGE_BYTES
+
+    def test_overflow(self):
+        pt = PageTable(max_pages=1)
+        with pytest.raises(AddressTranslationError):
+            pt.populate([0, PAGE_BYTES])
+
+    def test_unaligned_physical_rejected(self):
+        pt = PageTable(max_pages=2)
+        with pytest.raises(AddressTranslationError):
+            pt.populate([123])
+
+    def test_clear(self, table):
+        table.clear()
+        assert table.num_entries == 0
+        with pytest.raises(AddressTranslationError):
+            table.translate(0)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            PageTable(max_pages=0)
+
+
+class TestPipelinedTranslation:
+    def test_two_cycle_latency(self, table):
+        offset = table.issue(PAGE_BYTES + 42)
+        assert offset == 42
+        table.tick()
+        assert table.result(offset) is None
+        table.tick()
+        assert table.result(offset) == 7 * PAGE_BYTES + 42
+
+    def test_one_translation_per_cycle(self, table):
+        """The paper: translation takes 2 cycles but is pipelined —
+        throughput is one address per cycle."""
+        addresses = [0, PAGE_BYTES, 2 * PAGE_BYTES, 5]
+        expected = [3 * PAGE_BYTES, 7 * PAGE_BYTES, PAGE_BYTES, 3 * PAGE_BYTES + 5]
+        offsets = []
+        results = []
+        for cycle in range(len(addresses) + PAGE_TABLE_TRANSLATION_CYCLES):
+            table.tick()
+            done = cycle - PAGE_TABLE_TRANSLATION_CYCLES
+            if 0 <= done < len(offsets):
+                results.append(table.result(offsets[done]))
+            if cycle < len(addresses):
+                offsets.append(table.issue(addresses[cycle]))
+        # last results
+        while len(results) < len(addresses):
+            table.tick()
+            results.append(table.result(offsets[len(results)]))
+        assert results == expected
+
+    def test_pipelined_unpopulated_raises_on_result(self):
+        pt = PageTable(max_pages=4)
+        pt.populate([0])
+        offset = pt.issue(2 * PAGE_BYTES)  # within capacity, unmapped
+        pt.tick()
+        pt.tick()
+        with pytest.raises(AddressTranslationError):
+            pt.result(offset)

@@ -1,0 +1,195 @@
+"""Tests for the functional FpgaPartitioner (the public API)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FpgaPartitioner,
+    PartitionerConfig,
+    PartitionOverflowError,
+    XeonFpgaPlatform,
+)
+from repro.core.modes import HashKind, LayoutMode, OutputMode
+from repro.core.hashing import partition_of
+from repro.errors import ConfigurationError
+from repro.workloads.relations import make_relation
+
+
+class TestBasicPartitioning:
+    def test_every_tuple_lands_in_its_partition(self, small_keys, small_payloads):
+        config = PartitionerConfig(num_partitions=32, output_mode=OutputMode.HIST)
+        out = FpgaPartitioner(config).partition(small_keys, small_payloads)
+        for p in range(32):
+            keys, _ = out.partition(p)
+            if keys.size:
+                assert np.all(
+                    np.asarray(partition_of(keys, 32, True)) == p
+                )
+
+    def test_nothing_lost(self, small_keys, small_payloads):
+        config = PartitionerConfig(num_partitions=32, output_mode=OutputMode.HIST)
+        out = FpgaPartitioner(config).partition(small_keys, small_payloads)
+        assert out.num_tuples == small_keys.shape[0]
+        all_payloads = np.concatenate(out.partition_payloads)
+        assert sorted(map(int, all_payloads)) == list(
+            range(small_keys.shape[0])
+        )
+
+    def test_accepts_relation_objects(self):
+        rel = make_relation(500, "random", seed=3)
+        out = FpgaPartitioner(
+            PartitionerConfig(num_partitions=16, output_mode=OutputMode.HIST)
+        ).partition(rel)
+        assert out.num_tuples == 500
+
+    def test_counts_match_partition_sizes(self, small_keys, small_payloads):
+        config = PartitionerConfig(num_partitions=16, output_mode=OutputMode.HIST)
+        out = FpgaPartitioner(config).partition(small_keys, small_payloads)
+        for p in range(16):
+            assert out.counts[p] == out.partition_keys[p].shape[0]
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FpgaPartitioner(PartitionerConfig(num_partitions=16)).partition(
+                np.empty(0, dtype=np.uint32)
+            )
+
+    def test_reserved_payload_rejected(self):
+        keys = np.array([1, 2], dtype=np.uint32)
+        payloads = np.array([0, 0xFFFFFFFF], dtype=np.uint32)
+        with pytest.raises(ConfigurationError):
+            FpgaPartitioner(
+                PartitionerConfig(num_partitions=16, output_mode=OutputMode.HIST)
+            ).partition(keys, payloads)
+
+
+class TestTrafficAccounting:
+    def make_out(self, output_mode, layout_mode, n=4096):
+        keys = np.arange(1, n + 1, dtype=np.uint32)
+        config = PartitionerConfig(
+            num_partitions=16,
+            output_mode=output_mode,
+            layout_mode=layout_mode,
+            pad_tuples=n,
+        )
+        return FpgaPartitioner(config).partition(keys)
+
+    def test_hist_rid_reads_twice(self):
+        out = self.make_out(OutputMode.HIST, LayoutMode.RID)
+        assert out.bytes_read == 2 * out.num_tuples * 8
+
+    def test_pad_rid_reads_once(self):
+        out = self.make_out(OutputMode.PAD, LayoutMode.RID)
+        assert out.bytes_read == out.num_tuples * 8
+
+    def test_vrid_reads_keys_only(self):
+        out = self.make_out(OutputMode.PAD, LayoutMode.VRID)
+        assert out.bytes_read == out.num_tuples * 4
+
+    def test_writes_include_dummy_padding(self):
+        out = self.make_out(OutputMode.HIST, LayoutMode.RID)
+        assert out.bytes_written == (out.num_tuples + out.dummy_slots) * 8
+        assert out.bytes_written >= out.num_tuples * 8
+
+    def test_realised_ratio_near_mode_ratio(self):
+        out = self.make_out(OutputMode.HIST, LayoutMode.RID, n=65536)
+        assert out.read_write_ratio == pytest.approx(2.0, rel=0.1)
+
+    def test_padding_fraction_small_for_large_runs(self):
+        out = self.make_out(OutputMode.HIST, LayoutMode.RID, n=65536)
+        assert out.padding_fraction < 0.05
+
+
+class TestVridSemantics:
+    def test_vrid_payloads_are_positions(self, rng):
+        keys = rng.integers(0, 2**32, size=300, dtype=np.uint64).astype(
+            np.uint32
+        )
+        config = PartitionerConfig(
+            num_partitions=16,
+            output_mode=OutputMode.HIST,
+            layout_mode=LayoutMode.VRID,
+        )
+        out = FpgaPartitioner(config).partition(keys)
+        for p_keys, p_vrids in zip(out.partition_keys, out.partition_payloads):
+            for k, vrid in zip(p_keys, p_vrids):
+                assert keys[int(vrid)] == k  # VRID materialises the key
+
+
+class TestPadOverflow:
+    def overflow_setup(self):
+        # everything hashes radix-style into partition 0
+        keys = np.zeros(1024, dtype=np.uint32)
+        config = PartitionerConfig(
+            num_partitions=16,
+            output_mode=OutputMode.PAD,
+            hash_kind=HashKind.RADIX,
+            pad_tuples=8,
+        )
+        return keys, config
+
+    def test_raise_policy(self):
+        keys, config = self.overflow_setup()
+        with pytest.raises(PartitionOverflowError) as excinfo:
+            FpgaPartitioner(config).partition(keys)
+        assert excinfo.value.partition == 0
+
+    def test_hist_fallback(self):
+        keys, config = self.overflow_setup()
+        out = FpgaPartitioner(config).partition(keys, on_overflow="hist")
+        assert out.config.output_mode is OutputMode.HIST
+        assert out.num_tuples == 1024
+        # the aborted PAD scan is charged on top of the HIST traffic
+        assert out.bytes_read == 3 * 1024 * 8
+
+    def test_cpu_fallback(self):
+        keys, config = self.overflow_setup()
+        out = FpgaPartitioner(config).partition(keys, on_overflow="cpu")
+        assert out.fell_back_to_cpu
+        assert out.produced_by == "cpu"
+        assert out.num_tuples == 1024
+
+    def test_unknown_policy(self):
+        keys, config = self.overflow_setup()
+        with pytest.raises(ConfigurationError):
+            FpgaPartitioner(config).partition(keys, on_overflow="shrug")
+
+    def test_no_overflow_on_balanced_input(self):
+        keys = np.arange(1024, dtype=np.uint32)
+        config = PartitionerConfig(
+            num_partitions=16, output_mode=OutputMode.PAD, hash_kind=HashKind.RADIX
+        )
+        out = FpgaPartitioner(config).partition(keys)
+        assert out.num_tuples == 1024
+
+
+class TestPlatformAccounting:
+    def test_traffic_lands_on_qpi_counters(self, small_keys, small_payloads):
+        platform = XeonFpgaPlatform()
+        config = PartitionerConfig(num_partitions=16, output_mode=OutputMode.HIST)
+        partitioner = FpgaPartitioner(config, platform=platform)
+        out = partitioner.partition(
+            small_keys, small_payloads, region_name="parts"
+        )
+        assert platform.qpi.bytes_read == out.bytes_read
+        assert platform.qpi.bytes_written == out.bytes_written
+
+    def test_region_marked_fpga_written(self, small_keys, small_payloads):
+        platform = XeonFpgaPlatform()
+        config = PartitionerConfig(num_partitions=16, output_mode=OutputMode.HIST)
+        FpgaPartitioner(config, platform=platform).partition(
+            small_keys, small_payloads, region_name="parts"
+        )
+        penalty = platform.coherence.cpu_read_penalty("parts", random_access=True)
+        assert penalty > 2.0  # Table 1 random-read factor
+
+
+class TestLaneAccounting:
+    def test_lines_at_least_ceil_counts(self, small_keys, small_payloads):
+        config = PartitionerConfig(num_partitions=16, output_mode=OutputMode.HIST)
+        out = FpgaPartitioner(config).partition(small_keys, small_payloads)
+        per_line = config.tuples_per_line
+        for p in range(16):
+            min_lines = -(-int(out.counts[p]) // per_line)
+            assert out.lines_per_partition[p] >= min_lines
+            assert out.lines_per_partition[p] <= min_lines + config.num_lanes

@@ -1,0 +1,81 @@
+"""Tests for the pipelined hybrid-join schedule model.
+
+The interesting (and honest) outcome: at the paper's configuration —
+10 CPU threads, a short in-cache build — overlapping the CPU build
+with the FPGA's partitioning of S does NOT pay: the build is too small
+to hide and both agents drop to their interfered Figure 2 bandwidths.
+With few threads (a long build) the overlap wins.  This rationalises
+the paper's sequential schedule rather than contradicting it.
+"""
+
+import pytest
+
+from repro.core.modes import LayoutMode, OutputMode, PartitionerConfig
+from repro.errors import ConfigurationError
+from repro.join.pipelined_hybrid import pipelined_hybrid_timing
+
+PAPER_N = 128 * 10**6
+
+
+class TestTenThreadRegime:
+    def test_overlap_not_worthwhile_at_ten_threads(self):
+        """The paper's configuration: the build is ~0.06 s against an
+        interference tax of ~0.2 s — sequential is right."""
+        timing = pipelined_hybrid_timing(PAPER_N, PAPER_N, threads=10)
+        assert not timing.worthwhile
+        assert timing.speedup < 1.0
+
+    def test_interference_tax_exceeds_hidden_work(self):
+        timing = pipelined_hybrid_timing(PAPER_N, PAPER_N, threads=10)
+        assert timing.interference_cost_seconds > timing.overlap_seconds
+
+
+class TestFewThreadRegime:
+    def test_overlap_wins_with_a_long_build(self):
+        """One or two build threads: the build is long enough to cover
+        S's partitioning; hiding it beats the interference tax."""
+        for threads in (1, 2):
+            timing = pipelined_hybrid_timing(PAPER_N, PAPER_N, threads=threads)
+            assert timing.worthwhile, threads
+            assert timing.speedup > 1.04
+
+    def test_overlap_value_fades_with_threads(self):
+        """More threads shrink the hideable build, so the overlap's
+        value fades (the sweet spot sits at ~2 threads, where build
+        and partitioning are balanced)."""
+        few = pipelined_hybrid_timing(PAPER_N, PAPER_N, threads=2)
+        many = pipelined_hybrid_timing(PAPER_N, PAPER_N, threads=10)
+        assert few.speedup > many.speedup
+        assert not many.worthwhile
+
+
+class TestModelSanity:
+    def test_pipelined_never_beats_critical_path(self):
+        timing = pipelined_hybrid_timing(PAPER_N, PAPER_N, threads=10)
+        fpga_r = timing.sequential.partition_seconds / 2
+        assert timing.pipelined_seconds > fpga_r
+
+    def test_interference_costs_are_positive(self):
+        timing = pipelined_hybrid_timing(PAPER_N, PAPER_N, threads=10)
+        assert timing.interference_cost_seconds > 0
+        assert timing.overlap_seconds > 0
+
+    def test_sequential_matches_hybrid_join_anchor(self):
+        timing = pipelined_hybrid_timing(
+            PAPER_N,
+            PAPER_N,
+            config=PartitionerConfig(
+                num_partitions=8192,
+                output_mode=OutputMode.PAD,
+                layout_mode=LayoutMode.VRID,
+            ),
+            threads=10,
+        )
+        # the sequential leg reproduces the ~406-414 Mt/s hybrid anchor
+        assert timing.sequential.throughput_mtuples == pytest.approx(
+            410, rel=0.05
+        )
+
+    def test_invalid_threads(self):
+        with pytest.raises(ConfigurationError):
+            pipelined_hybrid_timing(100, 100, threads=0)

@@ -1,0 +1,154 @@
+"""Property-based tests of the library's core invariants.
+
+These are the load-bearing guarantees the rest of the reproduction
+stands on:
+
+1. the cycle-level circuit and the functional partitioner agree on
+   every partition's contents for arbitrary inputs and configs;
+2. the CPU and FPGA partitioners produce identical partitions for the
+   same partition-index function;
+3. partitioning is a permutation — no tuple lost, invented or moved to
+   a wrong partition;
+4. cache-line pack/unpack round-trips.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import PartitionerCircuit
+from repro.core.hashing import partition_of
+from repro.core.modes import (
+    HashKind,
+    LayoutMode,
+    OutputMode,
+    PartitionerConfig,
+)
+from repro.core.partitioner import FpgaPartitioner
+from repro.core.tuples import pack_cache_lines, unpack_cache_lines
+from repro.cpu.swwc_buffers import swwc_partition
+
+key_arrays = st.lists(
+    st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=120
+).map(lambda xs: np.array(xs, dtype=np.uint32))
+
+
+@given(
+    keys=key_arrays,
+    num_partitions=st.sampled_from([2, 8, 16]),
+    output_mode=st.sampled_from(list(OutputMode)),
+    layout_mode=st.sampled_from(list(LayoutMode)),
+    hash_kind=st.sampled_from(list(HashKind)),
+)
+@settings(max_examples=30, deadline=None)
+def test_circuit_equals_functional(
+    keys, num_partitions, output_mode, layout_mode, hash_kind
+):
+    config = PartitionerConfig(
+        num_partitions=num_partitions,
+        output_mode=output_mode,
+        layout_mode=layout_mode,
+        hash_kind=hash_kind,
+        pad_tuples=len(keys) + 64,
+    )
+    payloads = np.arange(keys.shape[0], dtype=np.uint32)
+    circuit = PartitionerCircuit(config)
+    if layout_mode is LayoutMode.VRID:
+        sim = circuit.run(keys, None)
+    else:
+        sim = circuit.run(keys, payloads)
+    func = FpgaPartitioner(config).partition(keys, payloads)
+    for p in range(num_partitions):
+        assert sorted(map(int, sim.partitions_keys[p])) == sorted(
+            map(int, func.partition_keys[p])
+        )
+        assert sorted(map(int, sim.partitions_payloads[p])) == sorted(
+            map(int, func.partition_payloads[p])
+        )
+    assert np.array_equal(sim.lines_per_partition, func.lines_per_partition)
+
+
+@given(
+    keys=key_arrays,
+    num_partitions=st.sampled_from([2, 16, 64]),
+    use_hash=st.booleans(),
+    threads=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=50, deadline=None)
+def test_cpu_equals_fpga_partition_contents(
+    keys, num_partitions, use_hash, threads
+):
+    payloads = np.arange(keys.shape[0], dtype=np.uint32)
+    cpu_keys, _, cpu_counts, _ = swwc_partition(
+        keys, payloads, num_partitions, use_hash=use_hash, threads=threads
+    )
+    config = PartitionerConfig(
+        num_partitions=num_partitions,
+        output_mode=OutputMode.HIST,
+        hash_kind=HashKind.MURMUR if use_hash else HashKind.RADIX,
+    )
+    fpga = FpgaPartitioner(config).partition(keys, payloads)
+    assert np.array_equal(cpu_counts, fpga.counts)
+    for p in range(num_partitions):
+        assert sorted(map(int, cpu_keys[p])) == sorted(
+            map(int, fpga.partition_keys[p])
+        )
+
+
+@given(keys=key_arrays, num_partitions=st.sampled_from([4, 32]))
+@settings(max_examples=50, deadline=None)
+def test_partitioning_is_a_permutation(keys, num_partitions):
+    payloads = np.arange(keys.shape[0], dtype=np.uint32)
+    config = PartitionerConfig(
+        num_partitions=num_partitions, output_mode=OutputMode.HIST
+    )
+    out = FpgaPartitioner(config).partition(keys, payloads)
+    # every tuple appears exactly once, in the right partition
+    seen = np.concatenate(out.partition_payloads)
+    assert sorted(map(int, seen)) == list(range(keys.shape[0]))
+    for p in range(num_partitions):
+        p_keys = out.partition_keys[p]
+        if p_keys.size:
+            assert np.all(
+                np.asarray(partition_of(p_keys, num_partitions, True)) == p
+            )
+
+
+@given(
+    keys=key_arrays,
+    tuples_per_line=st.sampled_from([1, 2, 4, 8]),
+)
+@settings(max_examples=50, deadline=None)
+def test_pack_unpack_roundtrip(keys, tuples_per_line):
+    payloads = np.arange(keys.shape[0], dtype=np.uint32)
+    lines = list(pack_cache_lines(keys, payloads, tuples_per_line))
+    got_keys, got_payloads = unpack_cache_lines(lines)
+    assert np.array_equal(got_keys, keys)
+    assert np.array_equal(got_payloads, payloads)
+    expected_lines = -(-keys.shape[0] // tuples_per_line)
+    assert len(lines) == expected_lines
+
+
+@given(keys=key_arrays)
+@settings(max_examples=30, deadline=None)
+def test_pad_either_succeeds_completely_or_aborts(keys):
+    """PAD mode is all-or-nothing: either every tuple lands (within the
+    preassigned regions) or the run aborts with the overflow error —
+    never a silent partial result.  And the HIST fallback always
+    completes."""
+    from repro.errors import PartitionOverflowError
+
+    config = PartitionerConfig(num_partitions=4, output_mode=OutputMode.PAD)
+    payloads = np.arange(keys.shape[0], dtype=np.uint32)
+    try:
+        out = FpgaPartitioner(config).partition(keys, payloads)
+    except PartitionOverflowError:
+        retried = FpgaPartitioner(config).partition(
+            keys, payloads, on_overflow="hist"
+        )
+        assert retried.num_tuples == keys.shape[0]
+    else:
+        assert out.num_tuples == keys.shape[0]
+        capacity = config.partition_capacity(keys.shape[0])
+        per_line = config.tuples_per_line
+        assert int(out.lines_per_partition.max()) * per_line <= capacity

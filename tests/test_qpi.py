@@ -1,0 +1,84 @@
+"""Tests for the QPI link and end-point models."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CACHE_LINE_BYTES, PAGE_BYTES
+from repro.errors import ConfigurationError, MemoryError_
+from repro.platform.memory import SharedMemory
+from repro.platform.qpi import QpiEndpoint, QpiLinkModel
+
+
+class TestLinkModel:
+    def test_lines_per_cycle(self):
+        # 6.5 GB/s at 200 MHz and 64 B lines ~= 0.5078 lines/cycle
+        link = QpiLinkModel(bandwidth_gbs=6.5)
+        assert link.lines_per_cycle == pytest.approx(0.5078, abs=0.001)
+
+    def test_throttles_to_budget(self):
+        link = QpiLinkModel(bandwidth_gbs=6.5)
+        granted = 0
+        cycles = 1000
+        for _ in range(cycles):
+            link.tick()
+            if link.try_write():
+                granted += 1
+        assert granted == pytest.approx(cycles * link.lines_per_cycle, rel=0.02)
+
+    def test_reads_and_writes_share_tokens(self):
+        link = QpiLinkModel(bandwidth_gbs=12.8)  # exactly 1 line/cycle
+        link.tick()
+        assert link.try_read()
+        assert not link.try_write()  # budget spent this cycle
+
+    def test_burst_cap(self):
+        link = QpiLinkModel(bandwidth_gbs=6.5, burst_lines=4)
+        for _ in range(100):
+            link.tick()  # idle accrual capped
+        granted = 0
+        while link.try_write():
+            granted += 1
+        assert granted <= 4
+
+    def test_counters(self):
+        link = QpiLinkModel(bandwidth_gbs=25.6)
+        link.tick()
+        link.try_read()
+        link.try_write()
+        assert link.lines_read == 1
+        assert link.lines_written == 1
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            QpiLinkModel(bandwidth_gbs=0)
+
+
+class TestEndpoint:
+    @pytest.fixture
+    def endpoint(self):
+        return QpiEndpoint(SharedMemory(total_bytes=4 * PAGE_BYTES))
+
+    def test_line_roundtrip(self, endpoint, rng):
+        data = rng.integers(0, 256, CACHE_LINE_BYTES, dtype=np.uint8)
+        endpoint.write_line(128, data)
+        assert np.array_equal(endpoint.read_line(128), data)
+
+    def test_alignment_enforced(self, endpoint):
+        with pytest.raises(MemoryError_):
+            endpoint.read_line(100)
+        with pytest.raises(MemoryError_):
+            endpoint.write_line(7, np.zeros(64, dtype=np.uint8))
+
+    def test_whole_lines_only(self, endpoint):
+        with pytest.raises(MemoryError_):
+            endpoint.write_line(0, np.zeros(32, dtype=np.uint8))
+
+    def test_byte_accounting(self, endpoint):
+        endpoint.write_line(0, np.zeros(64, dtype=np.uint8))
+        endpoint.read_line(0)
+        endpoint.read_line(64)
+        assert endpoint.bytes_written == 64
+        assert endpoint.bytes_read == 128
+        assert endpoint.total_bytes == 192
+        endpoint.reset_counters()
+        assert endpoint.total_bytes == 0

@@ -1,0 +1,133 @@
+"""Tests for the reorder buffer and out-of-order link model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reorder_buffer import OutOfOrderLink, ReorderBuffer
+from repro.errors import ConfigurationError, SimulationError
+
+
+class TestRob:
+    def test_in_order_fill_releases_immediately(self):
+        rob = ReorderBuffer(4)
+        tags = [rob.allocate() for _ in range(3)]
+        for i, tag in enumerate(tags):
+            rob.fill(tag, f"d{i}")
+        assert [rob.release() for _ in range(3)] == ["d0", "d1", "d2"]
+
+    def test_out_of_order_fill_releases_in_order(self):
+        rob = ReorderBuffer(4)
+        t0, t1, t2 = (rob.allocate() for _ in range(3))
+        rob.fill(t2, "d2")
+        rob.fill(t0, "d0")
+        assert rob.release() == "d0"
+        assert rob.release() is None      # d1 still in flight
+        rob.fill(t1, "d1")
+        assert rob.release() == "d1"
+        assert rob.release() == "d2"
+
+    def test_head_of_line_blocking(self):
+        rob = ReorderBuffer(2)
+        t0 = rob.allocate()
+        t1 = rob.allocate()
+        rob.fill(t1, "late-head? no")
+        assert rob.release() is None
+        rob.fill(t0, "head")
+        assert rob.release() == "head"
+
+    def test_capacity_throttles(self):
+        rob = ReorderBuffer(2)
+        assert rob.allocate() is not None
+        assert rob.allocate() is not None
+        assert rob.allocate() is None      # full: caller must stall
+        assert rob.is_full()
+
+    def test_tags_recycled_after_release(self):
+        rob = ReorderBuffer(1)
+        tag = rob.allocate()
+        rob.fill(tag, 1)
+        rob.release()
+        assert rob.allocate() is not None
+
+    def test_duplicate_fill_rejected(self):
+        rob = ReorderBuffer(2)
+        tag = rob.allocate()
+        rob.fill(tag, 1)
+        with pytest.raises(SimulationError):
+            rob.fill(tag, 2)
+
+    def test_unallocated_fill_rejected(self):
+        rob = ReorderBuffer(2)
+        with pytest.raises(SimulationError):
+            rob.fill(0, 1)
+
+    def test_stats(self):
+        rob = ReorderBuffer(4)
+        tags = [rob.allocate() for _ in range(3)]
+        for tag in tags:
+            rob.fill(tag, tag)
+        while rob.release() is not None:
+            pass
+        assert rob.max_occupancy == 3
+        assert rob.total_released == 3
+        assert rob.is_empty()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReorderBuffer(0)
+
+
+class TestOutOfOrderLink:
+    def test_everything_completes(self):
+        link = OutOfOrderLink(seed=1)
+        for i in range(20):
+            link.issue(i, i * 10)
+        done = []
+        for _ in range(100):
+            done.extend(link.tick())
+        assert sorted(tag for tag, _ in done) == list(range(20))
+        assert link.is_idle()
+
+    def test_responses_actually_reorder(self):
+        link = OutOfOrderLink(min_latency=1, max_latency=30, seed=2)
+        for i in range(40):
+            link.issue(i, i)
+        completion_order = []
+        for _ in range(100):
+            completion_order.extend(tag for tag, _ in link.tick())
+        assert completion_order != sorted(completion_order)
+
+    def test_latency_validation(self):
+        with pytest.raises(ConfigurationError):
+            OutOfOrderLink(min_latency=5, max_latency=4)
+
+
+class TestRobRestoresStreamOrder:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_any_reordering_is_absorbed(self, seed):
+        """The VRID contract: position order in == position order out,
+        whatever the link does in between."""
+        link = OutOfOrderLink(min_latency=1, max_latency=16, seed=seed)
+        rob = ReorderBuffer(capacity=16)
+        n = 50
+        issued = 0
+        received = []
+        for _ in range(1000):
+            for tag, data in link.tick():
+                rob.fill(tag, data)
+            while True:
+                data = rob.release()
+                if data is None:
+                    break
+                received.append(data)
+            if issued < n:
+                tag = rob.allocate()
+                if tag is not None:
+                    link.issue(tag, issued)
+                    issued += 1
+            if len(received) == n:
+                break
+        assert received == list(range(n))

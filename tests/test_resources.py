@@ -1,0 +1,90 @@
+"""Tests for the Table 2 resource model."""
+
+import pytest
+
+from repro.core.modes import HashKind, PartitionerConfig
+from repro.core.resources import (
+    TABLE2_PUBLISHED,
+    estimate_resources,
+    max_partitions,
+    table2_estimates,
+)
+
+
+class TestTable2Fit:
+    @pytest.mark.parametrize("width", [8, 16, 32, 64])
+    def test_within_tolerance_of_published(self, width):
+        estimate = estimate_resources(
+            PartitionerConfig(num_partitions=8192, tuple_bytes=width)
+        )
+        published = TABLE2_PUBLISHED[width]
+        assert estimate.logic_percent == pytest.approx(
+            published["logic"], abs=3.0
+        )
+        assert estimate.bram_percent == pytest.approx(published["bram"], abs=3.0)
+        assert estimate.dsp_percent == pytest.approx(published["dsp"], abs=2.0)
+
+    def test_bram_monotonically_decreasing(self):
+        estimates = table2_estimates()
+        brams = [estimates[w].bram_percent for w in (8, 16, 32, 64)]
+        assert brams == sorted(brams, reverse=True)
+
+    def test_logic_decreases_then_floors(self):
+        estimates = table2_estimates()
+        logic = [estimates[w].logic_percent for w in (8, 16, 32, 64)]
+        assert logic[0] > logic[1] >= logic[2] == logic[3]
+
+    def test_dsp_peaks_at_16b(self):
+        """The paper's callout: DSPs *increase* from 8 B to 16 B (the
+        hash moves to 8 B keys) then drop as lanes halve."""
+        estimates = table2_estimates()
+        dsp = {w: estimates[w].dsp_percent for w in (8, 16, 32, 64)}
+        assert dsp[16] > dsp[8]
+        assert dsp[16] > dsp[32] > dsp[64]
+
+
+class TestModelBehaviour:
+    def test_radix_frees_hash_dsps(self):
+        murmur = estimate_resources(
+            PartitionerConfig(num_partitions=8192, hash_kind=HashKind.MURMUR)
+        )
+        radix = estimate_resources(
+            PartitionerConfig(num_partitions=8192, hash_kind=HashKind.RADIX)
+        )
+        assert radix.dsp_percent < murmur.dsp_percent
+
+    def test_bram_scales_with_partitions(self):
+        small = estimate_resources(PartitionerConfig(num_partitions=1024))
+        large = estimate_resources(PartitionerConfig(num_partitions=8192))
+        assert large.bram_percent > small.bram_percent
+
+    def test_percentages_capped(self):
+        huge = estimate_resources(PartitionerConfig(num_partitions=2**17))
+        assert huge.bram_percent <= 100.0
+
+    def test_as_dict(self):
+        usage = estimate_resources(PartitionerConfig())
+        d = usage.as_dict()
+        assert set(d) == {"logic", "bram", "dsp"}
+
+
+class TestMaxFanout:
+    def test_8b_caps_at_the_papers_8192(self):
+        """The paper evaluates at 8192 partitions — which the resource
+        model shows is exactly the largest fan-out the Stratix V's
+        BRAM can hold for 8 B tuples.  The design is sized to the chip."""
+        assert max_partitions(8) == 8192
+
+    def test_wider_tuples_allow_larger_fanouts(self):
+        caps = [max_partitions(w) for w in (8, 16, 32, 64)]
+        assert caps == sorted(caps)
+        assert caps[-1] == 8 * caps[0]  # slot bytes/partition halve per step
+
+    def test_cap_fits_and_next_doubling_does_not(self):
+        cap = max_partitions(8)
+        fits = estimate_resources(PartitionerConfig(num_partitions=cap))
+        overflows = estimate_resources(
+            PartitionerConfig(num_partitions=2 * cap)
+        )
+        assert fits.bram_percent < 100.0
+        assert overflows.bram_percent >= 100.0

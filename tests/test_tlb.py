@@ -1,0 +1,108 @@
+"""Tests for the TLB model and partitioning TLB behaviour (Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.tlb import (
+    DATA_TLB_ENTRIES,
+    Tlb,
+    TlbReport,
+    multipass_scatter_tlb_misses,
+    naive_scatter_tlb_misses,
+    swwc_scatter_tlb_misses,
+)
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import random_keys
+
+
+class TestTlb:
+    def test_hit_after_miss(self):
+        tlb = Tlb(entries=4)
+        assert not tlb.access(0)
+        assert tlb.access(100)  # same 4K page
+
+    def test_lru_eviction(self):
+        tlb = Tlb(entries=2, page_bytes=4096)
+        tlb.access(0)
+        tlb.access(4096)
+        tlb.access(8192)  # evicts page 0
+        assert not tlb.access(0)
+
+    def test_touch_refreshes(self):
+        tlb = Tlb(entries=2, page_bytes=4096)
+        tlb.access(0)
+        tlb.access(4096)
+        tlb.access(0)       # page 0 now MRU
+        tlb.access(8192)    # evicts page 1
+        assert tlb.access(0)
+        assert not tlb.access(4096)
+
+    def test_miss_rate(self):
+        tlb = Tlb(entries=4)
+        tlb.access(0)
+        tlb.access(0)
+        assert tlb.miss_rate == pytest.approx(0.5)
+
+    def test_flush(self):
+        tlb = Tlb(entries=4)
+        tlb.access(0)
+        tlb.flush()
+        assert not tlb.access(0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Tlb(entries=0)
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return random_keys(30000, seed=1)
+
+
+class TestStrategies:
+    def test_small_fanout_all_cheap(self, keys):
+        """Below the TLB reach, every strategy is fine."""
+        for fn in (naive_scatter_tlb_misses, swwc_scatter_tlb_misses):
+            report = fn(keys, 16)
+            assert report.misses_per_tuple < 0.05
+
+    def test_naive_thrashes_beyond_tlb_reach(self, keys):
+        """Section 3.1: the scatter 'is limited by TLB misses'."""
+        report = naive_scatter_tlb_misses(keys, 4096)
+        assert report.misses_per_tuple > 0.8
+
+    def test_swwc_tames_the_thrash(self, keys):
+        """[3]/[30]: buffers prevent 'frequent TLB misses without the
+        need of reducing the partitioning fan-out'."""
+        naive = naive_scatter_tlb_misses(keys, 4096)
+        swwc = swwc_scatter_tlb_misses(keys, 4096)
+        assert swwc.misses < 0.35 * naive.misses
+
+    def test_multipass_bounds_per_pass_fanout(self, keys):
+        """[21]: two passes of sqrt(fanout) each stay TLB-resident."""
+        report = multipass_scatter_tlb_misses(keys, 4096, passes=2)
+        assert report.misses_per_tuple < 0.05
+
+    def test_single_pass_multipass_equals_naive_radix(self, keys):
+        one_pass = multipass_scatter_tlb_misses(keys, 4096, passes=1)
+        naive = naive_scatter_tlb_misses(keys, 4096, use_hash=False)
+        assert one_pass.misses == pytest.approx(naive.misses, rel=0.02)
+
+    def test_larger_buffers_fewer_flush_touches(self, keys):
+        small = swwc_scatter_tlb_misses(keys, 1024, buffer_tuples=4)
+        large = swwc_scatter_tlb_misses(keys, 1024, buffer_tuples=16)
+        assert large.misses <= small.misses
+
+    def test_report_fields(self, keys):
+        report = naive_scatter_tlb_misses(keys, 64)
+        assert isinstance(report, TlbReport)
+        assert report.tuples == keys.shape[0]
+
+    def test_bigger_tlb_helps_naive(self, keys):
+        small = naive_scatter_tlb_misses(keys, 512, tlb=Tlb(entries=64))
+        big = naive_scatter_tlb_misses(keys, 512, tlb=Tlb(entries=1024))
+        assert big.misses < 0.2 * small.misses
+
+    def test_invalid_passes(self, keys):
+        with pytest.raises(ConfigurationError):
+            multipass_scatter_tlb_misses(keys, 64, passes=0)

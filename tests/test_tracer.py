@@ -1,0 +1,91 @@
+"""Tests for the cycle tracer."""
+
+import numpy as np
+import pytest
+
+from repro.core.circuit import PartitionerCircuit
+from repro.core.modes import OutputMode, PartitionerConfig
+from repro.core.tracer import CircuitTracer, SignalTrace
+from repro.errors import ConfigurationError
+
+
+def traced_run(keys, qpi=None):
+    config = PartitionerConfig(
+        num_partitions=16, output_mode=OutputMode.PAD, pad_tuples=2048
+    )
+    circuit = PartitionerCircuit(config, qpi_bandwidth_gbs=qpi)
+    tracer = CircuitTracer()
+    payloads = np.arange(keys.shape[0], dtype=np.uint32)
+    circuit.run(keys, payloads, on_cycle=tracer)
+    return tracer
+
+
+class TestSampling:
+    def test_samples_every_cycle(self, rng):
+        keys = rng.integers(0, 2**32, 512, dtype=np.uint64).astype(np.uint32)
+        tracer = traced_run(keys)
+        assert tracer.cycles_seen > 0
+        for trace in tracer.signals.values():
+            assert len(trace.samples) == tracer.cycles_seen
+
+    def test_signals_cover_all_fifos(self, rng):
+        keys = rng.integers(0, 2**32, 256, dtype=np.uint64).astype(np.uint32)
+        tracer = traced_run(keys)
+        names = set(tracer.signals)
+        assert "last-stage" in names
+        assert "lane0.in" in names and "lane7.out" in names
+
+    def test_backpressure_piles_up_at_the_write_side(self, rng):
+        """Section 4.3: 'the QPI bandwidth cannot handle this and puts
+        back-pressure on the write back module.'  Under a slow link the
+        last-stage FIFO saturates; the first-stage FIFOs stay near
+        empty because the issue logic throttles reads *before* they
+        could fill — which is exactly how the overflow-free guarantee
+        works, and what the tracer makes visible."""
+        keys = rng.integers(0, 2**32, 1024, dtype=np.uint64).astype(
+            np.uint32
+        )
+        slow = traced_run(keys, qpi=3.0)
+        last = slow.signals["last-stage"]
+        assert last.peak == last.full_scale  # saturated write side
+        lane_peak = max(
+            slow.signals[f"lane{i}.in"].peak for i in range(8)
+        )
+        assert lane_peak <= 2  # inputs throttled, never backed up
+
+    def test_sampling_cap(self, rng):
+        keys = rng.integers(0, 2**32, 512, dtype=np.uint64).astype(np.uint32)
+        config = PartitionerConfig(
+            num_partitions=16, output_mode=OutputMode.PAD, pad_tuples=2048
+        )
+        tracer = CircuitTracer(max_cycles=10)
+        PartitionerCircuit(config).run(
+            keys, np.arange(512, dtype=np.uint32), on_cycle=tracer
+        )
+        assert tracer.cycles_seen == 10
+
+
+class TestRendering:
+    def test_render_shape(self, rng):
+        keys = rng.integers(0, 2**32, 256, dtype=np.uint64).astype(np.uint32)
+        tracer = traced_run(keys)
+        text = tracer.render(width=40, signals=["lane0.in", "last-stage"])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[1].startswith("lane0.in")
+        assert "peak" in lines[1]
+
+    def test_density_row_levels(self):
+        trace = SignalTrace("s", samples=[0, 0, 5, 10], full_scale=10)
+        row = trace.density_row(width=4)
+        assert row[0] == "." and row[-1] == "9"
+
+    def test_render_before_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CircuitTracer().render()
+
+    def test_unknown_signal_rejected(self, rng):
+        keys = rng.integers(0, 2**32, 64, dtype=np.uint64).astype(np.uint32)
+        tracer = traced_run(keys)
+        with pytest.raises(ConfigurationError):
+            tracer.render(signals=["nope"])

@@ -1,0 +1,105 @@
+"""Tests for cache-line packing (repro.core.tuples)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tuples import (
+    DUMMY_KEY,
+    DUMMY_PAYLOAD,
+    CacheLine,
+    check_payloads_valid,
+    lines_needed,
+    pack_cache_lines,
+    unpack_cache_lines,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCacheLine:
+    def test_valid_mask(self):
+        line = CacheLine(
+            keys=np.array([1, 2, DUMMY_KEY], dtype=np.uint32),
+            payloads=np.array([1, 2, DUMMY_PAYLOAD], dtype=np.uint32),
+        )
+        assert list(line.valid_mask) == [True, True, False]
+        assert line.num_valid == 2
+        assert not line.is_full()
+
+    def test_full_line(self):
+        line = CacheLine(
+            keys=np.arange(8, dtype=np.uint32),
+            payloads=np.arange(8, dtype=np.uint32),
+        )
+        assert line.is_full()
+        assert line.capacity == 8
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            CacheLine(
+                keys=np.arange(8, dtype=np.uint32),
+                payloads=np.arange(4, dtype=np.uint32),
+            )
+
+    def test_dummy_key_alone_does_not_invalidate(self):
+        """Any key value is legal data, including the dummy key —
+        validity is payload-based."""
+        line = CacheLine(
+            keys=np.array([DUMMY_KEY], dtype=np.uint32),
+            payloads=np.array([5], dtype=np.uint32),
+        )
+        assert line.num_valid == 1
+
+
+class TestPacking:
+    def test_exact_multiple(self):
+        keys = np.arange(16, dtype=np.uint32)
+        payloads = np.arange(16, dtype=np.uint32)
+        lines = list(pack_cache_lines(keys, payloads, 8))
+        assert len(lines) == 2
+        assert all(line.is_full() for line in lines)
+
+    def test_partial_last_line_padded(self):
+        keys = np.arange(10, dtype=np.uint32)
+        payloads = np.arange(10, dtype=np.uint32)
+        lines = list(pack_cache_lines(keys, payloads, 8))
+        assert len(lines) == 2
+        assert lines[1].num_valid == 2
+        assert int(lines[1].keys[-1]) == DUMMY_KEY
+
+    def test_unpack_drops_dummies(self):
+        keys = np.arange(10, dtype=np.uint32)
+        payloads = np.arange(10, dtype=np.uint32)
+        lines = list(pack_cache_lines(keys, payloads, 8))
+        got_keys, got_payloads = unpack_cache_lines(lines)
+        assert np.array_equal(got_keys, keys)
+        assert np.array_equal(got_payloads, payloads)
+
+    def test_unpack_empty(self):
+        keys, payloads = unpack_cache_lines([])
+        assert keys.size == 0 and payloads.size == 0
+
+    def test_reserved_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_payloads_valid(
+                np.array([0, DUMMY_PAYLOAD], dtype=np.uint32)
+            )
+
+    def test_single_tuple_lines(self):
+        keys = np.arange(3, dtype=np.uint32)
+        payloads = np.arange(3, dtype=np.uint32)
+        lines = list(pack_cache_lines(keys, payloads, 1))
+        assert len(lines) == 3
+        assert all(line.is_full() for line in lines)
+
+
+class TestLinesNeeded:
+    @pytest.mark.parametrize(
+        "tuples,per_line,expected",
+        [(0, 8, 0), (1, 8, 1), (8, 8, 1), (9, 8, 2), (64, 1, 64)],
+    )
+    def test_values(self, tuples, per_line, expected):
+        assert lines_needed(tuples, per_line) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lines_needed(-1, 8)

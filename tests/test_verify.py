@@ -1,0 +1,121 @@
+"""Tests for the verification module (repro.analysis.verify)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.verify import (
+    VerificationError,
+    verify_join_pairs,
+    verify_partitioning,
+)
+from repro.core.modes import HashKind, OutputMode, PartitionerConfig
+from repro.core.partitioner import FpgaPartitioner
+from repro.cpu.partitioner import CpuPartitioner
+from repro.join.hash_table import BucketChainingHashTable
+
+
+class TestVerifyPartitioning:
+    def test_good_fpga_output_passes(self, small_keys, small_payloads):
+        out = FpgaPartitioner(
+            PartitionerConfig(num_partitions=16, output_mode=OutputMode.HIST)
+        ).partition(small_keys, small_payloads)
+        report = verify_partitioning(out, small_keys, small_payloads)
+        assert report.ok
+        assert report.checks_run >= 3
+        report.raise_on_failure()  # no-op on success
+
+    def test_good_cpu_output_passes(self, small_keys, small_payloads):
+        out = CpuPartitioner(num_partitions=16).partition(
+            small_keys, small_payloads
+        )
+        assert verify_partitioning(out, small_keys, small_payloads).ok
+
+    def test_pad_output_passes(self, small_keys, small_payloads):
+        out = FpgaPartitioner(
+            PartitionerConfig(
+                num_partitions=16, output_mode=OutputMode.PAD, pad_tuples=256
+            )
+        ).partition(small_keys, small_payloads)
+        report = verify_partitioning(out, small_keys, small_payloads)
+        assert report.ok
+        assert report.checks_run == 4  # includes the capacity check
+
+    def test_detects_dropped_tuple(self, small_keys, small_payloads):
+        out = FpgaPartitioner(
+            PartitionerConfig(num_partitions=16, output_mode=OutputMode.HIST)
+        ).partition(small_keys, small_payloads)
+        out.partition_payloads[3] = out.partition_payloads[3][:-1]
+        out.partition_keys[3] = out.partition_keys[3][:-1]
+        report = verify_partitioning(out, small_keys, small_payloads)
+        assert not report.ok
+        assert "permutation" in report.failures[0]
+
+    def test_detects_misplaced_tuple(self, small_keys, small_payloads):
+        out = FpgaPartitioner(
+            PartitionerConfig(num_partitions=16, output_mode=OutputMode.HIST)
+        ).partition(small_keys, small_payloads)
+        # move one tuple to a (very likely) wrong partition
+        donor = max(range(16), key=lambda p: out.counts[p])
+        victim_key = out.partition_keys[donor][0:1]
+        victim_pay = out.partition_payloads[donor][0:1]
+        out.partition_keys[donor] = out.partition_keys[donor][1:]
+        out.partition_payloads[donor] = out.partition_payloads[donor][1:]
+        target = (donor + 1) % 16
+        out.partition_keys[target] = np.concatenate(
+            [out.partition_keys[target], victim_key]
+        )
+        out.partition_payloads[target] = np.concatenate(
+            [out.partition_payloads[target], victim_pay]
+        )
+        report = verify_partitioning(out, small_keys, small_payloads)
+        assert not report.ok
+        assert any("belong elsewhere" in f for f in report.failures)
+
+    def test_raise_on_failure(self, small_keys, small_payloads):
+        out = FpgaPartitioner(
+            PartitionerConfig(num_partitions=16, output_mode=OutputMode.HIST)
+        ).partition(small_keys, small_payloads)
+        out.partition_keys[0] = out.partition_keys[0][:0]
+        out.partition_payloads[0] = out.partition_payloads[0][:0]
+        with pytest.raises(VerificationError):
+            verify_partitioning(
+                out, small_keys, small_payloads
+            ).raise_on_failure()
+
+    def test_radix_config_verified_with_radix_function(self):
+        keys = np.arange(256, dtype=np.uint32)
+        out = FpgaPartitioner(
+            PartitionerConfig(
+                num_partitions=16,
+                output_mode=OutputMode.HIST,
+                hash_kind=HashKind.RADIX,
+            )
+        ).partition(keys, np.arange(256, dtype=np.uint32))
+        assert verify_partitioning(out, keys).ok
+
+
+class TestVerifyJoinPairs:
+    def test_sound_join_passes(self, rng):
+        r = rng.integers(0, 100, 200, dtype=np.uint64).astype(np.uint32)
+        s = rng.integers(0, 100, 200, dtype=np.uint64).astype(np.uint32)
+        probe_idx, build_idx, _ = BucketChainingHashTable(r).probe(s)
+        report = verify_join_pairs(r, s, build_idx, probe_idx)
+        assert report.ok
+
+    def test_unsound_pair_detected(self):
+        r = np.array([1, 2], dtype=np.uint32)
+        s = np.array([1, 3], dtype=np.uint32)
+        report = verify_join_pairs(
+            r, s,
+            np.array([0, 1]), np.array([0, 1]),  # (2,3) is bogus
+        )
+        assert not report.ok
+
+    def test_completeness_check(self):
+        r = np.array([5], dtype=np.uint32)
+        s = np.array([5, 5], dtype=np.uint32)
+        report = verify_join_pairs(
+            r, s, np.array([0]), np.array([0]), expected_matches=2
+        )
+        assert not report.ok
+        assert "expected" in report.failures[0]

@@ -1,0 +1,232 @@
+"""Tests for the write combiner (Section 4.2, Code 4).
+
+The central claims exercised here:
+
+* tuples of the same partition are gathered into full cache lines;
+* the fill-rate BRAM's 2-cycle read latency is bridged by forwarding,
+  so back-to-back same-partition tuples are handled without stalls
+  *and without corruption* — and disabling forwarding demonstrably
+  loses tuples;
+* the end-of-run flush emits partial lines padded with dummy keys.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fifo import Fifo
+from repro.core.hash_module import HashedTuple
+from repro.core.tuples import DUMMY_PAYLOAD
+from repro.core.write_combiner import WriteCombiner
+
+
+def make_combiner(num_partitions=8, tuples_per_line=8, depth=64, fwd=True):
+    inp = Fifo(depth, name="in")
+    out = Fifo(depth, name="out")
+    wc = WriteCombiner(
+        num_partitions=num_partitions,
+        tuples_per_line=tuples_per_line,
+        input_fifo=inp,
+        output_fifo=out,
+        enable_forwarding=fwd,
+    )
+    return wc, inp, out
+
+
+def feed_and_run(wc, inp, tuples, extra_cycles=10):
+    for t in tuples:
+        inp.push(t)
+    cycles = 0
+    while not wc.is_drained() or cycles < extra_cycles:
+        wc.tick()
+        cycles += 1
+        if cycles > 10000:
+            raise AssertionError("combiner did not drain")
+    return cycles
+
+
+def flush_all(wc):
+    guard = 0
+    while wc.flush_cycle():
+        guard += 1
+        assert guard < 10000
+
+
+def collect_tuples(out):
+    """All (key, payload) pairs in emitted lines, dummies dropped."""
+    pairs = []
+    while not out.is_empty():
+        line = out.pop()
+        for k, p in zip(line.keys, line.payloads):
+            if int(p) != DUMMY_PAYLOAD:
+                pairs.append((int(k), int(p), line.partition))
+    return pairs
+
+
+class TestCombining:
+    def test_eight_same_partition_tuples_make_a_line(self):
+        wc, inp, out = make_combiner()
+        tuples = [HashedTuple(key=i, payload=i, partition=3) for i in range(8)]
+        feed_and_run(wc, inp, tuples)
+        assert wc.lines_out == 1
+        line = out.pop()
+        assert line.partition == 3
+        assert sorted(map(int, line.keys)) == list(range(8))
+        assert line.is_full()
+
+    def test_seven_tuples_make_no_line_until_flush(self):
+        wc, inp, out = make_combiner()
+        tuples = [HashedTuple(key=i, payload=i, partition=1) for i in range(7)]
+        feed_and_run(wc, inp, tuples)
+        assert out.is_empty()
+        flush_all(wc)
+        assert wc.lines_out == 1
+        line = out.pop()
+        assert line.num_valid == 7
+        assert wc.dummy_slots_out == 1
+
+    def test_interleaved_partitions(self):
+        wc, inp, out = make_combiner(num_partitions=4)
+        tuples = [
+            HashedTuple(key=i, payload=i, partition=i % 4) for i in range(32)
+        ]
+        feed_and_run(wc, inp, tuples)
+        assert wc.lines_out == 4  # 8 tuples per partition
+        seen = collect_tuples(out)
+        assert len(seen) == 32
+        for key, payload, partition in seen:
+            assert key % 4 == partition
+
+    def test_no_tuple_lost_on_burst(self):
+        """Adversarial: 64 consecutive tuples of ONE partition — the
+        forwarding path is exercised on every single tuple."""
+        wc, inp, out = make_combiner()
+        tuples = [HashedTuple(key=i, payload=i, partition=5) for i in range(64)]
+        feed_and_run(wc, inp, tuples)
+        flush_all(wc)
+        seen = collect_tuples(out)
+        assert sorted(p for _, p, _ in seen) == list(range(64))
+        assert wc.forwarding_hits_1d > 0
+
+    def test_alternating_two_partitions_uses_2d_forwarding(self):
+        wc, inp, out = make_combiner()
+        tuples = [
+            HashedTuple(key=i, payload=i, partition=i % 2) for i in range(32)
+        ]
+        feed_and_run(wc, inp, tuples)
+        flush_all(wc)
+        seen = collect_tuples(out)
+        assert len(seen) == 32
+        assert wc.forwarding_hits_2d > 0
+
+    def test_wide_tuple_single_slot_lines(self):
+        # 64 B tuples: every tuple is immediately a full line.
+        wc, inp, out = make_combiner(tuples_per_line=1)
+        tuples = [HashedTuple(key=i, payload=i, partition=0) for i in range(5)]
+        feed_and_run(wc, inp, tuples)
+        assert wc.lines_out == 5
+
+
+class TestForwardingHazard:
+    def test_disabled_forwarding_corrupts_bursts(self):
+        """Without the forwarding registers the stale fill rate makes
+        back-to-back same-partition tuples overwrite each other —
+        the exact failure Code 4 lines 6-9 prevent."""
+        wc, inp, out = make_combiner(fwd=False)
+        tuples = [HashedTuple(key=i, payload=i, partition=2) for i in range(24)]
+        feed_and_run(wc, inp, tuples)
+        flush_all(wc)
+        seen = collect_tuples(out)
+        assert len(seen) < 24  # tuples were lost
+
+    def test_disabled_forwarding_safe_when_partitions_spread(self):
+        """With >= 3 cycles between same-partition tuples the BRAM
+        value is fresh and no forwarding is needed."""
+        wc, inp, out = make_combiner(num_partitions=8, fwd=False)
+        tuples = [
+            HashedTuple(key=i, payload=i, partition=i % 8) for i in range(64)
+        ]
+        feed_and_run(wc, inp, tuples)
+        flush_all(wc)
+        assert len(collect_tuples(out)) == 64
+
+
+class TestFlowControl:
+    def test_stalls_when_output_full_no_overflow(self):
+        wc, inp, out = make_combiner(depth=64)
+        # shrink the output FIFO to force back-pressure
+        small_out = Fifo(1, name="small")
+        wc.output_fifo = small_out
+        tuples = [HashedTuple(key=i, payload=i, partition=0) for i in range(32)]
+        for t in tuples:
+            inp.push(t)
+        for _ in range(40):
+            wc.tick()  # never raises FifoOverflowError
+        assert wc.stall_cycles > 0
+        # drain and finish
+        seen = []
+        for _ in range(400):
+            if not small_out.is_empty():
+                seen.append(small_out.pop())
+            wc.tick()
+        while wc.flush_cycle() or not small_out.is_empty():
+            if not small_out.is_empty():
+                seen.append(small_out.pop())
+        total = sum(line.num_valid for line in seen)
+        assert total == 32
+
+    def test_no_stalls_with_roomy_output(self):
+        wc, inp, out = make_combiner(depth=512)
+        tuples = [
+            HashedTuple(key=i, payload=i, partition=i % 3) for i in range(128)
+        ]
+        feed_and_run(wc, inp, tuples)
+        assert wc.stall_cycles == 0
+
+
+class TestFlush:
+    def test_flush_respects_backpressure(self):
+        wc, inp, out = make_combiner(num_partitions=8)
+        small_out = Fifo(2, name="small")
+        wc.output_fifo = small_out
+        # one tuple in each partition -> 8 partial lines at flush
+        tuples = [HashedTuple(key=p, payload=p, partition=p) for p in range(8)]
+        for t in tuples:
+            inp.push(t)
+        for _ in range(20):
+            wc.tick()
+        drained = []
+        guard = 0
+        more = True
+        while more or not small_out.is_empty():
+            more = wc.flush_cycle()
+            if not small_out.is_empty():
+                drained.append(small_out.pop())
+            guard += 1
+            assert guard < 1000
+        assert len(drained) == 8
+        assert wc.dummy_slots_out == 8 * 7
+
+    def test_flush_done_property(self):
+        wc, inp, out = make_combiner(num_partitions=4)
+        assert not wc.flush_done
+        flush_all(wc)
+        assert wc.flush_done
+
+    def test_reset_flush(self):
+        wc, inp, out = make_combiner(num_partitions=4)
+        flush_all(wc)
+        wc.reset_flush()
+        assert not wc.flush_done
+
+
+class TestValidation:
+    def test_bad_tuples_per_line(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            WriteCombiner(
+                num_partitions=4,
+                tuples_per_line=0,
+                input_fifo=Fifo(4),
+                output_fifo=Fifo(4),
+            )
