@@ -1,0 +1,255 @@
+"""Parallel execution engine — morsel scaling and circuit fast-forward.
+
+Two measurements of the PR's execution engine:
+
+1. **Morsel scaling** — wall-clock of ``FpgaPartitioner.partition`` with
+   the morsel-driven engine at increasing worker counts, against the
+   legacy single-shot path as the 1x baseline.  The engine wins even on
+   one core because the per-morsel scatter sorts narrow partition ids
+   (uint8/uint16) instead of one monolithic int64 argsort; extra
+   workers add concurrency on top where cores exist.
+2. **Fast-forward** — wall-clock of the cycle-level circuit with
+   ``fast_forward=True`` (event-driven timing replay) vs the
+   cycle-by-cycle reference, asserting the :class:`CircuitStats` are
+   exactly equal before reporting the speedup.
+
+Run as a script to write the standard JSON artifact::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py \
+        --output BENCH_parallel.json
+
+or via the CLI registry: ``python -m repro experiment parallel`` (quick
+sizes).  The pytest entry points use benchmark-scaled sizes.
+"""
+
+import argparse
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bench import ExperimentTable, shape_check, write_json_artifact
+from repro.core.circuit import PartitionerCircuit
+from repro.core.modes import HashKind, LayoutMode, PartitionerConfig
+from repro.core.partitioner import FpgaPartitioner
+from repro.exec import ExecutionEngine
+
+EXPERIMENT = "Parallel scaling"
+FF_EXPERIMENT = "Fast-forward"
+
+#: full-size defaults (acceptance criteria sizes)
+DEFAULT_TUPLES = 1 << 22
+DEFAULT_LINES = 1 << 16
+DEFAULT_WORKERS = (1, 2, 4, 8)
+
+#: quick-mode sizes for smoke tests and the CLI experiment registry
+QUICK_TUPLES = 1 << 17
+QUICK_LINES = 1 << 10
+QUICK_WORKERS = (1, 2)
+
+
+def _make_keys(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2**32, size=n, dtype=np.uint32)
+
+
+def _time_partition(
+    partitioner: FpgaPartitioner,
+    keys: np.ndarray,
+    payloads: np.ndarray,
+    repeats: int,
+) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        partitioner.partition(keys, payloads)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def scaling_table(
+    tuples: Optional[int] = None,
+    workers: Optional[Sequence[int]] = None,
+    num_partitions: int = 256,
+    repeats: int = 2,
+    quick: bool = False,
+) -> ExperimentTable:
+    """Throughput of the morsel engine vs worker count.
+
+    The first row is the legacy (engine-less) path — the 1x baseline
+    every speedup is measured against.
+    """
+    if tuples is None:
+        tuples = QUICK_TUPLES if quick else DEFAULT_TUPLES
+    if workers is None:
+        workers = QUICK_WORKERS if quick else DEFAULT_WORKERS
+    keys = _make_keys(tuples)
+    payloads = np.arange(tuples, dtype=np.uint32)
+    config = PartitionerConfig(
+        num_partitions=num_partitions, hash_kind=HashKind.MURMUR
+    )
+
+    serial_seconds = _time_partition(
+        FpgaPartitioner(config), keys, payloads, repeats
+    )
+    rows = [
+        [
+            "legacy",
+            0,
+            serial_seconds,
+            tuples / serial_seconds / 1e6,
+            1.0,
+        ]
+    ]
+    for count in workers:
+        with ExecutionEngine(workers=count, kind="auto") as engine:
+            seconds = _time_partition(
+                FpgaPartitioner(config, engine=engine), keys, payloads, repeats
+            )
+        rows.append(
+            [
+                "morsel",
+                count,
+                seconds,
+                tuples / seconds / 1e6,
+                serial_seconds / seconds,
+            ]
+        )
+    return ExperimentTable(
+        experiment_id=EXPERIMENT,
+        title=f"morsel engine scaling, {tuples:,} tuples, "
+        f"{num_partitions} partitions (byte-identical output)",
+        headers=["path", "workers", "seconds", "Mtuples/s", "speedup"],
+        rows=rows,
+        note="speedup is against the legacy single-shot partition path; "
+        "outputs are byte-identical by construction and by test.",
+    )
+
+
+def fast_forward_table(
+    lines: Optional[int] = None,
+    num_partitions: int = 256,
+    quick: bool = False,
+) -> ExperimentTable:
+    """Cycle-by-cycle vs fast-forward circuit run (identical stats)."""
+    if lines is None:
+        lines = QUICK_LINES if quick else DEFAULT_LINES
+    config = PartitionerConfig(
+        num_partitions=num_partitions, layout_mode=LayoutMode.VRID
+    )
+    n = lines * config.tuples_per_line
+    keys = _make_keys(n, seed=1)
+
+    circuit = PartitionerCircuit(config)
+    start = time.perf_counter()
+    reference = circuit.run(keys, None)
+    reference_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fast = circuit.run(keys, None, fast_forward=True)
+    fast_seconds = time.perf_counter() - start
+
+    shape_check(
+        fast.stats == reference.stats,
+        FF_EXPERIMENT,
+        "fast-forward CircuitStats must equal the cycle-level reference",
+    )
+    rows = [
+        ["cycle-level", reference_seconds, reference.stats.cycles, 1.0],
+        [
+            "fast-forward",
+            fast_seconds,
+            fast.stats.cycles,
+            reference_seconds / fast_seconds,
+        ],
+    ]
+    return ExperimentTable(
+        experiment_id=FF_EXPERIMENT,
+        title=f"circuit simulation, {lines:,} input lines "
+        f"({n:,} tuples, {num_partitions} partitions)",
+        headers=["simulator", "seconds", "cycles", "speedup"],
+        rows=rows,
+        note="both runs produce identical CircuitStats (asserted above).",
+    )
+
+
+def write_artifact(
+    path: str,
+    tuples: Optional[int] = None,
+    lines: Optional[int] = None,
+    workers: Optional[Sequence[int]] = None,
+    quick: bool = False,
+):
+    """Measure both tables and write the ``BENCH_parallel.json`` artifact."""
+    scaling = scaling_table(tuples=tuples, workers=workers, quick=quick)
+    fast = fast_forward_table(lines=lines, quick=quick)
+    speedups = [float(row[4]) for row in scaling.rows[1:]]
+    extra = {
+        "schema": "repro-bench/1",
+        "benchmark": "parallel_scaling",
+        "quick": quick,
+        "serial_seconds": float(scaling.rows[0][2]),
+        "serial_mtuples": float(scaling.rows[0][3]),
+        "best_parallel_mtuples": max(float(r[3]) for r in scaling.rows[1:]),
+        "best_speedup": max(speedups),
+        "fast_forward_speedup": float(fast.rows[1][3]),
+    }
+    written = write_json_artifact(path, [scaling, fast], extra=extra)
+    return written, scaling, fast
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Script entry point: print both tables, write the JSON artifact."""
+    parser = argparse.ArgumentParser(
+        description="morsel-engine scaling + circuit fast-forward benchmark"
+    )
+    parser.add_argument("--tuples", type=int, default=None)
+    parser.add_argument("--lines", type=int, default=None)
+    parser.add_argument("--workers", type=int, nargs="+", default=None)
+    parser.add_argument("--output", default="BENCH_parallel.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny sizes for smoke testing")
+    args = parser.parse_args(argv)
+    written, scaling, fast = write_artifact(
+        args.output,
+        tuples=args.tuples,
+        lines=args.lines,
+        workers=args.workers,
+        quick=args.quick,
+    )
+    print(scaling.render())
+    print()
+    print(fast.render())
+    print(f"\nwrote {written}")
+    return 0
+
+
+def test_scaling_quick(benchmark):
+    """Benchmark-harness entry: quick-size morsel scaling table."""
+    table = benchmark.pedantic(
+        lambda: scaling_table(quick=True), rounds=1, iterations=1
+    )
+    table.emit()
+    speedups = [float(row[4]) for row in table.rows[1:]]
+    shape_check(
+        max(speedups) > 1.0,
+        EXPERIMENT,
+        "the morsel engine must beat the legacy path",
+    )
+
+
+def test_fast_forward_quick(benchmark):
+    """Benchmark-harness entry: quick-size fast-forward table."""
+    table = benchmark.pedantic(
+        lambda: fast_forward_table(quick=True), rounds=1, iterations=1
+    )
+    table.emit()
+    shape_check(
+        float(table.rows[1][3]) > 1.0,
+        FF_EXPERIMENT,
+        "fast-forward must be faster than the cycle-level loop",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

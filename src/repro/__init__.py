@@ -76,6 +76,7 @@ from repro.errors import (
     ReproError,
     SimulationError,
 )
+from repro.exec import ExecutionEngine, resolve_engine
 
 __version__ = "1.0.0"
 
@@ -128,6 +129,9 @@ __all__ = [
     "balance_report",
     "verify_partitioning",
     "verify_join_pairs",
+    # exec
+    "ExecutionEngine",
+    "resolve_engine",
     # errors
     "ReproError",
     "ConfigurationError",

@@ -13,6 +13,7 @@ from repro.bench.reporting import (
     monotonically_increasing,
     relative_error,
     shape_check,
+    write_json_artifact,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "relative_error",
     "monotonically_increasing",
     "monotonically_decreasing",
+    "write_json_artifact",
 ]

@@ -70,6 +70,10 @@ _EXPERIMENTS = {
     "fig12e": ("bench_fig12_distributions", lambda m: m.figure12_table("E")),
     "fig13": ("bench_fig13_skew", lambda m: m.figure13_table()),
     "future": ("bench_future_platforms", lambda m: m.sweep_table()),
+    "parallel": (
+        "bench_parallel_scaling",
+        lambda m: m.scaling_table(quick=True),
+    ),
 }
 
 
@@ -175,14 +179,17 @@ def cmd_partition(args) -> int:
         hash_kind=HashKind.RADIX if args.radix else HashKind.MURMUR,
     )
     relation = make_relation(args.tuples, args.distribution, seed=args.seed)
-    if args.engine == "cpu":
+    if args.backend == "cpu":
         out = CpuPartitioner(
             num_partitions=args.partitions,
             hash_kind=config.hash_kind,
             threads=args.threads,
+            engine=args.engine,
         ).partition(relation)
     else:
-        out = FpgaPartitioner(config).partition(relation, on_overflow="hist")
+        out = FpgaPartitioner(
+            config, engine=args.engine, threads=args.threads
+        ).partition(relation, on_overflow="hist")
     model = FpgaCostModel()
     print(f"partitioned {out.num_tuples:,} tuples into "
           f"{out.num_partitions} partitions ({out.produced_by})")
@@ -190,7 +197,7 @@ def cmd_partition(args) -> int:
     print(f"  dummy padding     : {100 * out.padding_fraction:.2f}%")
     print(f"  bytes read/written: {out.bytes_read:,} / {out.bytes_written:,}"
           f"  (r = {out.read_write_ratio:.2f})")
-    if args.engine == "fpga":
+    if args.backend == "fpga":
         rate = model.end_to_end_mtuples(
             out.config, out.num_tuples, calibrated=True
         )
@@ -209,6 +216,7 @@ def cmd_join(args) -> int:
         threads=args.threads,
         timing_r_tuples=spec.r_tuples,
         timing_s_tuples=spec.s_tuples,
+        engine=args.engine,
     )
     cpu = cpu_radix_join(workload, args.partitions, **kwargs)
     hybrid = hybrid_join(
@@ -303,9 +311,11 @@ def cmd_simulate(args) -> int:
         config, qpi_bandwidth_gbs=args.bandwidth or None
     )
     if config.layout_mode is LayoutMode.VRID:
-        result = circuit.run(relation.keys, None)
+        result = circuit.run(relation.keys, None,
+                             fast_forward=args.fast_forward)
     else:
-        result = circuit.run(relation.keys, relation.payloads)
+        result = circuit.run(relation.keys, relation.payloads,
+                             fast_forward=args.fast_forward)
     stats = result.stats
     streaming = stats.partition_pass_cycles - stats.flush_cycles
     print(f"simulated {stats.tuples_in:,} tuples ({config.mode_label}, "
@@ -355,8 +365,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--partitions", type=int, default=1024)
     p.add_argument("--mode", default="PAD/RID", help="e.g. HIST/VRID")
     p.add_argument("--distribution", default="random")
-    p.add_argument("--engine", choices=["fpga", "cpu"], default="fpga")
-    p.add_argument("--threads", type=int, default=10, help="cpu engine only")
+    p.add_argument("--backend", choices=["fpga", "cpu"], default="fpga",
+                   help="which partitioner implementation to run")
+    p.add_argument("--engine", choices=["serial", "parallel"], default=None,
+                   help="morsel execution engine (default: legacy path)")
+    p.add_argument("--threads", type=int, default=10,
+                   help="worker count for --engine / cpu cost model")
     p.add_argument("--radix", action="store_true",
                    help="radix bits instead of murmur")
     p.add_argument("--seed", type=int, default=0)
@@ -368,6 +382,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=int, default=20000)
     p.add_argument("--zipf", type=float, default=None,
                    help="skew S with this Zipf factor")
+    p.add_argument("--engine", choices=["serial", "parallel"], default=None,
+                   help="morsel execution engine for both joins")
 
     p = sub.add_parser(
         "report", help="write the light experiments to a markdown report"
@@ -381,6 +397,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--distribution", default="random")
     p.add_argument("--bandwidth", type=float, default=0.0,
                    help="QPI GB/s; 0 = unthrottled")
+    p.add_argument("--fast-forward", action="store_true",
+                   help="event-driven fast path (identical counters)")
     p.add_argument("--seed", type=int, default=0)
 
     return parser

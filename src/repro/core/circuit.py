@@ -69,9 +69,20 @@ class CircuitStats:
 
     @property
     def output_padding_fraction(self) -> float:
-        """Fraction of output slots wasted on dummy padding."""
-        total_slots = self.dummy_slots_out + self.tuples_in
-        return self.dummy_slots_out / total_slots if total_slots else 0.0
+        """Fraction of *written* output slots wasted on dummy padding.
+
+        ``dummy_slots_out + tuples_in`` is exactly the written slot
+        count (``lines_out`` cache lines): tuples enter ``tuples_in``
+        once per run — the HIST histogram pass scans the input without
+        counting it again — and every written line is either real
+        tuples or flush padding.  A run that never wrote a line (a
+        histogram-only pass, or an empty input) has no output slots to
+        speak of, so the fraction is 0.0 by definition rather than a
+        ratio over slots that do not exist.
+        """
+        if self.lines_out == 0:
+            return 0.0
+        return self.dummy_slots_out / (self.dummy_slots_out + self.tuples_in)
 
 
 @dataclasses.dataclass
@@ -156,6 +167,7 @@ class PartitionerCircuit:
         payloads: Optional[np.ndarray] = None,
         max_cycles: Optional[int] = None,
         on_cycle=None,
+        fast_forward: bool = False,
     ) -> CircuitResult:
         """Partition a relation, simulating every clock cycle.
 
@@ -169,6 +181,12 @@ class PartitionerCircuit:
             on_cycle: optional probe called as ``on_cycle(circuit,
                 cycle)`` at the end of every partition-pass cycle (see
                 :class:`repro.core.tracer.CircuitTracer`).
+            fast_forward: use the event-driven fast path of
+                :mod:`repro.exec.fast_forward` where its closed-form
+                schedule applies (no QPI link, forwarding enabled, no
+                probe), falling back to the cycle-by-cycle loop
+                otherwise.  Results and stats are identical either
+                way; only wall-clock time differs.
 
         Returns:
             A :class:`CircuitResult` with per-partition outputs, the
@@ -195,9 +213,18 @@ class PartitionerCircuit:
 
         link = self._make_link()
 
+        fast = False
+        if fast_forward:
+            from repro.exec import fast_forward as ff
+
+            fast = ff.supports_fast_forward(self, on_cycle)
+
         histogram = None
         if cfg.output_mode is OutputMode.HIST:
-            histogram = self._histogram_pass(keys, payloads, link, stats)
+            if fast:
+                histogram = ff.fast_histogram_pass(self, keys, stats)
+            else:
+                histogram = self._histogram_pass(keys, payloads, link, stats)
             base_lines, capacity_lines = self._hist_layout(histogram)
         else:
             base_lines, capacity_lines = self._pad_layout(n)
@@ -206,9 +233,16 @@ class PartitionerCircuit:
         self.write_back.reset_offsets()
         self.write_back.partition_capacity_lines = capacity_lines
 
-        memory_image = self._partition_pass(
-            keys, payloads, link, stats, max_cycles, on_cycle
-        )
+        memory_image = None
+        if fast:
+            memory_image = ff.fast_partition_pass(
+                self, keys, payloads, base_lines, capacity_lines, stats,
+                max_cycles,
+            )
+        if memory_image is None:
+            memory_image = self._partition_pass(
+                keys, payloads, link, stats, max_cycles, on_cycle
+            )
 
         return self._collect(memory_image, base_lines, stats)
 

@@ -19,7 +19,8 @@ Table 2).
 
 from __future__ import annotations
 
-from typing import Union
+import functools
+from typing import Callable, Optional, Union
 
 import numpy as np
 
@@ -139,3 +140,58 @@ def partition_of(
             hashed = murmur3_finalizer(key)
         return radix_bits(hashed, bits)
     return radix_bits(key, bits)
+
+
+@functools.lru_cache(maxsize=64)
+def partition_function(
+    num_partitions: int, use_hash: bool
+) -> Callable[..., np.ndarray]:
+    """Batched partition-index kernel for a fixed configuration.
+
+    Returns ``kernel(keys, out=None) -> parts`` computing
+    :func:`partition_of` over a whole ``uint32`` (or ``uint64``) key
+    array at once.  The fan-out validation, bit count and masks are
+    resolved *here*, once per ``(num_partitions, use_hash)`` pair, and
+    memoised with a small LRU so per-morsel calls pay only the NumPy
+    kernel.  The murmur pipeline runs in-place on a scratch copy (five
+    vector ops, no extra temporaries beyond the copy).
+
+    When ``out`` is given the indices are written into it (any integer
+    dtype wide enough for the fan-out) and ``out`` is returned;
+    otherwise a fresh ``int64`` array is returned.  Bit-exact with
+    :func:`partition_of` on every key, by construction and by test.
+    """
+    bits = fanout_bits(num_partitions)
+    mask32 = np.uint32((1 << bits) - 1)
+    mask64 = np.uint64((1 << bits) - 1)
+
+    def kernel(
+        keys: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Partition indices for a key batch (see partition_function)."""
+        wide = keys.dtype == np.uint64
+        if use_hash:
+            h = keys.copy()
+            if wide:
+                with np.errstate(over="ignore"):
+                    h ^= h >> np.uint64(33)
+                    h *= np.uint64(MURMUR64_C1)
+                    h ^= h >> np.uint64(33)
+                    h *= np.uint64(MURMUR64_C2)
+                    h ^= h >> np.uint64(33)
+                    h &= mask64
+            else:
+                h ^= h >> np.uint32(16)
+                h *= np.uint32(MURMUR32_C1)
+                h ^= h >> np.uint32(13)
+                h *= np.uint32(MURMUR32_C2)
+                h ^= h >> np.uint32(16)
+                h &= mask32
+        else:
+            h = keys & (mask64 if wide else mask32)
+        if out is None:
+            return h.astype(np.int64)
+        np.copyto(out, h, casting="unsafe")
+        return out
+
+    return kernel

@@ -98,15 +98,29 @@ class FpgaPartitioner:
             its traffic on the QPI end-point and marks the output
             regions FPGA-written in the coherence directory (which is
             what slows down the hybrid join's build+probe, Section 2.2).
+        engine: execution-engine knob.  ``None`` keeps the sequential
+            reference path; ``"parallel"`` (or ``"serial"``/
+            ``"thread"``/``"process"``, or an
+            :class:`~repro.exec.engine.ExecutionEngine` instance to
+            share pools) routes the histogram + scatter through the
+            morsel-driven engine.  The output is byte-identical either
+            way — the engine only changes where the kernels run.
+        threads: worker count for a string ``engine`` spec (defaults
+            to the machine's CPU count).
     """
 
     def __init__(
         self,
         config: PartitionerConfig | None = None,
         platform: Optional[XeonFpgaPlatform] = None,
+        engine=None,
+        threads: Optional[int] = None,
     ):
+        from repro.exec.engine import resolve_engine
+
         self.config = config or PartitionerConfig()
         self.platform = platform
+        self.engine = resolve_engine(engine, threads)
 
     # ------------------------------------------------------------------
     # Functional partitioning
@@ -139,26 +153,53 @@ class FpgaPartitioner:
         """
         keys, payloads = self._extract_columns(relation, payloads)
         cfg = self.config
-        parts = np.asarray(
-            partition_of(keys, cfg.num_partitions, cfg.uses_hash)
-        ).astype(np.int64)
-
-        counts = np.bincount(parts, minlength=cfg.num_partitions)
-        lane_counts = self._lane_counts(parts)
         per_line = cfg.tuples_per_line
-        lines_per_partition = (-(-lane_counts // per_line)).sum(axis=1)
+
+        if self.engine is not None:
+            task = self.engine.begin_partition(
+                keys,
+                payloads,
+                cfg.num_partitions,
+                cfg.uses_hash,
+                lanes=cfg.num_lanes,
+            )
+            try:
+                counts = task.counts
+                # task.lane_counts is (partition, lane), same
+                # orientation as _lane_counts.
+                lines_per_partition = (
+                    -(-task.lane_counts // per_line)
+                ).sum(axis=1)
+                overflow = self._check_pad_overflow(
+                    lines_per_partition, int(keys.shape[0])
+                )
+                if overflow is not None:
+                    return self._handle_overflow(
+                        keys, payloads, overflow[0], overflow[1], on_overflow
+                    )
+                sorted_keys, sorted_payloads = task.scatter()
+            finally:
+                task.close()
+        else:
+            parts = np.asarray(
+                partition_of(keys, cfg.num_partitions, cfg.uses_hash)
+            ).astype(np.int64)
+            counts = np.bincount(parts, minlength=cfg.num_partitions)
+            lane_counts = self._lane_counts(parts)
+            lines_per_partition = (-(-lane_counts // per_line)).sum(axis=1)
+            overflow = self._check_pad_overflow(
+                lines_per_partition, int(keys.shape[0])
+            )
+            if overflow is not None:
+                return self._handle_overflow(
+                    keys, payloads, overflow[0], overflow[1], on_overflow
+                )
+            order = np.argsort(parts, kind="stable")
+            sorted_keys = keys[order]
+            sorted_payloads = payloads[order]
 
         if cfg.output_mode is OutputMode.PAD:
             capacity_lines = cfg.partition_capacity(keys.shape[0]) // per_line
-            overflowed = np.nonzero(lines_per_partition > capacity_lines)[0]
-            if overflowed.size:
-                return self._handle_overflow(
-                    keys,
-                    payloads,
-                    int(overflowed[0]),
-                    capacity_lines * per_line,
-                    on_overflow,
-                )
             base_lines = (
                 np.arange(cfg.num_partitions, dtype=np.int64) * capacity_lines
             )
@@ -166,11 +207,8 @@ class FpgaPartitioner:
             base_lines = np.zeros(cfg.num_partitions, dtype=np.int64)
             np.cumsum(lines_per_partition[:-1], out=base_lines[1:])
 
-        order = np.argsort(parts, kind="stable")
         boundaries = np.zeros(cfg.num_partitions + 1, dtype=np.int64)
         np.cumsum(counts, out=boundaries[1:])
-        sorted_keys = keys[order]
-        sorted_payloads = payloads[order]
         partition_keys = [
             sorted_keys[boundaries[p] : boundaries[p + 1]]
             for p in range(cfg.num_partitions)
@@ -211,6 +249,7 @@ class FpgaPartitioner:
         payloads: Optional[np.ndarray] = None,
         qpi_bandwidth_gbs: Optional[float] = None,
         enable_forwarding: bool = True,
+        fast_forward: bool = False,
     ) -> CircuitResult:
         """Run the cycle-level circuit on (small) real data.
 
@@ -218,6 +257,9 @@ class FpgaPartitioner:
         attached, the platform's Figure 2 bandwidth at this mode's
         read/write ratio is used; pass a value explicitly to explore
         hypothetical links (e.g. the 25.6 GB/s of Section 4.7).
+        ``fast_forward=True`` uses the event-driven fast path of
+        :mod:`repro.exec.fast_forward` where applicable — identical
+        results and stats, much faster wall clock.
         """
         keys, payloads = self._extract_columns(relation, payloads)
         if qpi_bandwidth_gbs is None and self.platform is not None:
@@ -230,8 +272,8 @@ class FpgaPartitioner:
             enable_forwarding=enable_forwarding,
         )
         if self.config.layout_mode is LayoutMode.VRID:
-            return circuit.run(keys, None)
-        return circuit.run(keys, payloads)
+            return circuit.run(keys, None, fast_forward=fast_forward)
+        return circuit.run(keys, payloads, fast_forward=fast_forward)
 
     # ------------------------------------------------------------------
     # Internals
@@ -261,6 +303,26 @@ class FpgaPartitioner:
             raise ConfigurationError("cannot partition an empty relation")
         check_payloads_valid(payloads)
         return keys, payloads
+
+    def _check_pad_overflow(
+        self, lines_per_partition: np.ndarray, n: int
+    ) -> Optional[Tuple[int, int]]:
+        """PAD-mode capacity check before any data is moved.
+
+        Returns ``(partition, capacity_tuples)`` of the first
+        overflowing partition, or None (always None in HIST mode) —
+        mirroring the hardware, which aborts on overflow without
+        completing the scatter.
+        """
+        cfg = self.config
+        if cfg.output_mode is not OutputMode.PAD:
+            return None
+        per_line = cfg.tuples_per_line
+        capacity_lines = cfg.partition_capacity(n) // per_line
+        overflowed = np.nonzero(lines_per_partition > capacity_lines)[0]
+        if overflowed.size:
+            return int(overflowed[0]), capacity_lines * per_line
+        return None
 
     def _lane_counts(self, parts: np.ndarray) -> np.ndarray:
         """Per-(partition, lane) tuple counts.

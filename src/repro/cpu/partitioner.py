@@ -38,6 +38,11 @@ class CpuPartitioner:
             deterministic).
         tuple_bytes: logical tuple width for traffic accounting.
         platform: optional platform for traffic/coherence accounting.
+        engine: optional execution-engine spec (``None``, ``"serial"``,
+            ``"parallel"``, ``"thread"``, ``"process"`` or an
+            :class:`~repro.exec.engine.ExecutionEngine`) that runs the
+            histogram and scatter phases on a worker pool.  The output
+            stays byte-identical to the serial path.
     """
 
     def __init__(
@@ -48,6 +53,7 @@ class CpuPartitioner:
         tuple_bytes: int = 8,
         platform: Optional[XeonFpgaPlatform] = None,
         cost_model: Optional[CpuCostModel] = None,
+        engine=None,
     ):
         fanout_bits(num_partitions)
         if threads < 1:
@@ -60,19 +66,29 @@ class CpuPartitioner:
         self.cost_model = cost_model or CpuCostModel(
             bandwidth=platform.bandwidth if platform else None
         )
+        from repro.exec.engine import resolve_engine
+
+        self.engine = resolve_engine(engine, threads)
 
     @classmethod
-    def matching(cls, config: PartitionerConfig, threads: int = 10) -> "CpuPartitioner":
+    def matching(
+        cls,
+        config: PartitionerConfig,
+        threads: int = 10,
+        engine=None,
+    ) -> "CpuPartitioner":
         """A CPU partitioner equivalent to an FPGA configuration.
 
         Used for the PAD-overflow fallback path and for apples-to-apples
         comparisons (same fan-out, same partition-index function).
+        ``engine`` is forwarded to the constructor.
         """
         return cls(
             num_partitions=config.num_partitions,
             hash_kind=config.hash_kind,
             threads=threads,
             tuple_bytes=config.tuple_bytes,
+            engine=engine,
         )
 
     # ------------------------------------------------------------------
@@ -95,6 +111,7 @@ class CpuPartitioner:
             use_hash=self.hash_kind is HashKind.MURMUR,
             threads=self.threads,
             tuple_bytes=self.tuple_bytes,
+            engine=self.engine,
         )
         per_line = max(1, CACHE_LINE_BYTES // self.tuple_bytes)
         lines = -(-counts // per_line)

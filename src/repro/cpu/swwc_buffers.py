@@ -20,13 +20,16 @@ the non-temporal write volume equals the relation size.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
 from repro.constants import CACHE_LINE_BYTES
 from repro.core.hashing import partition_of
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.engine import ExecutionEngine
 
 
 @dataclasses.dataclass
@@ -81,6 +84,7 @@ def swwc_partition(
     threads: int = 1,
     tuple_bytes: int = 8,
     buffer_tuples: Optional[int] = None,
+    engine: Optional["ExecutionEngine"] = None,
 ) -> Tuple[List[np.ndarray], List[np.ndarray], np.ndarray, SwwcStats]:
     """Single-pass partitioning with software-managed buffers.
 
@@ -92,6 +96,13 @@ def swwc_partition(
        property the histogram exists for;
     3. every thread re-scans its chunk and scatters through its L1
        buffers into the destination ranges.
+
+    When ``engine`` is given (an
+    :class:`~repro.exec.engine.ExecutionEngine`), phases 1 and 3 are
+    executed by the engine's worker pool using the same per-thread
+    chunk boundaries, so the output is byte-identical to the serial
+    path; the buffer-mechanics accounting is reconstructed from the
+    per-chunk histograms the engine hands back.
 
     Returns:
         (partition_keys, partition_payloads, counts, stats).  Within a
@@ -109,12 +120,52 @@ def swwc_partition(
     if buffer_tuples is None:
         buffer_tuples = max(1, CACHE_LINE_BYTES // tuple_bytes)
 
+    chunks = _thread_chunks(n, threads)
+    stats = SwwcStats(
+        threads=threads, buffer_tuples=buffer_tuples, tuple_bytes=tuple_bytes
+    )
+
+    if engine is not None:
+        # Delegate phases 1-3 to the morsel engine with the exact same
+        # chunk boundaries; identical two-level prefix sum => identical
+        # destination ranges => byte-identical output.
+        task = engine.begin_partition(
+            keys, payloads, num_partitions, use_hash, chunks=chunks
+        )
+        try:
+            counts = task.counts
+            local_hist = np.asarray(task.chunk_hists, dtype=np.int64)
+            out_keys, out_payloads = task.scatter()
+        finally:
+            task.close()
+        for t, (lo, hi) in enumerate(chunks):
+            if hi <= lo:
+                continue
+            chunk_counts = local_hist[t]
+            stats.full_buffer_flushes += int(
+                (chunk_counts // buffer_tuples).sum()
+            )
+            stats.partial_buffer_flushes += int(
+                ((chunk_counts % buffer_tuples) > 0).sum()
+            )
+            stats.tuples_written += int(hi - lo)
+        boundaries = np.zeros(num_partitions + 1, dtype=np.int64)
+        np.cumsum(counts, out=boundaries[1:])
+        partition_keys = [
+            out_keys[boundaries[p] : boundaries[p + 1]]
+            for p in range(num_partitions)
+        ]
+        partition_payloads = [
+            out_payloads[boundaries[p] : boundaries[p + 1]]
+            for p in range(num_partitions)
+        ]
+        return partition_keys, partition_payloads, counts, stats
+
     parts = np.asarray(partition_of(keys, num_partitions, use_hash)).astype(
         np.int64
     )
 
     # Phase 1: per-thread histograms.
-    chunks = _thread_chunks(n, threads)
     local_hist = np.zeros((threads, num_partitions), dtype=np.int64)
     for t, (lo, hi) in enumerate(chunks):
         if hi > lo:
@@ -134,9 +185,6 @@ def swwc_partition(
     # Phase 3: buffered scatter.
     out_keys = np.empty(n, dtype=np.uint32)
     out_payloads = np.empty(n, dtype=np.uint32)
-    stats = SwwcStats(
-        threads=threads, buffer_tuples=buffer_tuples, tuple_bytes=tuple_bytes
-    )
     for t, (lo, hi) in enumerate(chunks):
         if hi <= lo:
             continue

@@ -1,0 +1,42 @@
+"""Parallel execution engine (morsel-driven operators + fast simulation).
+
+This package is the scaling layer of the reproduction.  It contains:
+
+* :mod:`repro.exec.morsels` — the chunk ("morsel") kernels: per-chunk
+  histogram, two-level prefix-sum merge, per-chunk stable scatter.  The
+  kernels are pure functions over NumPy arrays, shared by every
+  execution backend.
+* :mod:`repro.exec.engine` — :class:`ExecutionEngine`, which runs the
+  morsel kernels serially, on a thread pool, or on a process pool with
+  shared-memory output buffers, and provides ordered task fan-out for
+  the join's build+probe phase.
+* :mod:`repro.exec.fast_forward` — the event-driven fast path of the
+  cycle-level circuit simulator: steady-state cycles are computed
+  analytically instead of being stepped one by one, with bit-identical
+  :class:`~repro.core.circuit.CircuitStats`.
+
+The engine's contract, enforced by ``tests/test_exec_engine.py``: for
+any worker count and any backend, the partitioned output is
+byte-identical to the sequential reference implementation.
+
+See ``docs/EXECUTION.md`` for the model and its invariants.
+"""
+
+from repro.exec.engine import ExecutionEngine, resolve_engine
+from repro.exec.morsels import (
+    MorselStats,
+    merge_histograms,
+    morsel_histogram,
+    morsel_scatter,
+    plan_morsels,
+)
+
+__all__ = [
+    "ExecutionEngine",
+    "resolve_engine",
+    "MorselStats",
+    "plan_morsels",
+    "morsel_histogram",
+    "morsel_scatter",
+    "merge_histograms",
+]

@@ -1,0 +1,352 @@
+"""Event-driven fast path of the cycle-level partitioner simulator.
+
+The cycle-by-cycle simulator in :mod:`repro.core.circuit` exists to
+verify architectural claims, and it pays full price for generality:
+every cycle it sweeps eight hash pipelines (NumPy scalars, dataclass
+moves), eight write combiners with BRAM models, and every FIFO.  This
+module produces the **identical** result — same memory image, same
+:class:`~repro.core.circuit.CircuitStats`, same exceptions at the same
+simulated cycle — at a fraction of the cost, by splitting the work:
+
+* **Values are computed in closed form.**  A tuple's partition index
+  is a pure function of its key; its output slot is its rank within
+  its (lane, partition) group modulo ``tuples_per_line``; a written
+  line's offset is the count of lines previously written to its
+  partition.  These hold under *any* stall or bubble pattern, because
+  the combiner's and write-back's forwarding registers plus BRAM
+  read-after-write ordering always yield the up-to-date counter value
+  — the exact property the hazard tests pin down.  So the fast path
+  stable-sorts the relation by (lane, partition) once, and every
+  cache line's content is a slice of that sorted array.
+* **Timing is simulated at line granularity with plain integers.**
+  Input issue with back-pressure, the 12-cycle read latency, the
+  5-stage hash delay, lane FIFO occupancy, combiner freeze (full
+  output FIFO), write-back round-robin and the end-of-run flush are
+  stepped in the reference tick order — but a cycle costs a handful
+  of deque/int operations instead of a full datapath sweep.
+
+Preconditions, checked by :func:`supports_fast_forward`: no QPI link
+attached (the link's token bucket is float-stateful and cheap to run
+in the reference loop anyway), forwarding enabled (without it tuples
+are genuinely lost and content is no longer a closed form), and no
+per-cycle probe (probes observe intermediate circuit state the fast
+path does not materialise).  ``tests/test_fast_forward.py`` asserts
+bit-equality against the reference loop across modes and adversarial
+inputs.  See ``docs/EXECUTION.md`` for the derivation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import CYCLES_HASHING
+from repro.core.hashing import partition_function
+from repro.core.tuples import DUMMY_KEY, DUMMY_PAYLOAD, CacheLine, lines_needed
+from repro.errors import PartitionOverflowError, SimulationError
+
+
+def supports_fast_forward(circuit, on_cycle) -> bool:
+    """Whether the fast path applies to this run (see module docstring)."""
+    return (
+        circuit.qpi_bandwidth_gbs is None
+        and circuit.enable_forwarding
+        and on_cycle is None
+    )
+
+
+def fast_histogram_pass(circuit, keys: np.ndarray, stats) -> np.ndarray:
+    """HIST-mode first pass, computed analytically.
+
+    With no link the reference histogram loop issues one line per
+    cycle and drains the 5-stage hash: exactly ``L + 5`` cycles for
+    ``L`` input lines (1 cycle for an empty input).  The
+    per-(lane, partition) counts come from the batched hash kernel,
+    which is bit-exact with the pipelined hash modules.  Mutates
+    ``stats`` exactly like the reference pass.
+    """
+    cfg = circuit.config
+    lanes = cfg.num_lanes
+    n = int(keys.shape[0])
+    parts = partition_function(cfg.num_partitions, cfg.uses_hash)(keys)
+    lane = np.arange(n, dtype=np.int64) % lanes
+    histogram = (
+        np.bincount(
+            lane * cfg.num_partitions + parts,
+            minlength=lanes * cfg.num_partitions,
+        )
+        .astype(np.int64)
+        .reshape(lanes, cfg.num_partitions)
+    )
+    num_lines = lines_needed(n, cfg.tuples_per_line)
+    cycles = num_lines + CYCLES_HASHING if num_lines else 1
+    stats.histogram_pass_cycles = cycles
+    stats.cycles += cycles
+    return histogram
+
+
+def fast_partition_pass(
+    circuit,
+    keys: np.ndarray,
+    payloads: np.ndarray,
+    base_lines: np.ndarray,
+    capacity_lines: Optional[int],
+    stats,
+    max_cycles: int,
+) -> Optional[Dict[int, CacheLine]]:
+    """Partitioning pass: closed-form values + light timing simulation.
+
+    Returns the memory image, byte-identical to the reference loop's,
+    and mutates ``stats`` to the identical counter values.  Raises
+    :class:`SimulationError` on ``max_cycles`` and
+    :class:`PartitionOverflowError` on PAD-mode overflow with the same
+    attributes at the same simulated point as the reference.  Returns
+    None (with no state modified) only if an internal invariant is
+    violated — the caller then falls back to the reference loop.
+    """
+    cfg = circuit.config
+    lanes = cfg.num_lanes
+    per_line = cfg.tuples_per_line
+    num_partitions = cfg.num_partitions
+    depth = circuit.fifo_depth
+    read_latency = circuit.READ_LATENCY_CYCLES
+    n = int(keys.shape[0])
+    num_lines = lines_needed(n, per_line)
+
+    # ---- closed-form values: sort once, slice per line ----
+    parts = partition_function(num_partitions, cfg.uses_hash)(keys)
+    lane_of = np.arange(n, dtype=np.int64) % lanes
+    combined = lane_of * num_partitions + parts
+    order = np.argsort(combined, kind="stable")
+    skeys = keys[order]
+    spay = payloads[order]
+    group_counts = np.bincount(
+        combined, minlength=lanes * num_partitions
+    ).astype(np.int64)
+    group_start_np = np.zeros_like(group_counts)
+    np.cumsum(group_counts[:-1], out=group_start_np[1:])
+    group_start: List[int] = group_start_np.tolist()
+    parts_list: List[int] = parts.tolist()
+
+    def make_line(record: Tuple[int, int, int]) -> CacheLine:
+        part, start, fill = record
+        if fill == per_line:
+            line_keys = skeys[start : start + per_line].copy()
+            line_pays = spay[start : start + per_line].copy()
+        else:
+            line_keys = np.full(per_line, DUMMY_KEY, dtype=np.uint32)
+            line_pays = np.full(per_line, DUMMY_PAYLOAD, dtype=np.uint32)
+            line_keys[:fill] = skeys[start : start + fill]
+            line_pays[:fill] = spay[start : start + fill]
+        return CacheLine(keys=line_keys, payloads=line_pays, partition=part)
+
+    # ---- timing state, all plain Python ----
+    lane_range = range(lanes)
+    memory_image: Dict[int, CacheLine] = {}
+    base = [int(b) for b in base_lines]
+    offsets = [0] * num_partitions
+
+    # input side
+    next_line = 0
+    delivered = 0
+    in_flight: deque = deque()  # deliver cycles, lines in order
+    hash_out: deque = deque()  # (push_cycle, line_index)
+    backpressure = 0
+
+    # per-lane front end
+    lane_fifos: List[deque] = [deque() for _ in lane_range]  # partition ints
+    pipe0: List[Optional[int]] = [None] * lanes
+    pipe1: List[Optional[int]] = [None] * lanes
+    fwd1: List[Optional[int]] = [None] * lanes
+    fwd2: List[Optional[int]] = [None] * lanes
+    pending: List[Optional[Tuple[int, int, int]]] = [None] * lanes
+    fills: List[List[int]] = [[0] * num_partitions for _ in lane_range]
+    lines_done: List[List[int]] = [
+        [0] * num_partitions for _ in lane_range
+    ]
+    combiner_stalls = 0
+    forwarding_hits = 0
+    dummy_slots_out = 0
+    flush_addr = [0] * lanes
+
+    # back end
+    wc_fifos: List[deque] = [deque() for _ in lane_range]  # line records
+    wb_pipe: List[Optional[Tuple[int, int, int]]] = [None, None]
+    rr_index = 0
+    wb_lines_out = 0
+    wb_stalls = 0
+    last_fifo: deque = deque()
+    lines_out = 0
+
+    flushing = False
+    flush_started_at = 0
+    cycle = 0
+    hash_committed = 1 + CYCLES_HASHING
+
+    while True:
+        cycle += 1
+        if cycle > max_cycles:
+            raise SimulationError(
+                f"simulation exceeded {max_cycles} cycles — livelock?"
+            )
+
+        # 1. Drain the last-stage FIFO (the QPI write).
+        if last_fifo:
+            address, record = last_fifo.popleft()
+            memory_image[address] = make_line(record)
+            lines_out += 1
+
+        # 2. Write-back module tick.
+        resolving = wb_pipe[1]
+        if resolving is not None and len(last_fifo) >= depth:
+            wb_stalls += 1
+        else:
+            wb_pipe[1] = wb_pipe[0]
+            wb_pipe[0] = None
+            if resolving is not None:
+                part = resolving[0]
+                offset = offsets[part]
+                if capacity_lines is not None and offset >= capacity_lines:
+                    raise PartitionOverflowError(
+                        partition=part,
+                        capacity=capacity_lines,
+                        tuples_seen=wb_lines_out,
+                    )
+                last_fifo.append((base[part] + offset, resolving))
+                offsets[part] = offset + 1
+                wb_lines_out += 1
+            for step in lane_range:
+                fifo = wc_fifos[(rr_index + step) % lanes]
+                if fifo:
+                    rr_index = (rr_index + step + 1) % lanes
+                    wb_pipe[0] = fifo.popleft()
+                    break
+            else:
+                rr_index = (rr_index + 1) % lanes
+
+        # 3. Write combiners: streaming ticks, or the end-of-run flush.
+        if not flushing:
+            for l in lane_range:
+                held = pending[l]
+                wc_fifo = wc_fifos[l]
+                if held is not None:
+                    if len(wc_fifo) >= depth:
+                        combiner_stalls += 1
+                        continue  # clock-enable freeze of this lane
+                    wc_fifo.append(held)
+                    pending[l] = None
+                resolved = pipe1[l]
+                pipe1[l] = pipe0[l]
+                pipe0[l] = None
+                resolution: Optional[int] = None
+                if resolved is not None:
+                    if fwd1[l] == resolved or fwd2[l] == resolved:
+                        forwarding_hits += 1
+                    lane_fills = fills[l]
+                    fill = lane_fills[resolved] + 1
+                    if fill == per_line:
+                        lane_fills[resolved] = 0
+                        done = lines_done[l][resolved]
+                        lines_done[l][resolved] = done + 1
+                        pending[l] = (
+                            resolved,
+                            group_start[l * num_partitions + resolved]
+                            + done * per_line,
+                            per_line,
+                        )
+                    else:
+                        lane_fills[resolved] = fill
+                    resolution = resolved
+                fwd2[l] = fwd1[l]
+                fwd1[l] = resolution
+                if lane_fifos[l]:
+                    pipe0[l] = lane_fifos[l].popleft()
+        else:
+            for l in lane_range:
+                addr = flush_addr[l]
+                if addr >= num_partitions:
+                    continue
+                if len(wc_fifos[l]) >= depth:
+                    continue  # flush stalls legally, cursor holds
+                fill = fills[l][addr]
+                if fill > 0:
+                    wc_fifos[l].append(
+                        (
+                            addr,
+                            group_start[l * num_partitions + addr]
+                            + lines_done[l][addr] * per_line,
+                            fill,
+                        )
+                    )
+                    dummy_slots_out += per_line - fill
+                    fills[l][addr] = 0
+                flush_addr[l] = addr + 1
+
+        # 4. Hash modules: fixed 5-cycle delay from line delivery to
+        #    the lane-FIFO push; values are precomputed.
+        if in_flight and in_flight[0] <= cycle:
+            in_flight.popleft()
+            hash_out.append((cycle + CYCLES_HASHING, delivered))
+            delivered += 1
+        if hash_out and hash_out[0][0] <= cycle:
+            line_index = hash_out.popleft()[1]
+            first = line_index * lanes
+            for l in range(min(lanes, n - first)):
+                lane_fifos[l].append(parts_list[first + l])
+
+        # 5. Input issue with back-pressure (Section 4.3).
+        if next_line < num_lines:
+            committed = len(in_flight) + hash_committed
+            min_free = depth - max(len(f) for f in lane_fifos)
+            if min_free >= committed:
+                in_flight.append(cycle + read_latency)
+                next_line += 1
+            else:
+                backpressure += 1
+
+        # 6. Start the flush once the streaming pipeline is empty.
+        if (
+            not flushing
+            and next_line >= num_lines
+            and not in_flight
+            and not hash_out
+        ):
+            drained = True
+            for l in lane_range:
+                if (
+                    pipe0[l] is not None
+                    or pipe1[l] is not None
+                    or pending[l] is not None
+                    or lane_fifos[l]
+                ):
+                    drained = False
+                    break
+            if drained:
+                flushing = True
+                flush_started_at = cycle
+
+        # 7. Termination, as in the reference loop.
+        if (
+            flushing
+            and wb_pipe[0] is None
+            and wb_pipe[1] is None
+            and not last_fifo
+            and min(flush_addr) >= num_partitions
+            and all(not fifo for fifo in wc_fifos)
+        ):
+            break
+
+    stats.lines_in += circuit._qpi_lines_in(n)
+    stats.tuples_in += n
+    stats.partition_pass_cycles = cycle
+    stats.flush_cycles = cycle - flush_started_at
+    stats.cycles += cycle
+    stats.lines_out = lines_out
+    stats.dummy_slots_out = dummy_slots_out
+    stats.forwarding_hits = forwarding_hits
+    stats.combiner_stall_cycles = combiner_stalls
+    stats.writeback_stall_cycles = wb_stalls
+    stats.input_backpressure_cycles = backpressure
+    return memory_image

@@ -35,6 +35,7 @@ def hybrid_join(
     calibrated: bool = True,
     timing_r_tuples: Optional[int] = None,
     timing_s_tuples: Optional[int] = None,
+    engine=None,
 ) -> JoinResult:
     """Execute and time a hybrid FPGA/CPU radix hash join.
 
@@ -56,6 +57,11 @@ def hybrid_join(
             at these relation sizes instead of the actual (possibly
             scaled-down) data sizes; the functional join still runs on
             the real data.
+        engine: execution-engine spec (``None``, ``"parallel"``,
+            ``"serial"``, ``"thread"``, ``"process"`` or an
+            :class:`~repro.exec.engine.ExecutionEngine`); parallelises
+            the partitioning phases and the per-partition build+probe
+            without changing the functional result.
 
     Returns:
         A :class:`JoinResult`; ``timing.partitioner`` records the FPGA
@@ -72,11 +78,16 @@ def hybrid_join(
             f"is configured for {config.tuple_bytes} B"
         )
 
-    partitioner = FpgaPartitioner(config, platform=platform)
+    from repro.exec.engine import resolve_engine
+
+    engine = resolve_engine(engine, threads)
+    partitioner = FpgaPartitioner(config, platform=platform, engine=engine)
     r_out = partitioner.partition(r, on_overflow=on_overflow)
     s_out = partitioner.partition(s, on_overflow=on_overflow)
 
-    matches, r_pay, s_pay = _join_partitions(r_out, s_out, collect_payloads)
+    matches, r_pay, s_pay = _join_partitions(
+        r_out, s_out, collect_payloads, engine=engine
+    )
 
     fell_back = r_out.fell_back_to_cpu or s_out.fell_back_to_cpu
 

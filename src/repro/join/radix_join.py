@@ -36,6 +36,7 @@ def cpu_radix_join(
     bp_cost_model: Optional[BuildProbeCostModel] = None,
     timing_r_tuples: Optional[int] = None,
     timing_s_tuples: Optional[int] = None,
+    engine=None,
 ) -> JoinResult:
     """Execute and time a CPU-only partitioned hash join.
 
@@ -48,6 +49,10 @@ def cpu_radix_join(
     evaluated at different (typically the paper's full-scale) relation
     sizes than the data actually joined — the functional result stays
     scaled, the modelled seconds become paper-comparable.
+
+    ``engine`` (spec or :class:`~repro.exec.engine.ExecutionEngine`)
+    runs the partitioning phases and the per-partition build+probe on
+    a worker pool; the functional result is unchanged.
     """
     r, s = workload.r, workload.s
     if r.tuple_bytes != s.tuple_bytes:
@@ -56,17 +61,21 @@ def cpu_radix_join(
     n_r = timing_r_tuples if timing_r_tuples is not None else len(r)
     n_s = timing_s_tuples if timing_s_tuples is not None else len(s)
 
+    from repro.exec.engine import resolve_engine
+
+    engine = resolve_engine(engine, threads)
     partitioner = CpuPartitioner(
         num_partitions=num_partitions,
         hash_kind=hash_kind,
         threads=threads,
         tuple_bytes=r.tuple_bytes,
+        engine=engine,
     )
     r_out = partitioner.partition(r)
     s_out = partitioner.partition(s)
 
     matches, r_pay, s_pay = _join_partitions(
-        r_out, s_out, collect_payloads
+        r_out, s_out, collect_payloads, engine=engine
     )
 
     cpu_cost_model = cpu_cost_model or CpuCostModel()
@@ -112,21 +121,40 @@ def cpu_radix_join(
     )
 
 
-def _join_partitions(r_out, s_out, collect_payloads: bool):
-    """Build+probe every partition pair of two partitioned outputs."""
-    matches = 0
-    r_parts: list = []
-    s_parts: list = []
-    for p in range(r_out.num_partitions):
+def _join_partitions(r_out, s_out, collect_payloads: bool, engine=None):
+    """Build+probe every partition pair of two partitioned outputs.
+
+    With an :class:`~repro.exec.engine.ExecutionEngine`, the
+    per-partition build+probe tasks fan out onto the engine's worker
+    pool; results are merged back in partition order, so the match
+    count and payload concatenation are identical to the serial loop.
+    """
+
+    def _one(p: int):
+        """Build+probe a single partition pair; returns (count, rp, sp)."""
         r_keys, r_payloads = r_out.partition(p)
         s_keys, s_payloads = s_out.partition(p)
         if r_keys.shape[0] == 0 or s_keys.shape[0] == 0:
-            continue
+            return 0, None, None
         count, rp, sp, _hops = build_probe_partition(
             r_keys, r_payloads, s_keys, s_payloads, collect_payloads
         )
-        matches += count
         if collect_payloads and count:
+            return count, rp, sp
+        return count, None, None
+
+    partitions = range(r_out.num_partitions)
+    if engine is not None:
+        results = engine.map_tasks(_one, partitions)
+    else:
+        results = [_one(p) for p in partitions]
+
+    matches = 0
+    r_parts: list = []
+    s_parts: list = []
+    for count, rp, sp in results:
+        matches += count
+        if rp is not None:
             r_parts.append(rp)
             s_parts.append(sp)
     if collect_payloads:

@@ -40,11 +40,29 @@ class TestPartition:
         assert "5,000 tuples" in out
         assert "Mtuples/s" in out
 
-    def test_cpu_engine(self, capsys):
+    def test_cpu_backend(self, capsys):
         assert main(
             [
                 "partition", "--tuples", "5000", "--partitions", "64",
-                "--engine", "cpu", "--radix",
+                "--backend", "cpu", "--radix",
+            ]
+        ) == 0
+        assert "cpu" in capsys.readouterr().out
+
+    def test_parallel_engine_flag(self, capsys):
+        assert main(
+            [
+                "partition", "--tuples", "5000", "--partitions", "64",
+                "--engine", "parallel", "--threads", "2",
+            ]
+        ) == 0
+        assert "5,000 tuples" in capsys.readouterr().out
+
+    def test_serial_engine_cpu_backend(self, capsys):
+        assert main(
+            [
+                "partition", "--tuples", "5000", "--partitions", "64",
+                "--backend", "cpu", "--engine", "serial", "--radix",
             ]
         ) == 0
         assert "cpu" in capsys.readouterr().out
@@ -72,6 +90,15 @@ class TestJoin:
         out = capsys.readouterr().out
         assert "cpu" in out and "matches" in out
 
+    def test_join_with_parallel_engine(self, capsys):
+        assert main(
+            ["join", "--workload", "A", "--scale", "200000",
+             "--threads", "2", "--partitions", "64",
+             "--engine", "parallel"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cpu" in out and "matches" in out
+
     def test_skewed_join_falls_back(self, capsys):
         assert main(
             ["join", "--workload", "A", "--scale", "200000",
@@ -95,6 +122,17 @@ class TestSimulate:
              "--bandwidth", "6.5"]
         ) == 0
         assert "back-pressure" in capsys.readouterr().out
+
+    def test_fast_forward_matches_reference(self, capsys):
+        assert main(
+            ["simulate", "--tuples", "512", "--partitions", "16"]
+        ) == 0
+        reference = capsys.readouterr().out
+        assert main(
+            ["simulate", "--tuples", "512", "--partitions", "16",
+             "--fast-forward"]
+        ) == 0
+        assert capsys.readouterr().out == reference
 
 
 class TestReport:

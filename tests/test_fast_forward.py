@@ -1,0 +1,262 @@
+"""Tests for the event-driven circuit fast-forward (repro.exec.fast_forward).
+
+The contract: ``circuit.run(..., fast_forward=True)`` must produce a
+:class:`CircuitStats` *exactly equal* to the cycle-by-cycle reference —
+every counter, including stalls, back-pressure and forwarding hits —
+and an identical memory image.  Adversarial inputs (all tuples in one
+partition, alternating partitions, a single tuple) plus a hypothesis
+sweep over the four mode combinations pin that equality; further tests
+cover the fallback preconditions, error parity and the
+``output_padding_fraction`` fix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circuit import CircuitStats, PartitionerCircuit
+from repro.core.modes import (
+    HashKind,
+    LayoutMode,
+    OutputMode,
+    PartitionerConfig,
+)
+from repro.errors import PartitionOverflowError, SimulationError
+from repro.exec.fast_forward import supports_fast_forward
+
+
+def _run_both(make_circuit, keys, payloads=None, max_cycles=None):
+    # the circuit is stateful across runs, so each run gets a fresh one
+    reference = make_circuit().run(keys, payloads, max_cycles=max_cycles)
+    fast = make_circuit().run(
+        keys, payloads, max_cycles=max_cycles, fast_forward=True
+    )
+    return reference, fast
+
+
+def _assert_identical(reference, fast):
+    assert reference.stats == fast.stats
+    assert reference.memory_image.keys() == fast.memory_image.keys()
+    for address, line in reference.memory_image.items():
+        other = fast.memory_image[address]
+        assert np.array_equal(line.keys, other.keys), address
+        assert np.array_equal(line.payloads, other.payloads), address
+
+
+class TestAdversarialParity:
+    def test_all_same_partition(self):
+        config = PartitionerConfig(
+            num_partitions=16,
+            hash_kind=HashKind.RADIX,
+            layout_mode=LayoutMode.VRID,
+        )
+        keys = np.full(2048, 5, dtype=np.uint32)
+        _assert_identical(*_run_both(lambda: PartitionerCircuit(config), keys))
+
+    def test_alternating_partitions(self):
+        config = PartitionerConfig(
+            num_partitions=16,
+            hash_kind=HashKind.RADIX,
+            layout_mode=LayoutMode.VRID,
+        )
+        keys = (np.arange(2048, dtype=np.uint32) % 2) * 7
+        _assert_identical(*_run_both(lambda: PartitionerCircuit(config), keys))
+
+    def test_single_tuple(self):
+        config = PartitionerConfig(
+            num_partitions=16, layout_mode=LayoutMode.VRID
+        )
+        keys = np.array([42], dtype=np.uint32)
+        _assert_identical(*_run_both(lambda: PartitionerCircuit(config), keys))
+
+    def test_stall_heavy_large_uniform(self, rng):
+        # large enough that the critically-loaded back end genuinely
+        # stalls; equality must include those stall counters
+        config = PartitionerConfig(
+            num_partitions=256, layout_mode=LayoutMode.VRID
+        )
+        keys = rng.integers(0, 2**32, size=50_000, dtype=np.uint32)
+        reference, fast = _run_both(lambda: PartitionerCircuit(config), keys)
+        _assert_identical(reference, fast)
+        assert reference.stats == fast.stats
+
+
+@st.composite
+def _mode_and_keys(draw):
+    output_mode = draw(st.sampled_from(list(OutputMode)))
+    layout_mode = draw(st.sampled_from(list(LayoutMode)))
+    hash_kind = draw(st.sampled_from(list(HashKind)))
+    n = draw(st.integers(min_value=1, max_value=600))
+    pattern = draw(st.sampled_from(["random", "constant", "alternating"]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return output_mode, layout_mode, hash_kind, n, pattern, seed
+
+
+class TestPropertyParity:
+    @settings(max_examples=25, deadline=None)
+    @given(_mode_and_keys())
+    def test_fast_forward_equals_reference(self, case):
+        output_mode, layout_mode, hash_kind, n, pattern, seed = case
+        rng = np.random.default_rng(seed)
+        if pattern == "random":
+            keys = rng.integers(0, 2**32, size=n, dtype=np.uint32)
+        elif pattern == "constant":
+            keys = np.full(n, 3, dtype=np.uint32)
+        else:
+            keys = (np.arange(n, dtype=np.uint32) % 2) * 9
+        config = PartitionerConfig(
+            num_partitions=16,
+            output_mode=output_mode,
+            layout_mode=layout_mode,
+            hash_kind=hash_kind,
+            pad_tuples=4096 if output_mode is OutputMode.PAD else None,
+        )
+        payloads = (
+            None
+            if layout_mode is LayoutMode.VRID
+            else rng.integers(0, 2**32, size=n, dtype=np.uint32)
+        )
+        _assert_identical(
+            *_run_both(lambda: PartitionerCircuit(config), keys, payloads)
+        )
+
+
+class TestFallbackPreconditions:
+    def test_qpi_link_disables_fast_path(self):
+        config = PartitionerConfig(
+            num_partitions=16, layout_mode=LayoutMode.VRID
+        )
+        throttled = PartitionerCircuit(config, qpi_bandwidth_gbs=6.5)
+        assert not supports_fast_forward(throttled, None)
+        # still correct: fast_forward=True silently runs the real loop
+        keys = np.arange(512, dtype=np.uint32)
+        _assert_identical(*_run_both(
+            lambda: PartitionerCircuit(config, qpi_bandwidth_gbs=6.5), keys
+        ))
+
+    def test_disabled_forwarding_disables_fast_path(self):
+        # without forwarding the circuit is only correct on hazard-free
+        # inputs (see bench_ablation_forwarding); line-granular cycling
+        # keeps same-partition tuples 16 cycles apart within a lane
+        config = PartitionerConfig(
+            num_partitions=16,
+            hash_kind=HashKind.RADIX,
+            layout_mode=LayoutMode.VRID,
+        )
+        circuit = PartitionerCircuit(config, enable_forwarding=False)
+        assert not supports_fast_forward(circuit, None)
+        keys = ((np.arange(512) // 8) % 16).astype(np.uint32)
+        _assert_identical(*_run_both(
+            lambda: PartitionerCircuit(config, enable_forwarding=False), keys
+        ))
+
+    def test_on_cycle_probe_disables_fast_path(self):
+        config = PartitionerConfig(
+            num_partitions=16, layout_mode=LayoutMode.VRID
+        )
+        circuit = PartitionerCircuit(config)
+        assert supports_fast_forward(circuit, None)
+        assert not supports_fast_forward(circuit, lambda c, cycle: None)
+        probes = []
+        result = circuit.run(
+            np.arange(256, dtype=np.uint32),
+            on_cycle=lambda c, cycle: probes.append(cycle),
+            fast_forward=True,
+        )
+        assert probes, "the probe must still fire (real loop ran)"
+        assert result.stats.tuples_in == 256
+
+
+class TestErrorParity:
+    def test_pad_overflow_attributes_match(self):
+        config = PartitionerConfig(
+            num_partitions=16,
+            output_mode=OutputMode.PAD,
+            layout_mode=LayoutMode.VRID,
+            pad_tuples=0,
+        )
+        keys = np.full(4096, 3, dtype=np.uint32)
+
+        def outcome(fast_forward):
+            try:
+                PartitionerCircuit(config).run(keys, fast_forward=fast_forward)
+                return None
+            except PartitionOverflowError as error:
+                return (error.partition, error.capacity, error.tuples_seen)
+
+        reference = outcome(False)
+        fast = outcome(True)
+        assert reference is not None and reference == fast
+
+    def test_max_cycles_message_matches(self):
+        config = PartitionerConfig(
+            num_partitions=16, layout_mode=LayoutMode.VRID
+        )
+        keys = np.arange(4096, dtype=np.uint32)
+
+        def outcome(fast_forward):
+            try:
+                PartitionerCircuit(config).run(
+                    keys, max_cycles=10, fast_forward=fast_forward
+                )
+                return None
+            except SimulationError as error:
+                return str(error)
+
+        reference = outcome(False)
+        fast = outcome(True)
+        assert reference is not None and reference == fast
+
+
+class TestPaddingFractionRegression:
+    def test_fraction_over_written_slots(self):
+        # 10 dummy slots over 90 tuples written: 10% of output slots
+        stats = CircuitStats(tuples_in=90, lines_out=13, dummy_slots_out=10)
+        assert stats.output_padding_fraction == pytest.approx(10 / 100)
+
+    def test_hist_pass_counts_no_padding(self):
+        # HIST first pass reads tuples but writes nothing: no padding
+        stats = CircuitStats(tuples_in=1000, lines_out=0, dummy_slots_out=0)
+        assert stats.output_padding_fraction == 0.0
+
+    def test_simulated_hist_run_reports_finite_fraction(self):
+        config = PartitionerConfig(
+            num_partitions=16,
+            output_mode=OutputMode.HIST,
+            layout_mode=LayoutMode.VRID,
+        )
+        keys = np.arange(1000, dtype=np.uint32)
+        result = PartitionerCircuit(config).run(keys)
+        stats = result.stats
+        # the input is counted once (the histogram pass doesn't double
+        # it), so dummy + tuples_in is exactly the written slot count
+        assert stats.tuples_in == 1000
+        written_slots = stats.dummy_slots_out + stats.tuples_in
+        assert written_slots == stats.lines_out * config.tuples_per_line
+        assert 0.0 <= stats.output_padding_fraction < 1.0
+        assert stats.output_padding_fraction == pytest.approx(
+            stats.dummy_slots_out / written_slots
+        )
+
+    def test_stats_equality_is_field_complete(self):
+        # dataclass equality covers every counter the fast path must set
+        fields = {f.name for f in dataclasses.fields(CircuitStats)}
+        assert {
+            "cycles",
+            "histogram_pass_cycles",
+            "partition_pass_cycles",
+            "flush_cycles",
+            "lines_in",
+            "lines_out",
+            "tuples_in",
+            "dummy_slots_out",
+            "input_backpressure_cycles",
+            "combiner_stall_cycles",
+            "writeback_stall_cycles",
+            "forwarding_hits",
+        } <= fields
