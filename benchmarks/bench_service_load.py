@@ -1,0 +1,290 @@
+"""Service-layer load benchmark — batching scheduler vs naive dispatch.
+
+Drives a :class:`~repro.service.service.PartitionService` with the
+workload the service layer was built for: a high-rate stream of small
+mixed-size partition requests (the "many concurrent clients, modest
+relations" regime where per-call fixed costs dominate).  Two load
+shapes:
+
+* **open loop** — all requests submitted up front, arrival rate
+  independent of completion (the saturating inference-server drill);
+* **closed loop** — K client threads, each waiting for its response
+  before sending the next (latency-oriented).
+
+Each shape runs against two service configurations:
+
+* **naive** — ``max_batch_requests=1``: one engine invocation per
+  request, the baseline any serving tier starts from;
+* **batched** — the :class:`~repro.service.scheduler.BatchingScheduler`
+  coalescing up to 64 compatible requests into one
+  ``partition_many`` kernel pass (one hash, one histogram, one radix
+  sort for the whole batch).
+
+Every batched response is compared byte-for-byte against a direct
+:class:`~repro.core.partitioner.FpgaPartitioner` call — the speedup
+only counts if correctness divergence is exactly zero.
+
+Run as a script to write the standard JSON artifact::
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py \
+        --output BENCH_service.json
+
+or quick sizes via the CLI registry: ``python -m repro experiment
+service``.
+"""
+
+import argparse
+import threading
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench import ExperimentTable, shape_check, write_json_artifact
+from repro.core.modes import PartitionerConfig
+from repro.core.partitioner import FpgaPartitioner
+from repro.service import (
+    PartitionRequest,
+    PartitionService,
+    Priority,
+    RequestStatus,
+)
+
+EXPERIMENT = "Service load"
+
+#: acceptance-criteria workload: 1k mixed-size requests, fan-out 64
+DEFAULT_REQUESTS = 1000
+DEFAULT_SIZE_RANGE = (256, 4096)
+DEFAULT_PARTITIONS = 64
+DEFAULT_BATCH = 64
+
+#: quick-mode sizes for smoke tests and the CLI experiment registry
+QUICK_REQUESTS = 120
+
+_PRIORITIES = (Priority.LOW, Priority.NORMAL, Priority.HIGH)
+
+
+def make_requests(
+    count: int,
+    size_range: Tuple[int, int] = DEFAULT_SIZE_RANGE,
+    num_partitions: int = DEFAULT_PARTITIONS,
+    seed: int = 0,
+) -> List[PartitionRequest]:
+    """A mixed-size, mixed-priority request stream (deterministic)."""
+    rng = np.random.default_rng(seed)
+    config = PartitionerConfig(num_partitions=num_partitions)
+    sizes = rng.integers(size_range[0], size_range[1], size=count)
+    return [
+        PartitionRequest(
+            relation=rng.integers(
+                0, 2**32, size=int(size), dtype=np.uint64
+            ).astype(np.uint32),
+            config=config,
+            priority=_PRIORITIES[i % len(_PRIORITIES)],
+        )
+        for i, size in enumerate(sizes)
+    ]
+
+
+def _make_service(batched: bool, queue_slack: int) -> PartitionService:
+    if batched:
+        return PartitionService(
+            max_queue_requests=queue_slack,
+            max_batch_requests=DEFAULT_BATCH,
+            linger_s=0.0,
+        )
+    return PartitionService(
+        max_queue_requests=queue_slack, max_batch_requests=1, linger_s=0.0
+    )
+
+
+def run_open_loop(
+    requests: Sequence[PartitionRequest], batched: bool
+) -> Tuple[float, list, PartitionService]:
+    """Submit everything up front; returns (seconds, responses, service)."""
+    with _make_service(batched, queue_slack=len(requests) + 1) as service:
+        start = time.perf_counter()
+        tickets = [service.submit(request) for request in requests]
+        responses = [ticket.result(timeout=600) for ticket in tickets]
+        elapsed = time.perf_counter() - start
+    return elapsed, responses, service
+
+
+def run_closed_loop(
+    requests: Sequence[PartitionRequest], batched: bool, clients: int = 8
+) -> Tuple[float, list, PartitionService]:
+    """K clients, one outstanding request each."""
+    responses = [None] * len(requests)
+
+    def client(worker: int, service: PartitionService) -> None:
+        for index in range(worker, len(requests), clients):
+            ticket = service.submit(requests[index])
+            responses[index] = ticket.result(timeout=600)
+
+    with _make_service(batched, queue_slack=len(requests) + 1) as service:
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=client, args=(w, service))
+            for w in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+    return elapsed, responses, service
+
+
+def count_divergences(
+    requests: Sequence[PartitionRequest], responses: Sequence
+) -> int:
+    """Outputs that differ from a direct solo partitioner call."""
+    reference: dict = {}
+    divergences = 0
+    for request, response in zip(requests, responses):
+        if response.status is not RequestStatus.OK:
+            divergences += 1
+            continue
+        partitioner = reference.get(request.config)
+        if partitioner is None:
+            partitioner = FpgaPartitioner(request.config)
+            reference[request.config] = partitioner
+        direct = partitioner.partition(request.relation, request.payloads)
+        same = np.array_equal(response.output.counts, direct.counts) and all(
+            np.array_equal(a, b)
+            for a, b in zip(
+                response.output.partition_keys, direct.partition_keys
+            )
+        ) and all(
+            np.array_equal(a, b)
+            for a, b in zip(
+                response.output.partition_payloads,
+                direct.partition_payloads,
+            )
+        )
+        divergences += 0 if same else 1
+    return divergences
+
+
+def service_table(
+    requests: Optional[int] = None,
+    size_range: Tuple[int, int] = DEFAULT_SIZE_RANGE,
+    num_partitions: int = DEFAULT_PARTITIONS,
+    quick: bool = False,
+    verify: bool = True,
+) -> ExperimentTable:
+    """Naive vs batched dispatch, open and closed loop."""
+    count = requests or (QUICK_REQUESTS if quick else DEFAULT_REQUESTS)
+    stream = make_requests(count, size_range, num_partitions)
+    rows = []
+    open_rps = {}
+    for label, runner in (("open", run_open_loop), ("closed", run_closed_loop)):
+        for batched in (False, True):
+            elapsed, responses, service = runner(stream, batched)
+            divergences = (
+                count_divergences(stream, responses) if verify else -1
+            )
+            snapshot = service.metrics.to_dict()
+            mode = "batched" if batched else "naive"
+            if label == "open":
+                open_rps[mode] = count / elapsed
+            rows.append(
+                [
+                    label,
+                    mode,
+                    count,
+                    snapshot["counters"]["completed"],
+                    count / elapsed,
+                    service.metrics.mean_batch_size(),
+                    1e3 * snapshot["latency"]["total"]["p95_s"],
+                    divergences,
+                ]
+            )
+    speedup = open_rps["batched"] / open_rps["naive"]
+    return ExperimentTable(
+        experiment_id=EXPERIMENT,
+        title=(
+            f"{count} requests of {size_range[0]}-{size_range[1]} tuples, "
+            f"fan-out {num_partitions}: batching scheduler vs naive dispatch"
+        ),
+        headers=[
+            "loop", "dispatch", "req", "ok", "req/s", "batch", "p95 ms",
+            "diverged",
+        ],
+        rows=rows,
+        note=f"open-loop batching speedup {speedup:.2f}x "
+             f"(acceptance floor 2x); diverged must be 0",
+    )
+
+
+def write_artifact(
+    path: str,
+    requests: Optional[int] = None,
+    quick: bool = False,
+):
+    """Measure and write the ``BENCH_service.json`` artifact."""
+    table = service_table(requests=requests, quick=quick)
+    by_mode = {f"{row[0]}/{row[1]}": row for row in table.rows}
+    # one more batched open-loop run, kept for its full metrics export
+    stream = make_requests(
+        requests or (QUICK_REQUESTS if quick else DEFAULT_REQUESTS)
+    )
+    _, _, service = run_open_loop(stream, batched=True)
+    extra = {
+        "schema": "repro-bench/1",
+        "benchmark": "service_load",
+        "quick": quick,
+        "requests": int(by_mode["open/naive"][2]),
+        "open_naive_rps": float(by_mode["open/naive"][4]),
+        "open_batched_rps": float(by_mode["open/batched"][4]),
+        "batching_speedup": float(
+            by_mode["open/batched"][4] / by_mode["open/naive"][4]
+        ),
+        "divergences": int(
+            sum(row[7] for row in table.rows if row[7] > 0)
+        ),
+        "service_metrics": service.metrics.to_dict(),
+    }
+    written = write_json_artifact(path, [table], extra=extra)
+    return written, table
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Script entry point: print the table, write the JSON artifact."""
+    parser = argparse.ArgumentParser(
+        description="partition-service load benchmark"
+    )
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument("--output", default="BENCH_service.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="small request count for smoke testing")
+    args = parser.parse_args(argv)
+    written, table = write_artifact(
+        args.output, requests=args.requests, quick=args.quick
+    )
+    print(table.render())
+    print(f"\nwrote {written}")
+    return 0
+
+
+def test_service_load_quick(benchmark):
+    """Benchmark-harness entry: quick-size service load table."""
+    table = benchmark.pedantic(
+        lambda: service_table(quick=True), rounds=1, iterations=1
+    )
+    table.emit()
+    by_mode = {f"{row[0]}/{row[1]}": row for row in table.rows}
+    shape_check(
+        all(row[7] == 0 for row in table.rows),
+        EXPERIMENT,
+        "service outputs must match direct partitioner calls exactly",
+    )
+    shape_check(
+        by_mode["open/batched"][4] > by_mode["open/naive"][4],
+        EXPERIMENT,
+        "batched dispatch must beat naive one-at-a-time dispatch",
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

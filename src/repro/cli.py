@@ -1,9 +1,11 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three kinds of commands:
+Four kinds of commands:
 
 * ``partition`` / ``join`` / ``simulate`` — run the library on
   generated data and print the results (stats, timings, cycle counts);
+* ``serve`` — drive the partitioning service layer with a synthetic
+  request workload and print its metrics (see ``docs/SERVICE.md``);
 * ``validate`` — the Section 4.8 model-validation table;
 * ``experiment <id>`` — regenerate one of the paper's tables/figures
   by loading its benchmark module from the repository's
@@ -73,6 +75,10 @@ _EXPERIMENTS = {
     "parallel": (
         "bench_parallel_scaling",
         lambda m: m.scaling_table(quick=True),
+    ),
+    "service": (
+        "bench_service_load",
+        lambda m: m.service_table(quick=True),
     ),
 }
 
@@ -298,6 +304,92 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Drive the service layer with a synthetic request workload."""
+    import numpy as np
+
+    from repro.service import (
+        DegradationPolicy,
+        FaultInjector,
+        PartitionRequest,
+        PartitionService,
+        Priority,
+        RequestStatus,
+        TokenBucket,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    config = PartitionerConfig(num_partitions=args.partitions)
+    priorities = (Priority.LOW, Priority.NORMAL, Priority.HIGH)
+    lo, hi = args.min_tuples, args.max_tuples
+    if lo < 1 or hi < lo:
+        raise SystemExit(
+            f"need 1 <= --min-tuples <= --max-tuples, got {lo}..{hi}"
+        )
+    requests = [
+        PartitionRequest(
+            relation=rng.integers(
+                0, 2**32, size=int(size), dtype=np.uint64
+            ).astype(np.uint32),
+            config=config,
+            priority=priorities[i % len(priorities)],
+            deadline_s=args.deadline or None,
+        )
+        for i, size in enumerate(
+            rng.integers(lo, hi + 1, size=args.requests)
+        )
+    ]
+    policy = DegradationPolicy(
+        saturation=(
+            TokenBucket(args.saturate_tuples_per_s)
+            if args.saturate_tuples_per_s
+            else None
+        ),
+        fault_injector=(
+            FaultInjector(fail_rate=args.fail_rate, seed=args.seed)
+            if args.fail_rate
+            else None
+        ),
+    )
+    service = PartitionService(
+        max_queue_requests=args.queue,
+        max_batch_requests=1 if args.naive else args.batch,
+        policy=policy,
+    )
+    import time as _time
+
+    with service:
+        start = _time.perf_counter()
+        tickets = [service.submit(request) for request in requests]
+        responses = [ticket.result(timeout=600) for ticket in tickets]
+        elapsed = _time.perf_counter() - start
+    outcomes = {status: 0 for status in RequestStatus}
+    for response in responses:
+        outcomes[response.status] += 1
+    print(service.metrics.to_table("repro serve").render())
+    print()
+    print(f"served {len(requests)} requests in {elapsed:.3f}s "
+          f"({len(requests) / elapsed:.0f} req/s, "
+          f"{'naive' if args.naive else 'batched'} dispatch)")
+    print("  outcomes          : " + ", ".join(
+        f"{status.value} {count}" for status, count in outcomes.items()
+    ))
+    degraded = sum(1 for r in responses if r.degraded)
+    print(f"  degraded to cpu   : {degraded}")
+    rejected = [r for r in responses if r.status is RequestStatus.REJECTED]
+    if rejected:
+        hints = [r.retry_after for r in rejected if r.retry_after]
+        print(f"  retry-after hints : "
+              f"{min(hints):.3f}s .. {max(hints):.3f}s")
+    if args.output:
+        import json
+
+        with open(args.output, "w") as handle:
+            json.dump(service.metrics.to_dict(), handle, indent=2)
+        print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_simulate(args) -> int:
     """Run the cycle-level circuit and print its counters."""
     config = _parse_mode(args.mode)
@@ -390,6 +482,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--output", default="REPORT.md")
 
+    p = sub.add_parser(
+        "serve",
+        help="drive the partitioning service with a request workload",
+    )
+    p.add_argument("--requests", type=int, default=200,
+                   help="synthetic requests to submit (open loop)")
+    p.add_argument("--min-tuples", type=int, default=256)
+    p.add_argument("--max-tuples", type=int, default=4096)
+    p.add_argument("--partitions", type=int, default=64)
+    p.add_argument("--batch", type=int, default=64,
+                   help="max requests coalesced per kernel invocation")
+    p.add_argument("--naive", action="store_true",
+                   help="one-request-at-a-time dispatch (baseline)")
+    p.add_argument("--queue", type=int, default=1024,
+                   help="admission-queue bound (excess rejects)")
+    p.add_argument("--deadline", type=float, default=0.0,
+                   help="per-request deadline in seconds (0 = none)")
+    p.add_argument("--fail-rate", type=float, default=0.0,
+                   help="inject FPGA faults at this rate (degradation)")
+    p.add_argument("--saturate-tuples-per-s", type=float, default=0.0,
+                   help="FPGA token-bucket rate (0 = unlimited)")
+    p.add_argument("--output", default=None,
+                   help="also write ServiceMetrics JSON here")
+    p.add_argument("--seed", type=int, default=0)
+
     p = sub.add_parser("simulate", help="cycle-level circuit run")
     p.add_argument("--tuples", type=int, default=2048)
     p.add_argument("--partitions", type=int, default=16)
@@ -410,6 +527,7 @@ _COMMANDS = {
     "validate": cmd_validate,
     "partition": cmd_partition,
     "join": cmd_join,
+    "serve": cmd_serve,
     "simulate": cmd_simulate,
     "report": cmd_report,
 }

@@ -35,18 +35,25 @@ class SignalTrace:
     full_scale: int
 
     def density_row(self, width: int) -> str:
-        """Downsample to ``width`` columns of 0-9 density characters."""
-        if not self.samples:
+        """Downsample (or stretch) to ``width`` density characters.
+
+        Always returns exactly ``width`` characters so multi-signal
+        renders stay column-aligned even for short traces (fewer
+        samples than columns just repeat samples).  A ``full_scale`` of
+        zero — a signal whose capacity is unknown or degenerate —
+        normalises against the observed peak instead of saturating
+        every non-zero sample to 9.
+        """
+        if not self.samples or width < 1:
             return ""
         chars = []
         n = len(self.samples)
-        for col in range(min(width, n)):
-            lo = col * n // min(width, n)
-            hi = max(lo + 1, (col + 1) * n // min(width, n))
+        scale = self.full_scale if self.full_scale > 0 else self.peak
+        for col in range(width):
+            lo = col * n // width
+            hi = max(lo + 1, (col + 1) * n // width)
             window_peak = max(self.samples[lo:hi])
-            level = min(
-                9, round(9 * window_peak / max(1, self.full_scale))
-            )
+            level = min(9, round(9 * window_peak / max(1, scale)))
             chars.append(_DENSITY[level] if window_peak else _DENSITY[0])
         return "".join(chars)
 

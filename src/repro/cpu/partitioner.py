@@ -66,9 +66,32 @@ class CpuPartitioner:
         self.cost_model = cost_model or CpuCostModel(
             bandwidth=platform.bandwidth if platform else None
         )
-        from repro.exec.engine import resolve_engine
+        from repro.exec.engine import ExecutionEngine, resolve_engine
 
         self.engine = resolve_engine(engine, threads)
+        self._owns_engine = self.engine is not None and not isinstance(
+            engine, ExecutionEngine
+        )
+
+    def close(self) -> None:
+        """Shut down an engine this partitioner created; idempotent.
+
+        Mirrors :meth:`FpgaPartitioner.close` so long-lived callers
+        (the service layer's CPU fallback path) can release worker
+        pools deterministically.
+        """
+        if self._owns_engine and self.engine is not None:
+            self.engine.close()
+        self.engine = None
+        self._owns_engine = False
+
+    def __enter__(self) -> "CpuPartitioner":
+        """Context-manager entry: the partitioner itself."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: close an owned engine."""
+        self.close()
 
     @classmethod
     def matching(

@@ -469,6 +469,26 @@ class ExecutionEngine:
             return [fn(item) for item in items]
         return list(self._threads().map(fn, items))
 
+    def submit(self, fn: Callable, *args, **kwargs):
+        """Submit one task; returns a ``concurrent.futures.Future``.
+
+        The asynchronous sibling of :meth:`map_tasks`, used by the
+        service layer to overlap an oversized request's morsel run with
+        queue draining.  On a serial engine the task runs inline and
+        the returned future is already resolved (or carries the
+        exception).
+        """
+        if self.kind == "serial" or self.workers == 1:
+            from concurrent.futures import Future
+
+            future: "Future" = Future()
+            try:
+                future.set_result(fn(*args, **kwargs))
+            except BaseException as error:  # noqa: BLE001 — future carries it
+                future.set_exception(error)
+            return future
+        return self._threads().submit(fn, *args, **kwargs)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------

@@ -96,14 +96,25 @@ class DistributedPartitioner:
         config: Optional[PartitionerConfig] = None,
         link_gbs: float = 4.5,
     ):
+        # validate eagerly and precisely: a float or bool node count
+        # would otherwise survive until np.zeros() inside plan() and
+        # die with an unrelated numpy TypeError
+        if isinstance(nodes, bool) or not isinstance(nodes, (int, np.integer)):
+            raise ConfigurationError(
+                f"nodes must be an integer, got {nodes!r}"
+            )
         if nodes < 1:
             raise ConfigurationError(f"nodes must be >= 1, got {nodes}")
-        self.nodes = nodes
+        self.nodes = int(nodes)
         self.config = config or PartitionerConfig(num_partitions=256)
         if self.config.num_partitions < nodes:
             raise ConfigurationError(
                 f"{self.config.num_partitions} partitions cannot be "
                 f"spread over {nodes} nodes"
+            )
+        if link_gbs <= 0:
+            raise ConfigurationError(
+                f"link bandwidth must be positive, got {link_gbs}"
             )
         self.link_gbs = link_gbs
 

@@ -1,0 +1,229 @@
+"""Backend health: faults, saturation, circuit breaking, failover.
+
+The FPGA in this reproduction is simulated, so its failure modes are
+simulated too — but the *control plane* around them is the real thing
+a serving tier needs:
+
+* :class:`FaultInjector` — deterministic fault injection for tests and
+  load experiments (fail the next N calls, or a seeded failure rate).
+* :class:`TokenBucket` — a saturation model: the accelerator absorbs
+  tuples at a finite rate with a bounded burst; work beyond that is
+  *saturation*, and the policy routes it to the CPU instead of queueing
+  it on a busy device (the paper's partitioner only wins while it is
+  fed at line rate — overfeeding it just moves the queue).
+* :class:`CircuitBreaker` — after ``failure_threshold`` consecutive
+  faults the FPGA path opens for ``cooldown_s``; while open, requests
+  go straight to the CPU backend with no retry latency.  A half-open
+  probe closes it again after a success.
+* :class:`DegradationPolicy` — bundles the three into the single
+  question the dispatcher asks: *may this batch use the FPGA right
+  now, and if it failed, what next?*
+
+Degraded work is never silent: every failover marks the response
+``degraded=True`` and bumps the ``degraded`` counter in
+:class:`~repro.service.metrics.ServiceMetrics`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Optional
+
+from repro.errors import ReproError
+
+
+class BackendFault(ReproError):
+    """A (simulated) backend failed to execute a partitioning call."""
+
+
+class FaultInjector:
+    """Deterministic, thread-safe fault injection for the FPGA path.
+
+    Two knobs that compose:
+
+    * :meth:`fail_next` — fail exactly the next ``n`` calls (tests,
+      targeted chaos);
+    * ``fail_rate`` — seeded Bernoulli failure per call (load tests).
+    """
+
+    def __init__(self, fail_rate: float = 0.0, seed: int = 0):
+        if not 0.0 <= fail_rate <= 1.0:
+            raise ReproError(
+                f"fail_rate must be in [0, 1], got {fail_rate}"
+            )
+        self.fail_rate = fail_rate
+        self._rng = random.Random(seed)
+        self._fail_next = 0
+        self._lock = threading.Lock()
+        self.injected = 0
+
+    def fail_next(self, calls: int = 1) -> None:
+        """Make the next ``calls`` invocations raise."""
+        with self._lock:
+            self._fail_next += calls
+
+    def check(self) -> None:
+        """Raise :class:`BackendFault` if a fault is due; else no-op."""
+        with self._lock:
+            if self._fail_next > 0:
+                self._fail_next -= 1
+                self.injected += 1
+                raise BackendFault("injected fault (fail_next)")
+            if self.fail_rate > 0.0 and self._rng.random() < self.fail_rate:
+                self.injected += 1
+                raise BackendFault("injected fault (fail_rate)")
+
+
+class TokenBucket:
+    """Token-bucket saturation model for the simulated accelerator.
+
+    Tokens are tuples of absorb capacity, replenished at
+    ``tuples_per_second`` up to ``burst_tuples``.  A batch is admitted
+    iff the bucket currently holds its whole size — a saturated FPGA
+    answers *now* with "no", it does not queue.
+    """
+
+    def __init__(
+        self,
+        tuples_per_second: float,
+        burst_tuples: Optional[float] = None,
+        clock=time.monotonic,
+    ):
+        if tuples_per_second <= 0:
+            raise ReproError(
+                f"tuples_per_second must be positive, got {tuples_per_second}"
+            )
+        self.rate = float(tuples_per_second)
+        self.burst = float(burst_tuples if burst_tuples else self.rate)
+        if self.burst <= 0:
+            raise ReproError(f"burst_tuples must be positive, got {self.burst}")
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tuples: int) -> bool:
+        """Take ``tuples`` tokens if available; False means saturated."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if tuples <= self._tokens:
+                self._tokens -= tuples
+                return True
+            return False
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing.
+
+    States: *closed* (normal), *open* (all FPGA work refused until
+    ``cooldown_s`` elapses), *half-open* (one probe allowed; success
+    closes, failure re-opens).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 0.25,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ReproError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s < 0:
+            raise ReproError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._lock = threading.Lock()
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._opened_at is None:
+            return self.CLOSED
+        if self._clock() - self._opened_at >= self.cooldown_s:
+            return self.HALF_OPEN
+        return self.OPEN
+
+    def allow(self) -> bool:
+        """May the FPGA path run right now?"""
+        with self._lock:
+            return self._state_locked() is not self.OPEN
+
+    def record_success(self) -> None:
+        """Reset the failure streak and close the breaker."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        """Count a failure; open the breaker at the threshold."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if (
+                self._consecutive_failures >= self.failure_threshold
+                or self._opened_at is not None
+            ):
+                # threshold reached, or a half-open probe failed
+                self._opened_at = self._clock()
+
+
+class DegradationPolicy:
+    """The dispatcher's one-stop backend-health decision point.
+
+    Args:
+        saturation: optional :class:`TokenBucket`; None means the FPGA
+            is never saturation-limited.
+        fault_injector: optional :class:`FaultInjector` consulted on
+            every FPGA invocation.
+        breaker: circuit breaker (a default one is built if omitted).
+    """
+
+    def __init__(
+        self,
+        saturation: Optional[TokenBucket] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ):
+        self.saturation = saturation
+        self.fault_injector = fault_injector
+        self.breaker = breaker or CircuitBreaker()
+
+    def admit_fpga(self, tuples: int) -> Optional[str]:
+        """None if the FPGA may run this work, else the refusal reason
+        (``"breaker-open"`` / ``"saturated"``) for metrics and logs."""
+        if not self.breaker.allow():
+            return "breaker-open"
+        if self.saturation is not None and not self.saturation.try_acquire(
+            tuples
+        ):
+            return "saturated"
+        return None
+
+    def before_fpga_call(self) -> None:
+        """Fault-injection hook; raises :class:`BackendFault` on fault."""
+        if self.fault_injector is not None:
+            self.fault_injector.check()
+
+    def record_outcome(self, success: bool) -> None:
+        """Feed the breaker with the call result."""
+        if success:
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()

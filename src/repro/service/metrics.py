@@ -1,0 +1,224 @@
+"""Service observability: counters, latency histograms, throughput.
+
+:class:`ServiceMetrics` is the single registry a
+:class:`~repro.service.service.PartitionService` writes into.  It is
+deliberately dependency-free (one lock, plain dicts) and exports in two
+shapes:
+
+* :meth:`ServiceMetrics.to_dict` — JSON-native, written into benchmark
+  artifacts via :func:`repro.bench.reporting.write_json_artifact`;
+* :meth:`ServiceMetrics.to_table` — an
+  :class:`~repro.bench.reporting.ExperimentTable` for the CLI's ASCII
+  rendering.
+
+Latencies go into :class:`LatencyHistogram` — fixed log2 buckets from
+1 µs to ~67 s, so recording is O(1), thread-safe under the registry
+lock, and percentiles are bucket-resolution approximations (plenty for
+spotting queueing vs execution time).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List
+
+from repro.bench.reporting import ExperimentTable
+
+#: log2 bucket upper bounds in microseconds: 1us ... ~67s, then +inf
+_BUCKET_COUNT = 27
+
+
+class LatencyHistogram:
+    """Log2-bucketed latency histogram (seconds in, buckets in µs).
+
+    Not thread-safe on its own; :class:`ServiceMetrics` serialises
+    access under its registry lock.
+    """
+
+    def __init__(self) -> None:
+        self.buckets = [0] * _BUCKET_COUNT
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one observation."""
+        micros = max(0.0, seconds) * 1e6
+        index = 0
+        bound = 1.0
+        while micros > bound and index < _BUCKET_COUNT - 1:
+            bound *= 2.0
+            index += 1
+        self.buckets[index] += 1
+        self.count += 1
+        self.total_seconds += max(0.0, seconds)
+        self.max_seconds = max(self.max_seconds, max(0.0, seconds))
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def quantile_seconds(self, q: float) -> float:
+        """Approximate quantile: upper bound of the bucket holding it."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, bucket in enumerate(self.buckets):
+            seen += bucket
+            if seen >= target:
+                return (2.0 ** index) / 1e6
+        return self.max_seconds
+
+    def to_dict(self) -> dict:
+        """JSON-native summary plus the raw buckets."""
+        return {
+            "count": self.count,
+            "mean_s": self.mean_seconds,
+            "p50_s": self.quantile_seconds(0.50),
+            "p95_s": self.quantile_seconds(0.95),
+            "p99_s": self.quantile_seconds(0.99),
+            "max_s": self.max_seconds,
+            "log2_us_buckets": list(self.buckets),
+        }
+
+
+#: every counter the service increments, so exports always carry the
+#: full set (zeros included) and dashboards need no existence checks
+COUNTERS = (
+    "submitted",
+    "admitted",
+    "rejected",
+    "completed",
+    "timed_out",
+    "failed",
+    "degraded",
+    "retries",
+    "batches",
+    "coalesced_requests",
+    "split_requests",
+    "fpga_invocations",
+    "cpu_invocations",
+)
+
+#: per-request pipeline stages with a latency histogram each
+STAGES = ("queue_wait", "execute", "total")
+
+
+class ServiceMetrics:
+    """Thread-safe metrics registry for one service instance."""
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._lock = threading.Lock()
+        self._clock = clock
+        self.started_at = clock()
+        self.counters: Dict[str, int] = {name: 0 for name in COUNTERS}
+        self.histograms: Dict[str, LatencyHistogram] = {
+            stage: LatencyHistogram() for stage in STAGES
+        }
+        self.batch_sizes = LatencyHistogram()  # counts, not seconds
+        self.gauges: Dict[str, float] = {"queue_depth": 0, "inflight": 0}
+
+    # ------------------------------------------------------------------
+
+    def increment(self, counter: str, amount: int = 1) -> None:
+        """Add to a counter (must be one of :data:`COUNTERS`)."""
+        with self._lock:
+            self.counters[counter] += amount
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record one latency observation for a pipeline stage."""
+        with self._lock:
+            self.histograms[stage].record(seconds)
+
+    def observe_batch(self, requests: int) -> None:
+        """Record one executed batch's request count."""
+        with self._lock:
+            self.counters["batches"] += 1
+            # reuse the log2 histogram; "seconds" axis holds requests/1e6
+            self.batch_sizes.record(requests / 1e6)
+
+    def set_gauge(self, gauge: str, value: float) -> None:
+        """Set a point-in-time gauge (queue depth, in-flight tuples)."""
+        with self._lock:
+            self.gauges[gauge] = value
+
+    # ------------------------------------------------------------------
+
+    def throughput_rps(self) -> float:
+        """Completed requests per second since construction."""
+        elapsed = max(1e-9, self._clock() - self.started_at)
+        with self._lock:
+            return self.counters["completed"] / elapsed
+
+    def mean_batch_size(self) -> float:
+        """Average requests per executed batch."""
+        with self._lock:
+            if self.batch_sizes.count == 0:
+                return 0.0
+            return self.batch_sizes.total_seconds * 1e6 / self.batch_sizes.count
+
+    def snapshot(self) -> dict:
+        """Alias of :meth:`to_dict` (conventional metrics name)."""
+        return self.to_dict()
+
+    def to_dict(self) -> dict:
+        """JSON-native export of every counter, gauge and histogram."""
+        with self._lock:
+            elapsed = max(1e-9, self._clock() - self.started_at)
+            return {
+                "elapsed_s": elapsed,
+                "throughput_rps": self.counters["completed"] / elapsed,
+                "mean_batch_size": (
+                    self.batch_sizes.total_seconds * 1e6 / self.batch_sizes.count
+                    if self.batch_sizes.count
+                    else 0.0
+                ),
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "latency": {
+                    stage: hist.to_dict()
+                    for stage, hist in self.histograms.items()
+                },
+            }
+
+    def to_table(self, experiment_id: str = "Service") -> ExperimentTable:
+        """The ASCII-renderable summary (one row per stage + counters)."""
+        data = self.to_dict()
+        rows: List[List[object]] = []
+        for stage in STAGES:
+            latency = data["latency"][stage]
+            rows.append(
+                [
+                    stage,
+                    latency["count"],
+                    1e3 * latency["mean_s"],
+                    1e3 * latency["p50_s"],
+                    1e3 * latency["p95_s"],
+                    1e3 * latency["p99_s"],
+                    1e3 * latency["max_s"],
+                ]
+            )
+        counters = data["counters"]
+        note = (
+            f"{data['throughput_rps']:.0f} req/s; "
+            f"mean batch {data['mean_batch_size']:.1f}; "
+            + ", ".join(
+                f"{name} {counters[name]}"
+                for name in COUNTERS
+                if counters[name]
+            )
+        )
+        return ExperimentTable(
+            experiment_id=experiment_id,
+            title="per-stage latency and outcome counters",
+            headers=[
+                "stage", "n", "mean ms", "p50 ms", "p95 ms", "p99 ms",
+                "max ms",
+            ],
+            rows=rows,
+            note=note,
+        )

@@ -1,0 +1,572 @@
+"""The partition service façade: requests in, tickets out.
+
+:class:`PartitionService` turns the library's one-shot partitioners
+into a long-lived serving tier shaped like an inference server:
+
+* Clients call :meth:`PartitionService.submit` from any thread and get
+  a :class:`PartitionTicket` immediately — admission control answers
+  *now* (admitted, or rejected with a ``retry_after`` hint), the work
+  itself resolves asynchronously.
+* A single dispatcher thread pulls priority-ordered work from the
+  :class:`~repro.service.queue.AdmissionQueue`, forms batches with the
+  :class:`~repro.service.scheduler.BatchingScheduler`, and executes
+  them: coalesced batches through
+  :meth:`~repro.core.partitioner.FpgaPartitioner.partition_many`,
+  oversized requests solo through the morsel engine.
+* Deadlines are enforced at dequeue and at resolve; FPGA faults retry
+  with bounded exponential backoff, then degrade to the CPU (SWWC)
+  backend; saturation and open-circuit conditions skip straight to the
+  CPU.  Every downgrade is recorded on the response and in
+  :class:`~repro.service.metrics.ServiceMetrics`.
+
+A single dispatcher is deliberate: the container this reproduction
+targets has one core, so service throughput comes from *vectorised
+coalescing* (one hash + one radix sort per batch), not from dispatcher
+parallelism — the same amortisation argument as the paper's deeply
+pipelined circuit, transplanted to the serving layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.modes import PartitionerConfig
+from repro.core.partitioner import (
+    FpgaPartitioner,
+    OverflowPolicy,
+    PartitionedOutput,
+)
+from repro.cpu.partitioner import CpuPartitioner
+from repro.errors import ReproError
+from repro.service.degradation import BackendFault, DegradationPolicy
+from repro.service.metrics import ServiceMetrics
+from repro.service.queue import AdmissionQueue, QueueFullError
+from repro.service.scheduler import Batch, BatchingScheduler, request_signature
+from repro.workloads.relations import Relation
+
+
+class Priority(enum.IntEnum):
+    """Admission-queue priority; higher dequeues first."""
+
+    LOW = 0
+    NORMAL = 1
+    HIGH = 2
+
+
+class RequestStatus(enum.Enum):
+    """Terminal state of a partition request."""
+
+    OK = "ok"
+    REJECTED = "rejected"
+    TIMED_OUT = "timed-out"
+    FAILED = "failed"
+
+
+@dataclasses.dataclass
+class PartitionRequest:
+    """One client request: a relation plus how to partition it.
+
+    Args:
+        relation: a :class:`~repro.workloads.relations.Relation` or a
+            bare uint32 key array.
+        payloads: payload column when ``relation`` is a bare array.
+        config: partitioner configuration; requests coalesce only with
+            identical configs (see
+            :func:`~repro.service.scheduler.request_signature`).
+        priority: admission priority (higher first).
+        deadline_s: optional per-request deadline, seconds from submit;
+            expired requests resolve ``TIMED_OUT`` instead of running.
+        on_overflow: PAD-mode overflow policy, forwarded to the kernel.
+    """
+
+    relation: "Relation | np.ndarray"
+    payloads: Optional[np.ndarray] = None
+    config: PartitionerConfig = dataclasses.field(
+        default_factory=PartitionerConfig
+    )
+    priority: int = Priority.NORMAL
+    deadline_s: Optional[float] = None
+    on_overflow: OverflowPolicy = "raise"
+
+    @property
+    def num_tuples(self) -> int:
+        if isinstance(self.relation, Relation):
+            return self.relation.num_tuples
+        return int(np.asarray(self.relation).shape[0])
+
+
+@dataclasses.dataclass
+class PartitionResponse:
+    """Terminal result delivered through a :class:`PartitionTicket`."""
+
+    request_id: int
+    status: RequestStatus
+    output: Optional[PartitionedOutput] = None
+    backend: Optional[str] = None  # "fpga" | "cpu" | None
+    degraded: bool = False
+    degrade_reason: Optional[str] = None
+    retry_after: Optional[float] = None  # set on REJECTED
+    attempts: int = 0
+    batch_size: int = 0
+    queue_wait_s: float = 0.0
+    execute_s: float = 0.0
+    total_s: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RequestStatus.OK
+
+
+class PartitionTicket:
+    """Client-side handle for an in-flight request."""
+
+    def __init__(self, request_id: int):
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._response: Optional[PartitionResponse] = None
+
+    def done(self) -> bool:
+        """True once the request has resolved (any terminal status)."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> PartitionResponse:
+        """Block until resolved; raises :class:`TimeoutError` if the
+        client-side wait (not the request deadline) expires first."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} not resolved within {timeout}s"
+            )
+        assert self._response is not None
+        return self._response
+
+    def _resolve(self, response: PartitionResponse) -> None:
+        self._response = response
+        self._event.set()
+
+
+@dataclasses.dataclass
+class _Pending:
+    """Internal queue entry: request + ticket + precomputed batch key."""
+
+    request: PartitionRequest
+    ticket: PartitionTicket
+    signature: Tuple
+    tuples: int
+    submitted_at: float
+    deadline_at: Optional[float]
+
+
+class PartitionService:
+    """Long-lived serving façade over the FPGA and CPU partitioners.
+
+    Args:
+        max_queue_requests / max_queue_tuples: admission bounds (see
+            :class:`~repro.service.queue.AdmissionQueue`).
+        max_batch_requests / max_batch_tuples / split_tuples / linger_s:
+            batching knobs (see
+            :class:`~repro.service.scheduler.BatchingScheduler`);
+            ``max_batch_requests=1`` with ``linger_s=0`` is the naive
+            one-request-at-a-time baseline the benchmark compares
+            against.
+        max_retries / retry_backoff_s / retry_backoff_cap_s: bounded
+            exponential backoff for faulted FPGA calls before the CPU
+            failover kicks in.
+        policy: backend-health policy (faults, saturation, breaker); a
+            permissive default is built if omitted.
+        engine: execution-engine spec for kernel invocations (morsel
+            splitting of oversized requests); ``"serial"`` by default —
+            on the single-core target, parallel dispatch buys nothing.
+        cpu_threads: thread count for the CPU (SWWC) failover backend.
+        clock: injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        max_queue_requests: int = 1024,
+        max_queue_tuples: Optional[int] = None,
+        max_batch_requests: int = 64,
+        max_batch_tuples: int = 1 << 20,
+        split_tuples: Optional[int] = None,
+        linger_s: float = 0.0,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.002,
+        retry_backoff_cap_s: float = 0.05,
+        policy: Optional[DegradationPolicy] = None,
+        engine: Optional[str] = "serial",
+        cpu_threads: int = 1,
+        clock=time.monotonic,
+    ):
+        if max_retries < 0:
+            raise ReproError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff_s < 0 or retry_backoff_cap_s < 0:
+            raise ReproError("retry backoff values must be >= 0")
+        self._clock = clock
+        self.queue = AdmissionQueue(
+            max_requests=max_queue_requests, max_tuples=max_queue_tuples
+        )
+        self.scheduler = BatchingScheduler(
+            max_batch_requests=max_batch_requests,
+            max_batch_tuples=max_batch_tuples,
+            split_tuples=split_tuples,
+            linger_s=linger_s,
+            clock=clock,
+        )
+        self.metrics = ServiceMetrics(clock=clock)
+        self.policy = policy or DegradationPolicy()
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_backoff_cap_s = retry_backoff_cap_s
+        self._engine_spec = engine
+        self._cpu_threads = cpu_threads
+        self._fpga: Dict[Tuple, FpgaPartitioner] = {}
+        self._cpu: Dict[Tuple, CpuPartitioner] = {}
+        self._sequence = 0
+        self._sequence_lock = threading.Lock()
+        self._dispatcher: Optional[threading.Thread] = None
+        self._started = False
+        self._stopped = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "PartitionService":
+        """Start the dispatcher thread; idempotent."""
+        if self._stopped:
+            raise ReproError("service already stopped; build a new one")
+        if not self._started:
+            self._started = True
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop,
+                name="partition-service-dispatcher",
+                daemon=True,
+            )
+            self._dispatcher.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = 30.0) -> None:
+        """Stop admitting, drain queued work, join the dispatcher."""
+        if not self._started or self._stopped:
+            self._stopped = True
+            self.queue.close()
+            self._close_partitioners()
+            return
+        self._stopped = True
+        self.queue.close()
+        assert self._dispatcher is not None
+        self._dispatcher.join(timeout)
+        self._close_partitioners()
+
+    def _close_partitioners(self) -> None:
+        for partitioner in self._fpga.values():
+            partitioner.close()
+        for partitioner in self._cpu.values():
+            partitioner.close()
+        self._fpga.clear()
+        self._cpu.clear()
+
+    def __enter__(self) -> "PartitionService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- client side ----------------------------------------------------
+
+    def submit(
+        self, request: PartitionRequest, raise_on_reject: bool = False
+    ) -> PartitionTicket:
+        """Admit ``request``; always returns a ticket immediately.
+
+        A rejected request's ticket is already resolved with
+        ``RequestStatus.REJECTED`` and a ``retry_after`` hint; with
+        ``raise_on_reject=True`` a
+        :class:`~repro.service.queue.QueueFullError` is raised instead.
+        """
+        if not self._started or self._stopped:
+            raise ReproError("service is not running (use start() or `with`)")
+        with self._sequence_lock:
+            self._sequence += 1
+            request_id = self._sequence
+        ticket = PartitionTicket(request_id)
+        now = self._clock()
+        pending = _Pending(
+            request=request,
+            ticket=ticket,
+            # overflow policy joins the signature: a coalesced kernel
+            # call applies one policy to the whole batch
+            signature=request_signature(request.config)
+            + (request.on_overflow,),
+            tuples=request.num_tuples,
+            submitted_at=now,
+            deadline_at=(
+                now + request.deadline_s
+                if request.deadline_s is not None
+                else None
+            ),
+        )
+        self.metrics.increment("submitted")
+        if not self.queue.offer(pending, int(request.priority), pending.tuples):
+            retry_after = self.queue.retry_after_hint()
+            self.metrics.increment("rejected")
+            if raise_on_reject:
+                raise QueueFullError(len(self.queue), retry_after)
+            ticket._resolve(
+                PartitionResponse(
+                    request_id=request_id,
+                    status=RequestStatus.REJECTED,
+                    retry_after=retry_after,
+                )
+            )
+            return ticket
+        self.metrics.increment("admitted")
+        self.metrics.set_gauge("queue_depth", len(self.queue))
+        return ticket
+
+    def partition(
+        self,
+        relation: "Relation | np.ndarray",
+        payloads: Optional[np.ndarray] = None,
+        config: Optional[PartitionerConfig] = None,
+        timeout: Optional[float] = None,
+        **request_kwargs,
+    ) -> PartitionResponse:
+        """Blocking convenience wrapper: submit and wait for the result."""
+        request = PartitionRequest(
+            relation=relation,
+            payloads=payloads,
+            config=config or PartitionerConfig(),
+            **request_kwargs,
+        )
+        return self.submit(request).result(timeout)
+
+    # -- dispatcher -----------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            batches = self.scheduler.collect(self.queue, timeout=0.05)
+            if not batches:
+                if self.queue.closed and len(self.queue) == 0:
+                    return
+                continue
+            self.metrics.set_gauge("queue_depth", len(self.queue))
+            for batch in batches:
+                self._execute_batch(batch)
+
+    def _execute_batch(self, batch: Batch) -> None:
+        now = self._clock()
+        live: List[_Pending] = []
+        for entry in batch.entries:
+            if entry.deadline_at is not None and now > entry.deadline_at:
+                self._resolve_timeout(entry, now)
+            else:
+                live.append(entry)
+        if not live:
+            return
+        total_tuples = sum(entry.tuples for entry in live)
+        self.metrics.set_gauge("inflight", total_tuples)
+        for entry in live:
+            self.metrics.observe("queue_wait", now - entry.submitted_at)
+
+        outputs: Optional[List[PartitionedOutput]] = None
+        backend = "fpga"
+        degraded = False
+        degrade_reason: Optional[str] = None
+        attempts = 0
+        error: Optional[str] = None
+        started = self._clock()
+
+        refusal = self.policy.admit_fpga(total_tuples)
+        if refusal is None:
+            outputs, attempts, error = self._try_fpga(live, batch)
+            if outputs is None:
+                degrade_reason = error or "fpga-fault"
+        else:
+            degrade_reason = refusal
+        if outputs is None:
+            backend = "cpu"
+            degraded = True
+            self.metrics.increment("degraded", len(live))
+            outputs, error = self._try_cpu(live)
+        execute_s = self._clock() - started
+
+        if outputs is None:
+            self._resolve_failed(live, attempts, error)
+        else:
+            self._resolve_ok(
+                live, outputs, backend, degraded, degrade_reason,
+                attempts, execute_s, batch,
+            )
+            if execute_s > 0:
+                self.queue.note_drain_rate(total_tuples / execute_s)
+        self.metrics.set_gauge("inflight", 0)
+
+    # -- backends -------------------------------------------------------
+
+    def _try_fpga(
+        self, live: List[_Pending], batch: Batch
+    ) -> Tuple[Optional[List[PartitionedOutput]], int, Optional[str]]:
+        """Run the batch on the FPGA model with bounded-backoff retry.
+
+        Returns ``(outputs, attempts, error)``; ``outputs is None``
+        means every attempt faulted (caller degrades to CPU).
+        """
+        partitioner = self._fpga_for(live[0])
+        on_overflow: OverflowPolicy = live[0].request.on_overflow
+        attempts = 0
+        error: Optional[str] = None
+        deadline = min(
+            (e.deadline_at for e in live if e.deadline_at is not None),
+            default=None,
+        )
+        for attempt in range(self.max_retries + 1):
+            attempts += 1
+            try:
+                self.policy.before_fpga_call()
+                if len(live) == 1:
+                    outputs = [
+                        partitioner.partition(
+                            live[0].request.relation,
+                            live[0].request.payloads,
+                            on_overflow=on_overflow,
+                        )
+                    ]
+                else:
+                    outputs = partitioner.partition_many(
+                        [entry.request.relation for entry in live],
+                        [entry.request.payloads for entry in live],
+                        on_overflow=on_overflow,
+                    )
+                self.policy.record_outcome(True)
+                self.metrics.increment("fpga_invocations")
+                return outputs, attempts, None
+            except BackendFault as fault:
+                self.policy.record_outcome(False)
+                error = str(fault)
+                if attempt == self.max_retries:
+                    break
+                backoff = min(
+                    self.retry_backoff_cap_s,
+                    self.retry_backoff_s * (2 ** attempt),
+                )
+                if (
+                    deadline is not None
+                    and self._clock() + backoff > deadline
+                ):
+                    break
+                self.metrics.increment("retries")
+                if backoff > 0:
+                    time.sleep(backoff)
+        return None, attempts, error
+
+    def _try_cpu(
+        self, live: List[_Pending]
+    ) -> Tuple[Optional[List[PartitionedOutput]], Optional[str]]:
+        """CPU (SWWC) failover path: solo calls, no coalescing."""
+        partitioner = self._cpu_for(live[0])
+        try:
+            outputs = [
+                partitioner.partition(
+                    entry.request.relation, entry.request.payloads
+                )
+                for entry in live
+            ]
+        except Exception as exc:  # noqa: BLE001 - terminal failure path
+            return None, f"{type(exc).__name__}: {exc}"
+        self.metrics.increment("cpu_invocations")
+        return outputs, None
+
+    def _fpga_for(self, entry: _Pending) -> FpgaPartitioner:
+        partitioner = self._fpga.get(entry.signature)
+        if partitioner is None:
+            partitioner = FpgaPartitioner(
+                config=entry.request.config, engine=self._engine_spec
+            )
+            self._fpga[entry.signature] = partitioner
+        return partitioner
+
+    def _cpu_for(self, entry: _Pending) -> CpuPartitioner:
+        partitioner = self._cpu.get(entry.signature)
+        if partitioner is None:
+            partitioner = CpuPartitioner.matching(
+                entry.request.config, threads=self._cpu_threads
+            )
+            self._cpu[entry.signature] = partitioner
+        return partitioner
+
+    # -- resolution -----------------------------------------------------
+
+    def _resolve_timeout(self, entry: _Pending, now: float) -> None:
+        self.metrics.increment("timed_out")
+        self.metrics.observe("total", now - entry.submitted_at)
+        entry.ticket._resolve(
+            PartitionResponse(
+                request_id=entry.ticket.request_id,
+                status=RequestStatus.TIMED_OUT,
+                queue_wait_s=now - entry.submitted_at,
+                total_s=now - entry.submitted_at,
+                error="deadline expired before execution",
+            )
+        )
+
+    def _resolve_failed(
+        self, live: List[_Pending], attempts: int, error: Optional[str]
+    ) -> None:
+        now = self._clock()
+        self.metrics.increment("failed", len(live))
+        for entry in live:
+            self.metrics.observe("total", now - entry.submitted_at)
+            entry.ticket._resolve(
+                PartitionResponse(
+                    request_id=entry.ticket.request_id,
+                    status=RequestStatus.FAILED,
+                    attempts=attempts,
+                    total_s=now - entry.submitted_at,
+                    error=error or "both backends failed",
+                )
+            )
+
+    def _resolve_ok(
+        self,
+        live: List[_Pending],
+        outputs: List[PartitionedOutput],
+        backend: str,
+        degraded: bool,
+        degrade_reason: Optional[str],
+        attempts: int,
+        execute_s: float,
+        batch: Batch,
+    ) -> None:
+        now = self._clock()
+        self.metrics.observe_batch(len(live))
+        if len(live) > 1:
+            self.metrics.increment("coalesced_requests", len(live))
+        if batch.split:
+            self.metrics.increment("split_requests", len(live))
+        self.metrics.increment("completed", len(live))
+        self.metrics.observe("execute", execute_s)
+        for entry, output in zip(live, outputs):
+            total_s = now - entry.submitted_at
+            self.metrics.observe("total", total_s)
+            entry.ticket._resolve(
+                PartitionResponse(
+                    request_id=entry.ticket.request_id,
+                    status=RequestStatus.OK,
+                    output=output,
+                    backend=backend,
+                    degraded=degraded,
+                    degrade_reason=degrade_reason,
+                    attempts=attempts,
+                    batch_size=len(live),
+                    queue_wait_s=max(
+                        0.0, now - execute_s - entry.submitted_at
+                    ),
+                    execute_s=execute_s,
+                    total_s=total_s,
+                )
+            )

@@ -108,6 +108,55 @@ class TestJoin:
         assert "HIST" in out  # the skewed side retried in HIST mode
 
 
+class TestServe:
+    def test_batched_serving(self, capsys):
+        assert main(
+            ["serve", "--requests", "40", "--partitions", "32"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "served 40 requests" in out
+        assert "ok 40" in out
+        assert "batched dispatch" in out
+
+    def test_naive_dispatch_flag(self, capsys):
+        assert main(
+            ["serve", "--requests", "12", "--partitions", "32", "--naive"]
+        ) == 0
+        assert "naive dispatch" in capsys.readouterr().out
+
+    def test_backpressure_prints_retry_hints(self, capsys):
+        assert main(
+            ["serve", "--requests", "64", "--partitions", "32",
+             "--queue", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "retry-after hints" in out
+
+    def test_metrics_json_output(self, tmp_path, capsys):
+        target = tmp_path / "metrics.json"
+        assert main(
+            ["serve", "--requests", "10", "--partitions", "32",
+             "--output", str(target)]
+        ) == 0
+        import json
+
+        data = json.loads(target.read_text())
+        assert data["counters"]["completed"] == 10
+        assert "latency" in data
+
+    def test_degradation_counters_surface(self, capsys):
+        assert main(
+            ["serve", "--requests", "20", "--partitions", "32",
+             "--fail-rate", "1.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "degraded to cpu   : 20" in out
+
+    def test_bad_size_range(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--min-tuples", "100", "--max-tuples", "10"])
+
+
 class TestSimulate:
     def test_unthrottled(self, capsys):
         assert main(

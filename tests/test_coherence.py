@@ -6,7 +6,6 @@ from repro.constants import (
     COHERENCE_RANDOM_READ_PENALTY,
     COHERENCE_SEQ_READ_PENALTY,
 )
-from repro.errors import ConfigurationError
 from repro.platform.coherence import (
     CoherenceDirectory,
     Socket,

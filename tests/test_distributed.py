@@ -120,3 +120,29 @@ class TestValidation:
             DistributedPartitioner(
                 128, PartitionerConfig(num_partitions=64)
             )
+
+    def test_non_integer_nodes_rejected_up_front(self):
+        # a float used to survive construction and die later inside
+        # plan() with an opaque numpy TypeError
+        with pytest.raises(ConfigurationError, match="integer"):
+            DistributedPartitioner(2.5)
+        with pytest.raises(ConfigurationError, match="integer"):
+            DistributedPartitioner(True)
+
+    def test_numpy_integer_nodes_accepted(self):
+        cluster = DistributedPartitioner(
+            np.int64(4), PartitionerConfig(num_partitions=64)
+        )
+        assert cluster.nodes == 4 and type(cluster.nodes) is int
+
+    def test_bad_link_bandwidth_rejected_up_front(self):
+        for bad in (0, -1.5):
+            with pytest.raises(ConfigurationError, match="bandwidth"):
+                DistributedPartitioner(
+                    2, PartitionerConfig(num_partitions=64), link_gbs=bad
+                )
+
+    def test_chunk_count_mismatch(self, cluster, relation):
+        chunks = cluster.split_relation(relation)
+        with pytest.raises(ConfigurationError, match="chunks"):
+            cluster.plan(chunks[:-1])

@@ -19,7 +19,7 @@ import numpy as np
 import pytest
 
 from repro.core.hashing import partition_function, partition_of
-from repro.core.modes import HashKind, OutputMode, PartitionerConfig
+from repro.core.modes import OutputMode, PartitionerConfig
 from repro.core.partitioner import FpgaPartitioner
 from repro.cpu.partitioner import CpuPartitioner
 from repro.cpu.swwc_buffers import swwc_partition
@@ -32,6 +32,10 @@ from repro.exec import (
     plan_morsels,
     resolve_engine,
 )
+
+
+def _raise_value_error():
+    raise ValueError("boom")
 
 
 def _reference(keys, payloads, num_partitions, use_hash):
@@ -211,6 +215,23 @@ class TestEngineApi:
         with ExecutionEngine(workers=4, kind="thread") as engine:
             results = engine.map_tasks(lambda x: x * x, range(50))
         assert results == [x * x for x in range(50)]
+
+    def test_submit_returns_future(self):
+        with ExecutionEngine(workers=2, kind="thread") as engine:
+            future = engine.submit(lambda a, b: a + b, 2, b=3)
+            assert future.result(timeout=10) == 5
+
+    def test_submit_serial_runs_inline(self):
+        with ExecutionEngine(workers=1, kind="serial") as engine:
+            future = engine.submit(lambda: 42)
+            assert future.done() and future.result() == 42
+
+    def test_submit_propagates_exceptions(self):
+        for kind, workers in (("serial", 1), ("thread", 2)):
+            with ExecutionEngine(workers=workers, kind=kind) as engine:
+                future = engine.submit(_raise_value_error)
+                with pytest.raises(ValueError, match="boom"):
+                    future.result(timeout=10)
 
 
 class TestConsumers:

@@ -14,7 +14,7 @@ from repro.constants import PAGE_BYTES
 from repro.core.bram import Bram
 from repro.core.circuit import PartitionerCircuit
 from repro.core.fifo import Fifo
-from repro.core.modes import HashKind, OutputMode, PartitionerConfig
+from repro.core.modes import OutputMode, PartitionerConfig
 from repro.core.write_back import WriteBackModule
 from repro.core.tuples import CacheLine
 from repro.errors import (

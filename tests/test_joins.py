@@ -10,8 +10,7 @@ from repro import (
     make_workload,
 )
 from repro.core.modes import HashKind, LayoutMode, OutputMode
-from repro.workloads.relations import make_relation, Relation, Workload
-from repro.workloads.distributions import KeyDistribution
+from repro.workloads.relations import Workload
 
 PAPER_N = 128 * 10**6
 

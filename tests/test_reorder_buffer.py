@@ -1,6 +1,5 @@
 """Tests for the reorder buffer and out-of-order link model."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,0 +1,151 @@
+"""Concurrency stress test for the partition service (satellite 3).
+
+Eight client threads hammer one :class:`PartitionService` with mixed
+priorities, sizes and configs through a deliberately small admission
+queue, so every control path fires: coalesced batches, splits,
+rejections with backpressure, and (thread-local) retries after
+rejection.  The invariants checked are the service's contract:
+
+* every admitted request resolves — completed or timed out, never lost;
+* every completed result is byte-identical to a direct
+  :class:`~repro.core.partitioner.FpgaPartitioner` call;
+* every rejected request carries a positive ``retry_after`` hint.
+
+The workload is sized to finish comfortably inside CI budgets (a few
+seconds on one core) and is additionally *time-bounded*: clients stop
+submitting once ``REPRO_STRESS_BUDGET_S`` (default 120 s) of wall
+clock has elapsed, so a slow runner degrades to a smaller workload
+instead of a blown CI budget; ``timeout`` guards make a hang fail fast
+instead of wedging the suite.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.core.modes import PartitionerConfig
+from repro.core.partitioner import FpgaPartitioner
+from repro.service import (
+    PartitionRequest,
+    PartitionService,
+    Priority,
+    RequestStatus,
+)
+
+CLIENT_THREADS = 8
+REQUESTS_PER_CLIENT = 25
+RESULT_TIMEOUT_S = 60.0
+#: wall-clock cap on the submission phase (CI sets this explicitly)
+STRESS_BUDGET_S = float(os.environ.get("REPRO_STRESS_BUDGET_S", "120"))
+
+CONFIGS = (
+    PartitionerConfig(num_partitions=32),
+    PartitionerConfig(num_partitions=64),
+)
+PRIORITIES = (Priority.LOW, Priority.NORMAL, Priority.HIGH)
+
+
+def _client(client_id, service, barrier, results, errors, deadline):
+    """One client: submit a mixed workload, wait for every ticket."""
+    rng = np.random.default_rng(1000 + client_id)
+    try:
+        barrier.wait(timeout=10)
+        for i in range(REQUESTS_PER_CLIENT):
+            if time.monotonic() > deadline:
+                break  # budget exhausted: stop submitting, keep invariants
+            size = int(rng.integers(128, 3000))
+            keys = rng.integers(0, 2**32, size=size, dtype=np.uint64).astype(
+                np.uint32
+            )
+            request = PartitionRequest(
+                relation=keys,
+                config=CONFIGS[(client_id + i) % len(CONFIGS)],
+                priority=PRIORITIES[i % len(PRIORITIES)],
+            )
+            ticket = service.submit(request)
+            response = ticket.result(timeout=RESULT_TIMEOUT_S)
+            results.append((request, response))
+            if response.status is RequestStatus.REJECTED:
+                # honour the backpressure hint (capped to keep CI fast)
+                threading.Event().wait(min(0.05, response.retry_after))
+    except Exception as exc:  # noqa: BLE001 - surfaced to the main thread
+        errors.append((client_id, repr(exc)))
+
+
+def test_stress_mixed_priority_clients():
+    results = []
+    errors = []
+    barrier = threading.Barrier(CLIENT_THREADS)
+    deadline = time.monotonic() + STRESS_BUDGET_S
+    with PartitionService(
+        max_queue_requests=32,  # small on purpose: force rejections
+        max_batch_requests=16,
+        linger_s=0.0005,
+    ) as service:
+        threads = [
+            threading.Thread(
+                target=_client,
+                args=(i, service, barrier, results, errors, deadline),
+                name=f"client-{i}",
+            )
+            for i in range(CLIENT_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=RESULT_TIMEOUT_S * 2)
+            assert not thread.is_alive(), "client thread hung"
+    assert not errors, errors
+
+    # time-bounding may shrink the workload on a very slow runner, but
+    # every *submitted* request must have resolved
+    total = len(results)
+    assert 0 < total <= CLIENT_THREADS * REQUESTS_PER_CLIENT
+
+    by_status = {}
+    for _, response in results:
+        by_status.setdefault(response.status, []).append(response)
+    completed = by_status.get(RequestStatus.OK, [])
+    rejected = by_status.get(RequestStatus.REJECTED, [])
+    timed_out = by_status.get(RequestStatus.TIMED_OUT, [])
+
+    # nothing is lost or failed: admitted -> completed or timed out
+    assert len(completed) + len(rejected) + len(timed_out) == total
+    assert RequestStatus.FAILED not in by_status
+    assert completed, "no request completed"
+
+    # metrics agree with client-side observations
+    counters = service.metrics.to_dict()["counters"]
+    assert counters["submitted"] == total
+    assert counters["admitted"] == len(completed) + len(timed_out)
+    assert counters["rejected"] == len(rejected)
+    assert counters["completed"] == len(completed)
+    assert counters["timed_out"] == len(timed_out)
+
+    # every rejection carries a usable backpressure hint
+    for response in rejected:
+        assert response.retry_after is not None and response.retry_after > 0
+
+    # byte-identity against direct solo partitioner calls
+    references = {cfg: FpgaPartitioner(cfg) for cfg in CONFIGS}
+    for request, response in results:
+        if response.status is not RequestStatus.OK:
+            continue
+        assert response.backend == "fpga" and not response.degraded
+        direct = references[request.config].partition(request.relation)
+        assert np.array_equal(response.output.counts, direct.counts)
+        for a, b in zip(
+            response.output.partition_keys, direct.partition_keys
+        ):
+            assert np.array_equal(a, b)
+        for a, b in zip(
+            response.output.partition_payloads, direct.partition_payloads
+        ):
+            assert np.array_equal(a, b)
+
+    # with 8 concurrent clients the scheduler should actually coalesce
+    assert service.metrics.mean_batch_size() > 1.0

@@ -1,10 +1,8 @@
 """Tests for the TLB model and partitioning TLB behaviour (Section 3.1)."""
 
-import numpy as np
 import pytest
 
 from repro.cpu.tlb import (
-    DATA_TLB_ENTRIES,
     Tlb,
     TlbReport,
     multipass_scatter_tlb_misses,

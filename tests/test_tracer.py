@@ -80,6 +80,30 @@ class TestRendering:
         row = trace.density_row(width=4)
         assert row[0] == "." and row[-1] == "9"
 
+    def test_density_row_zero_full_scale(self):
+        # a degenerate full_scale must not saturate every sample to 9:
+        # normalisation falls back to the observed peak
+        trace = SignalTrace("s", samples=[0, 1, 5, 10], full_scale=0)
+        row = trace.density_row(width=4)
+        assert row == ".149"  # round-half-even: 9*5/10 -> 4
+
+    def test_density_row_zero_full_scale_all_zero_samples(self):
+        trace = SignalTrace("s", samples=[0, 0, 0], full_scale=0)
+        assert trace.density_row(width=3) == "..."
+
+    def test_density_row_more_columns_than_samples(self):
+        # short traces stretch to the requested width so multi-signal
+        # renders stay column-aligned
+        trace = SignalTrace("s", samples=[0, 10], full_scale=10)
+        row = trace.density_row(width=8)
+        assert len(row) == 8
+        assert row == "....9999"
+
+    def test_density_row_width_edge_cases(self):
+        trace = SignalTrace("s", samples=[3, 6], full_scale=10)
+        assert trace.density_row(width=0) == ""
+        assert SignalTrace("s", samples=[], full_scale=10).density_row(8) == ""
+
     def test_render_before_trace_rejected(self):
         with pytest.raises(ConfigurationError):
             CircuitTracer().render()

@@ -10,7 +10,6 @@ The central claims exercised here:
 * the end-of-run flush emits partial lines padded with dummy keys.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.fifo import Fifo
