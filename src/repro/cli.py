@@ -6,6 +6,9 @@ Four kinds of commands:
   generated data and print the results (stats, timings, cycle counts);
 * ``serve`` — drive the partitioning service layer with a synthetic
   request workload and print its metrics (see ``docs/SERVICE.md``);
+* ``trace`` — the same, under a :class:`~repro.obs.tracing.Tracer`:
+  dump the span log (JSONL), optionally a Prometheus exposition, and
+  print the per-stage critical-path summary (``docs/OBSERVABILITY.md``);
 * ``validate`` — the Section 4.8 model-validation table;
 * ``experiment <id>`` — regenerate one of the paper's tables/figures
   by loading its benchmark module from the repository's
@@ -304,19 +307,11 @@ def cmd_report(args) -> int:
     return 0
 
 
-def cmd_serve(args) -> int:
-    """Drive the service layer with a synthetic request workload."""
+def _synthetic_requests(args):
+    """Build the synthetic request stream ``serve``/``trace`` share."""
     import numpy as np
 
-    from repro.service import (
-        DegradationPolicy,
-        FaultInjector,
-        PartitionRequest,
-        PartitionService,
-        Priority,
-        RequestStatus,
-        TokenBucket,
-    )
+    from repro.service import PartitionRequest, Priority
 
     rng = np.random.default_rng(args.seed)
     config = PartitionerConfig(num_partitions=args.partitions)
@@ -326,19 +321,50 @@ def cmd_serve(args) -> int:
         raise SystemExit(
             f"need 1 <= --min-tuples <= --max-tuples, got {lo}..{hi}"
         )
-    requests = [
+    deadline = getattr(args, "deadline", 0.0)
+    return [
         PartitionRequest(
             relation=rng.integers(
                 0, 2**32, size=int(size), dtype=np.uint64
             ).astype(np.uint32),
             config=config,
             priority=priorities[i % len(priorities)],
-            deadline_s=args.deadline or None,
+            deadline_s=deadline or None,
         )
         for i, size in enumerate(
             rng.integers(lo, hi + 1, size=args.requests)
         )
     ]
+
+
+def _write_trace_outputs(args, tracer, service) -> None:
+    """Dump the JSONL span log / Prometheus exposition when asked."""
+    if getattr(args, "trace_out", None):
+        count = tracer.to_jsonl(args.trace_out)
+        print(f"wrote {count} spans to {args.trace_out}")
+    if getattr(args, "prometheus_out", None):
+        from repro.obs import render_prometheus
+
+        text = render_prometheus(
+            service.metrics.to_dict(), tracer.export()
+        )
+        with open(args.prometheus_out, "w") as handle:
+            handle.write(text)
+        print(f"wrote Prometheus exposition to {args.prometheus_out}")
+
+
+def cmd_serve(args) -> int:
+    """Drive the service layer with a synthetic request workload."""
+    from repro.obs import Tracer
+    from repro.service import (
+        DegradationPolicy,
+        FaultInjector,
+        PartitionService,
+        RequestStatus,
+        TokenBucket,
+    )
+
+    requests = _synthetic_requests(args)
     policy = DegradationPolicy(
         saturation=(
             TokenBucket(args.saturate_tuples_per_s)
@@ -351,10 +377,14 @@ def cmd_serve(args) -> int:
             else None
         ),
     )
+    tracer = (
+        Tracer() if (args.trace_out or args.prometheus_out) else None
+    )
     service = PartitionService(
         max_queue_requests=args.queue,
         max_batch_requests=1 if args.naive else args.batch,
         policy=policy,
+        tracer=tracer,
     )
     import time as _time
 
@@ -387,6 +417,30 @@ def cmd_serve(args) -> int:
         with open(args.output, "w") as handle:
             json.dump(service.metrics.to_dict(), handle, indent=2)
         print(f"wrote {args.output}")
+    if tracer is not None:
+        _write_trace_outputs(args, tracer, service)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run a traced workload; dump spans and the critical-path table."""
+    from repro.obs import Tracer, critical_path_table
+    from repro.service import PartitionService
+
+    requests = _synthetic_requests(args)
+    tracer = Tracer(capacity=args.capacity)
+    service = PartitionService(
+        max_batch_requests=1 if args.naive else args.batch,
+        tracer=tracer,
+    )
+    with service:
+        tickets = [service.submit(request) for request in requests]
+        for ticket in tickets:
+            ticket.result(timeout=600)
+    spans = tracer.export()
+    print(critical_path_table(spans, title="repro trace").render())
+    print()
+    _write_trace_outputs(args, tracer, service)
     return 0
 
 
@@ -505,6 +559,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="FPGA token-bucket rate (0 = unlimited)")
     p.add_argument("--output", default=None,
                    help="also write ServiceMetrics JSON here")
+    p.add_argument("--trace-out", default=None,
+                   help="trace the run; write the span log (JSONL) here")
+    p.add_argument("--prometheus-out", default=None,
+                   help="trace the run; write a Prometheus exposition here")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "trace",
+        help="traced service run: span log + critical-path summary",
+    )
+    p.add_argument("--requests", type=int, default=64,
+                   help="synthetic requests to submit (open loop)")
+    p.add_argument("--min-tuples", type=int, default=256)
+    p.add_argument("--max-tuples", type=int, default=4096)
+    p.add_argument("--partitions", type=int, default=64)
+    p.add_argument("--batch", type=int, default=64,
+                   help="max requests coalesced per kernel invocation")
+    p.add_argument("--naive", action="store_true",
+                   help="one-request-at-a-time dispatch (baseline)")
+    p.add_argument("--capacity", type=int, default=65536,
+                   help="span ring-buffer capacity (oldest evicted)")
+    p.add_argument("--trace-out", default="trace.jsonl",
+                   help="span log (JSONL) path; '' skips the dump")
+    p.add_argument("--prometheus-out", default=None,
+                   help="also write a Prometheus exposition here")
     p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser("simulate", help="cycle-level circuit run")
@@ -528,6 +607,7 @@ _COMMANDS = {
     "partition": cmd_partition,
     "join": cmd_join,
     "serve": cmd_serve,
+    "trace": cmd_trace,
     "simulate": cmd_simulate,
     "report": cmd_report,
 }

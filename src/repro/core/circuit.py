@@ -111,7 +111,10 @@ class PartitionerCircuit:
         qpi_bandwidth_gbs: Optional[float] = None,
         fifo_depth: int = 32,
         enable_forwarding: bool = True,
+        tracer=None,
     ):
+        from repro.obs.tracing import resolve_tracer
+
         # The first-stage FIFOs must cover the read latency plus the
         # hash pipeline, or the issue logic self-throttles below one
         # line per cycle (the real design sizes them the same way).
@@ -124,6 +127,7 @@ class PartitionerCircuit:
         self.fifo_depth = fifo_depth
         self.enable_forwarding = enable_forwarding
         self.qpi_bandwidth_gbs = qpi_bandwidth_gbs
+        self.tracer = resolve_tracer(tracer)
         self._build()
 
     def _build(self) -> None:
@@ -207,6 +211,43 @@ class PartitionerCircuit:
         check_payloads_valid(payloads)
 
         n = int(keys.shape[0])
+        with self.tracer.span(
+            "circuit.run",
+            tuples=n,
+            partitions=cfg.num_partitions,
+            mode=cfg.mode_label,
+        ) as span:
+            result = self._run_traced(
+                keys, payloads, max_cycles, on_cycle, fast_forward, n
+            )
+            s = result.stats
+            span.set_attributes(
+                cycles=s.cycles,
+                histogram_pass_cycles=s.histogram_pass_cycles,
+                partition_pass_cycles=s.partition_pass_cycles,
+                flush_cycles=s.flush_cycles,
+                lines_in=s.lines_in,
+                lines_out=s.lines_out,
+                dummy_slots_out=s.dummy_slots_out,
+                input_backpressure_cycles=s.input_backpressure_cycles,
+                combiner_stall_cycles=s.combiner_stall_cycles,
+                writeback_stall_cycles=s.writeback_stall_cycles,
+                forwarding_hits=s.forwarding_hits,
+                output_padding_fraction=s.output_padding_fraction,
+            )
+            return result
+
+    def _run_traced(
+        self,
+        keys: np.ndarray,
+        payloads: np.ndarray,
+        max_cycles: Optional[int],
+        on_cycle,
+        fast_forward: bool,
+        n: int,
+    ) -> CircuitResult:
+        """The :meth:`run` simulation body (span-wrapped by caller)."""
+        cfg = self.config
         stats = CircuitStats()
         if max_cycles is None:
             max_cycles = 64 * (n + cfg.num_partitions + 10_000)

@@ -157,6 +157,13 @@ class FpgaPartitioner:
             way — the engine only changes where the kernels run.
         threads: worker count for a string ``engine`` spec (defaults
             to the machine's CPU count).
+        tracer: optional :class:`~repro.obs.tracing.Tracer`.  Each
+            kernel invocation records a span (``fpga.partition`` /
+            ``fpga.partition_many``) carrying tuple counts and traffic
+            accounting; :meth:`simulate` forwards the tracer to the
+            circuit, whose span carries the cycle/stall counters.  The
+            tracer also reaches an engine built from a string spec, so
+            per-morsel spans nest under the kernel span.
     """
 
     def __init__(
@@ -165,12 +172,15 @@ class FpgaPartitioner:
         platform: Optional[XeonFpgaPlatform] = None,
         engine=None,
         threads: Optional[int] = None,
+        tracer=None,
     ):
         from repro.exec.engine import ExecutionEngine, resolve_engine
+        from repro.obs.tracing import resolve_tracer
 
         self.config = config or PartitionerConfig()
         self.platform = platform
-        self.engine = resolve_engine(engine, threads)
+        self.tracer = resolve_tracer(tracer)
+        self.engine = resolve_engine(engine, threads, tracer=tracer)
         # A string spec made resolve_engine build pools just for us; a
         # caller-supplied ExecutionEngine stays the caller's to close.
         self._owns_engine = self.engine is not None and not isinstance(
@@ -227,6 +237,31 @@ class FpgaPartitioner:
             A :class:`PartitionedOutput`.
         """
         keys, payloads = self._extract_columns(relation, payloads)
+        with self.tracer.span(
+            "fpga.partition",
+            tuples=int(keys.shape[0]),
+            partitions=self.config.num_partitions,
+            mode=self.config.mode_label,
+        ) as span:
+            output = self._partition_traced(
+                keys, payloads, on_overflow, region_name
+            )
+            span.set_attributes(
+                bytes_read=output.bytes_read,
+                bytes_written=output.bytes_written,
+                dummy_slots=output.dummy_slots,
+                fell_back_to_cpu=output.fell_back_to_cpu,
+            )
+            return output
+
+    def _partition_traced(
+        self,
+        keys: np.ndarray,
+        payloads: np.ndarray,
+        on_overflow: OverflowPolicy,
+        region_name: Optional[str],
+    ) -> PartitionedOutput:
+        """The :meth:`partition` kernel body (span-wrapped by caller)."""
         cfg = self.config
         per_line = cfg.tuples_per_line
 
@@ -351,14 +386,36 @@ class FpgaPartitioner:
         requests (see :meth:`partition_many` for the contract)."""
         cfg = self.config
         num_partitions = cfg.num_partitions
-        lanes = cfg.num_lanes
-        per_line = cfg.tuples_per_line
         batch = len(columns)
         if batch == 1:
             keys, pays = columns[0]
             return [self.partition(keys, pays, on_overflow=on_overflow)]
         sizes = np.array([k.shape[0] for k, _ in columns], dtype=np.int64)
         n = int(sizes.sum())
+        with self.tracer.span(
+            "fpga.partition_many",
+            requests=batch,
+            tuples=n,
+            partitions=num_partitions,
+            mode=cfg.mode_label,
+        ):
+            return self._partition_group_traced(
+                columns, on_overflow, sizes, n
+            )
+
+    def _partition_group_traced(
+        self,
+        columns: List[Tuple[np.ndarray, np.ndarray]],
+        on_overflow: OverflowPolicy,
+        sizes: np.ndarray,
+        n: int,
+    ) -> List[PartitionedOutput]:
+        """The coalesced kernel body (span-wrapped by caller)."""
+        cfg = self.config
+        num_partitions = cfg.num_partitions
+        lanes = cfg.num_lanes
+        per_line = cfg.tuples_per_line
+        batch = len(columns)
         keys = np.concatenate([k for k, _ in columns])
         pays = np.concatenate([p for _, p in columns])
 
@@ -455,6 +512,7 @@ class FpgaPartitioner:
             self.config,
             qpi_bandwidth_gbs=qpi_bandwidth_gbs,
             enable_forwarding=enable_forwarding,
+            tracer=self.tracer,
         )
         if self.config.layout_mode is LayoutMode.VRID:
             return circuit.run(keys, None, fast_forward=fast_forward)

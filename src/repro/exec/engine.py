@@ -32,12 +32,14 @@ exactly like the hardware's HIST pass.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.tracing import resolve_tracer
 from repro.exec.morsels import (
     DEFAULT_MORSEL_TUPLES,
     MorselStats,
@@ -227,6 +229,11 @@ class ExecutionEngine:
         morsel_tuples: target morsel size (tuples).
         small_input_tuples: below this size the process backend falls
             back to the thread pool.
+        tracer: optional :class:`~repro.obs.tracing.Tracer`.  The
+            serial and thread backends record one span per morsel
+            kernel (with the worker thread's name); the process backend
+            records one span per pool fan-out — worker processes cannot
+            reach the parent's ring buffer.
 
     The engine owns its pools: they are created lazily on first use
     and live until :meth:`close` (the engine is also a context
@@ -241,6 +248,7 @@ class ExecutionEngine:
         kind: str = "auto",
         morsel_tuples: int = DEFAULT_MORSEL_TUPLES,
         small_input_tuples: int = SMALL_INPUT_TUPLES,
+        tracer=None,
     ):
         if kind not in _BACKENDS:
             raise ConfigurationError(
@@ -252,6 +260,7 @@ class ExecutionEngine:
         self.kind = kind
         self.morsel_tuples = int(morsel_tuples)
         self.small_input_tuples = int(small_input_tuples)
+        self.tracer = resolve_tracer(tracer)
         self._thread_pool: Optional[ThreadPoolExecutor] = None
         self._process_pool: Optional[ProcessPoolExecutor] = None
 
@@ -332,7 +341,9 @@ class ExecutionEngine:
             )
             return hist, lane_hist
 
-        results = list(self._run(backend, phase_a, chunks))
+        results = list(
+            self._run(backend, phase_a, chunks, label="morsel.histogram")
+        )
         counts, _, dest_base = merge_histograms([h for h, _ in results])
         lane_counts = None
         if lanes is not None:
@@ -375,10 +386,31 @@ class ExecutionEngine:
                 out_payloads,
             )
 
-        list(self._run(task._backend, phase_b, list(enumerate(task._chunks))))
+        list(
+            self._run(
+                task._backend,
+                phase_b,
+                list(enumerate(task._chunks)),
+                label="morsel.scatter",
+            )
+        )
         return out_keys, out_payloads
 
-    def _run(self, backend: str, fn, items):
+    def _run(self, backend: str, fn, items, label: str = "morsel"):
+        tracer = self.tracer
+        if tracer.enabled:
+            kernel = fn
+
+            def fn(item):
+                # evaluated inside the worker, so the span carries the
+                # thread that actually ran this morsel
+                with tracer.span(
+                    label,
+                    backend=backend,
+                    worker=threading.current_thread().name,
+                ):
+                    return kernel(item)
+
         if backend == "serial" or len(items) == 1:
             return [fn(item) for item in items]
         return list(self._threads().map(fn, items))
@@ -413,7 +445,12 @@ class ExecutionEngine:
                 (names, pdt.str, n, lo, hi, num_partitions, use_hash, lanes)
                 for lo, hi in chunks
             ]
-            results = list(self._processes().map(_shm_histogram_task, tasks))
+            with self.tracer.span(
+                "morsel.histogram", backend="process", morsels=len(tasks)
+            ):
+                results = list(
+                    self._processes().map(_shm_histogram_task, tasks)
+                )
         except BaseException:
             _release_blocks(blocks, views)
             raise
@@ -448,7 +485,10 @@ class ExecutionEngine:
             (names, pdt, n, lo, hi, num_partitions, task._dest_base[c])
             for c, (lo, hi) in enumerate(task._chunks)
         ]
-        list(self._processes().map(_shm_scatter_task, tasks))
+        with self.tracer.span(
+            "morsel.scatter", backend="process", morsels=len(tasks)
+        ):
+            list(self._processes().map(_shm_scatter_task, tasks))
         views = state["views"]
         return np.array(views["out_keys"]), np.array(views["out_payloads"])
 
@@ -552,23 +592,25 @@ EngineSpec = Union[None, str, ExecutionEngine]
 
 
 def resolve_engine(
-    engine: EngineSpec, threads: Optional[int] = None
+    engine: EngineSpec, threads: Optional[int] = None, tracer=None
 ) -> Optional[ExecutionEngine]:
     """Turn an ``engine=`` knob value into an engine instance.
 
     Accepts ``None`` (no engine — callers keep their sequential
     reference path), an :class:`ExecutionEngine` (shared pools), or a
     string: ``"serial"``, ``"parallel"`` (auto backend), ``"thread"``,
-    ``"process"``.  ``threads`` sets the worker count for string specs.
+    ``"process"``.  ``threads`` sets the worker count for string specs;
+    ``tracer`` is attached to engines built here (a caller-supplied
+    instance keeps whatever tracer it was built with).
     """
     if engine is None:
         return None
     if isinstance(engine, ExecutionEngine):
         return engine
     if engine == "parallel":
-        return ExecutionEngine(workers=threads, kind="auto")
+        return ExecutionEngine(workers=threads, kind="auto", tracer=tracer)
     if engine in ("serial", "thread", "process"):
-        return ExecutionEngine(workers=threads, kind=engine)
+        return ExecutionEngine(workers=threads, kind=engine, tracer=tracer)
     raise ConfigurationError(
         f"unknown engine spec {engine!r}; expected None, 'serial', "
         "'parallel', 'thread', 'process' or an ExecutionEngine"

@@ -1,0 +1,54 @@
+"""Observability: end-to-end tracing and metric export.
+
+The measurement layer every performance claim in this repository is
+judged with: a dependency-free span tracer
+(:class:`~repro.obs.tracing.Tracer`) threaded through the service
+tier, the execution engine and the circuit models, plus the export
+surfaces (:mod:`repro.obs.export`) — Prometheus text-format
+exposition and JSONL trace logs, rolled up into per-stage
+critical-path summaries.
+
+Quickstart::
+
+    from repro.obs import Tracer
+    from repro.service import PartitionService
+
+    tracer = Tracer()
+    with PartitionService(tracer=tracer) as service:
+        service.partition(keys)
+    tracer.to_jsonl("trace.jsonl")
+    print(critical_path_table(tracer.export()).render())
+
+See ``docs/OBSERVABILITY.md`` for the span model and the
+``repro trace`` recipe.
+"""
+
+from repro.obs.export import (
+    critical_path_table,
+    interval_coverage,
+    prometheus_from_snapshot,
+    prometheus_from_spans,
+    render_prometheus,
+    stage_rollup,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    resolve_tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "critical_path_table",
+    "interval_coverage",
+    "prometheus_from_snapshot",
+    "prometheus_from_spans",
+    "render_prometheus",
+    "resolve_tracer",
+    "stage_rollup",
+]

@@ -1,0 +1,297 @@
+"""Trace and metrics export: Prometheus text format, stage rollups.
+
+Two export surfaces over the same observations:
+
+* **Prometheus exposition** (text format 0.0.4) — the pull-style
+  surface a production deployment scrapes.
+  :func:`prometheus_from_snapshot` renders a
+  :meth:`~repro.service.metrics.ServiceMetrics.to_dict` snapshot
+  (counters, gauges, per-stage latency histograms);
+  :func:`prometheus_from_spans` rolls finished spans up into
+  per-stage duration histograms using the same log2 bucket ladder, so
+  dashboards see one consistent bucketing for push- and pull-side
+  latencies.
+* **Per-stage critical-path summary** — :func:`stage_rollup` and
+  :func:`critical_path_table` aggregate span durations by name, and
+  :func:`interval_coverage` reports how much of the traced wall-clock
+  window the spans actually cover (the ``repro trace`` acceptance
+  check: un-instrumented time is invisible time).
+
+Everything here consumes plain dicts and :class:`~repro.obs.tracing.Span`
+objects — no service imports, so the module stays cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "critical_path_table",
+    "interval_coverage",
+    "prometheus_from_snapshot",
+    "prometheus_from_spans",
+    "render_prometheus",
+    "stage_rollup",
+]
+
+#: log2 bucket ladder shared with repro.service.metrics: upper bounds
+#: 1 µs, 2 µs, ... 2^25 µs (~33.6 s), then +Inf — 27 buckets
+_BUCKET_COUNT = 27
+_BUCKET_BOUNDS_S = [(2.0 ** i) / 1e6 for i in range(_BUCKET_COUNT - 1)]
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers stay integral, floats use %g."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return f"{float(value):g}"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _histogram_lines(
+    name: str,
+    label_key: str,
+    label_value: str,
+    cumulative: Sequence[int],
+    total_sum: float,
+) -> List[str]:
+    """One Prometheus histogram series (bucket/sum/count lines)."""
+    label = f'{label_key}="{_escape_label(label_value)}"'
+    lines = []
+    for bound, running in zip(_BUCKET_BOUNDS_S, cumulative):
+        lines.append(
+            f'{name}_bucket{{{label},le="{bound:g}"}} {running}'
+        )
+    count = cumulative[-1] if len(cumulative) else 0
+    lines.append(f'{name}_bucket{{{label},le="+Inf"}} {count}')
+    lines.append(f"{name}_sum{{{label}}} {_format_value(total_sum)}")
+    lines.append(f"{name}_count{{{label}}} {count}")
+    return lines
+
+
+def _cumulate(buckets: Sequence[int]) -> List[int]:
+    running, out = 0, []
+    for bucket in buckets:
+        running += int(bucket)
+        out.append(running)
+    return out
+
+
+def prometheus_from_snapshot(
+    snapshot: dict, prefix: str = "repro_service"
+) -> str:
+    """Render a :meth:`ServiceMetrics.to_dict` snapshot as Prometheus
+    text-format exposition (counters, gauges, latency histograms)."""
+    lines: List[str] = []
+    for counter, value in sorted(snapshot.get("counters", {}).items()):
+        name = f"{prefix}_{counter}_total"
+        lines.append(f"# HELP {name} Service counter '{counter}'.")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_format_value(value)}")
+    for gauge, value in sorted(snapshot.get("gauges", {}).items()):
+        name = f"{prefix}_{gauge}"
+        lines.append(f"# HELP {name} Service gauge '{gauge}'.")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(value)}")
+    latency = snapshot.get("latency", {})
+    if latency:
+        name = f"{prefix}_latency_seconds"
+        lines.append(
+            f"# HELP {name} Per-stage request latency (log2 buckets)."
+        )
+        lines.append(f"# TYPE {name} histogram")
+        for stage in sorted(latency):
+            hist = latency[stage]
+            cumulative = _cumulate(hist["log2_us_buckets"])
+            lines.extend(
+                _histogram_lines(
+                    name,
+                    "stage",
+                    stage,
+                    cumulative,
+                    hist["mean_s"] * hist["count"],
+                )
+            )
+    throughput = snapshot.get("throughput_rps")
+    if throughput is not None:
+        name = f"{prefix}_throughput_rps"
+        lines.append(
+            f"# HELP {name} Completed requests per second since start."
+        )
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(throughput)}")
+    return "\n".join(lines) + "\n"
+
+
+def _bucket_index(seconds: float) -> int:
+    micros = max(0.0, seconds) * 1e6
+    index, bound = 0, 1.0
+    while micros > bound and index < _BUCKET_COUNT - 1:
+        bound *= 2.0
+        index += 1
+    return index
+
+
+def prometheus_from_spans(
+    spans: Iterable, prefix: str = "repro_span"
+) -> str:
+    """Roll finished spans into per-name Prometheus duration histograms.
+
+    Every distinct span name becomes one ``{span="<name>"}`` series of
+    ``<prefix>_duration_seconds``, bucketed on the same log2 ladder as
+    the service latency histograms.
+    """
+    buckets: Dict[str, List[int]] = {}
+    sums: Dict[str, float] = {}
+    for span in spans:
+        row = buckets.get(span.name)
+        if row is None:
+            row = buckets[span.name] = [0] * _BUCKET_COUNT
+            sums[span.name] = 0.0
+        row[_bucket_index(span.duration_s)] += 1
+        sums[span.name] += span.duration_s
+    name = f"{prefix}_duration_seconds"
+    lines = [
+        f"# HELP {name} Span durations by span name (log2 buckets).",
+        f"# TYPE {name} histogram",
+    ]
+    for span_name in sorted(buckets):
+        lines.extend(
+            _histogram_lines(
+                name,
+                "span",
+                span_name,
+                _cumulate(buckets[span_name]),
+                sums[span_name],
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_prometheus(
+    snapshot: Optional[dict] = None,
+    spans: Optional[Iterable] = None,
+) -> str:
+    """The combined exposition page: metrics first, span rollups after."""
+    parts = []
+    if snapshot is not None:
+        parts.append(prometheus_from_snapshot(snapshot))
+    if spans is not None:
+        parts.append(prometheus_from_spans(spans))
+    return "".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Stage rollups and coverage
+# ---------------------------------------------------------------------------
+
+
+def stage_rollup(spans: Iterable) -> Dict[str, dict]:
+    """Aggregate span durations by name (exact quantiles, small sets).
+
+    Returns ``{name: {count, total_s, mean_s, p50_s, p95_s, max_s}}``.
+    """
+    durations: Dict[str, List[float]] = {}
+    for span in spans:
+        durations.setdefault(span.name, []).append(span.duration_s)
+    rollup: Dict[str, dict] = {}
+    for name, values in durations.items():
+        values.sort()
+        count = len(values)
+        rollup[name] = {
+            "count": count,
+            "total_s": sum(values),
+            "mean_s": sum(values) / count,
+            "p50_s": values[int(0.50 * (count - 1))],
+            "p95_s": values[int(0.95 * (count - 1))],
+            "max_s": values[-1],
+        }
+    return rollup
+
+
+def interval_coverage(
+    spans: Iterable,
+    window: Optional[Tuple[float, float]] = None,
+) -> Tuple[float, float, float]:
+    """How much of the wall-clock window do the spans cover?
+
+    Computes the union of all ``[start_s, end_s]`` intervals, clipped
+    to ``window`` (default: first span start to last span end).
+    Returns ``(covered_s, wall_s, fraction)`` — the ``repro trace``
+    acceptance metric: time outside every span is time the trace
+    cannot explain.
+    """
+    intervals = sorted(
+        (span.start_s, span.end_s)
+        for span in spans
+        if span.end_s is not None
+    )
+    if not intervals:
+        return 0.0, 0.0, 0.0
+    if window is None:
+        window = (
+            intervals[0][0],
+            max(end for _, end in intervals),
+        )
+    lo, hi = window
+    wall = max(0.0, hi - lo)
+    covered = 0.0
+    cursor = lo
+    for start, end in intervals:
+        start, end = max(start, lo), min(end, hi)
+        if end <= cursor:
+            continue
+        covered += end - max(start, cursor)
+        cursor = end
+    fraction = covered / wall if wall > 0 else 0.0
+    return covered, wall, fraction
+
+
+def critical_path_table(spans: Sequence, title: str = "repro trace"):
+    """Per-stage critical-path summary as an
+    :class:`~repro.bench.reporting.ExperimentTable`.
+
+    One row per span name, sorted by total time spent (the critical
+    path reads top-down); the note carries the coverage fraction.
+    """
+    from repro.bench.reporting import ExperimentTable
+
+    rollup = stage_rollup(spans)
+    covered, wall, fraction = interval_coverage(spans)
+    rows = [
+        [
+            name,
+            stats["count"],
+            stats["total_s"],
+            100.0 * stats["total_s"] / wall if wall else 0.0,
+            1e3 * stats["mean_s"],
+            1e3 * stats["p95_s"],
+            1e3 * stats["max_s"],
+        ]
+        for name, stats in sorted(
+            rollup.items(), key=lambda kv: -kv[1]["total_s"]
+        )
+    ]
+    return ExperimentTable(
+        experiment_id=title,
+        title="per-stage time attribution (critical path first)",
+        headers=[
+            "stage", "n", "total s", "share %", "mean ms", "p95 ms",
+            "max ms",
+        ],
+        rows=rows,
+        note=(
+            f"spans cover {100.0 * fraction:.1f}% of the "
+            f"{wall:.3f}s traced window ({len(spans)} spans)"
+        ),
+    )

@@ -96,7 +96,11 @@ class TokenBucket:
                 f"tuples_per_second must be positive, got {tuples_per_second}"
             )
         self.rate = float(tuples_per_second)
-        self.burst = float(burst_tuples if burst_tuples else self.rate)
+        # `is not None`, not truthiness: an explicit burst_tuples=0 is a
+        # configuration error and must raise, not silently become `rate`
+        self.burst = float(
+            burst_tuples if burst_tuples is not None else self.rate
+        )
         if self.burst <= 0:
             raise ReproError(f"burst_tuples must be positive, got {self.burst}")
         self._clock = clock
@@ -122,8 +126,11 @@ class CircuitBreaker:
     """Consecutive-failure circuit breaker with half-open probing.
 
     States: *closed* (normal), *open* (all FPGA work refused until
-    ``cooldown_s`` elapses), *half-open* (one probe allowed; success
-    closes, failure re-opens).
+    ``cooldown_s`` elapses), *half-open* (exactly one probe allowed;
+    success closes, failure re-opens).  The single probe is *claimed*
+    inside :meth:`allow` under the lock — concurrent callers racing
+    into the half-open window get one True and the rest False, so a
+    recovering backend sees one request, not a thundering herd.
     """
 
     CLOSED = "closed"
@@ -147,6 +154,7 @@ class CircuitBreaker:
         self._clock = clock
         self._consecutive_failures = 0
         self._opened_at: Optional[float] = None
+        self._probe_claimed = False
         self._lock = threading.Lock()
 
     @property
@@ -162,15 +170,35 @@ class CircuitBreaker:
         return self.OPEN
 
     def allow(self) -> bool:
-        """May the FPGA path run right now?"""
+        """May the FPGA path run right now?
+
+        Half-open admits exactly one caller: the first ``allow()`` in
+        the half-open window claims the probe under the lock; everyone
+        else is refused until the probe's outcome is recorded.
+        """
         with self._lock:
-            return self._state_locked() is not self.OPEN
+            state = self._state_locked()
+            if state == self.OPEN:
+                return False
+            if state == self.HALF_OPEN:
+                if self._probe_claimed:
+                    return False
+                self._probe_claimed = True
+            return True
+
+    def release_probe(self) -> None:
+        """Return a half-open probe claimed by :meth:`allow` but never
+        executed (e.g. the policy refused the work on saturation before
+        the FPGA call) so the next caller can claim it instead."""
+        with self._lock:
+            self._probe_claimed = False
 
     def record_success(self) -> None:
         """Reset the failure streak and close the breaker."""
         with self._lock:
             self._consecutive_failures = 0
             self._opened_at = None
+            self._probe_claimed = False
 
     def record_failure(self) -> None:
         """Count a failure; open the breaker at the threshold."""
@@ -180,8 +208,10 @@ class CircuitBreaker:
                 self._consecutive_failures >= self.failure_threshold
                 or self._opened_at is not None
             ):
-                # threshold reached, or a half-open probe failed
+                # threshold reached, or a half-open probe failed; the
+                # new cooldown window gets a fresh single probe
                 self._opened_at = self._clock()
+                self._probe_claimed = False
 
 
 class DegradationPolicy:
@@ -207,13 +237,24 @@ class DegradationPolicy:
 
     def admit_fpga(self, tuples: int) -> Optional[str]:
         """None if the FPGA may run this work, else the refusal reason
-        (``"breaker-open"`` / ``"saturated"``) for metrics and logs."""
+        (``"breaker-open"`` / ``"saturated"`` / ``"oversized"``) for
+        metrics and logs.  A batch larger than the bucket's burst can
+        *never* be admitted no matter how long the bucket refills, so
+        it gets the distinct ``"oversized"`` answer instead of an
+        eternally misleading ``"saturated"``."""
         if not self.breaker.allow():
             return "breaker-open"
-        if self.saturation is not None and not self.saturation.try_acquire(
-            tuples
-        ):
-            return "saturated"
+        if self.saturation is not None:
+            refusal = None
+            if tuples > self.saturation.burst:
+                refusal = "oversized"
+            elif not self.saturation.try_acquire(tuples):
+                refusal = "saturated"
+            if refusal is not None:
+                # allow() may have claimed the single half-open probe;
+                # this work never reaches the FPGA, so hand it back
+                self.breaker.release_probe()
+                return refusal
         return None
 
     def before_fpga_call(self) -> None:

@@ -9,7 +9,9 @@ shapes:
   artifacts via :func:`repro.bench.reporting.write_json_artifact`;
 * :meth:`ServiceMetrics.to_table` — an
   :class:`~repro.bench.reporting.ExperimentTable` for the CLI's ASCII
-  rendering.
+  rendering;
+* :meth:`ServiceMetrics.to_prometheus` — text-format exposition for a
+  Prometheus scrape (see :mod:`repro.obs.export`).
 
 Latencies go into :class:`LatencyHistogram` — fixed log2 buckets from
 1 µs to ~67 s, so recording is O(1), thread-safe under the registry
@@ -60,17 +62,35 @@ class LatencyHistogram:
         return self.total_seconds / self.count if self.count else 0.0
 
     def quantile_seconds(self, q: float) -> float:
-        """Approximate quantile: upper bound of the bucket holding it."""
+        """Approximate quantile: upper bound of the bucket holding it.
+
+        Two edge cases are handled exactly rather than by bucket bound:
+        ``q=0`` answers with the *lowest occupied* bucket (a cumulative
+        target of zero is satisfied by the empty buckets below the
+        data, which used to return the 1 µs bound regardless of where
+        the observations sat), and every answer is clamped to
+        ``max_seconds`` — in particular the open-ended overflow bucket,
+        whose fixed ~67 s bound says nothing about observations that
+        may be far larger (or smaller).
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
+        if q == 0.0:
+            for index, bucket in enumerate(self.buckets):
+                if bucket:
+                    return min((2.0 ** index) / 1e6, self.max_seconds)
         target = q * self.count
         seen = 0
         for index, bucket in enumerate(self.buckets):
             seen += bucket
             if seen >= target:
-                return (2.0 ** index) / 1e6
+                if index == _BUCKET_COUNT - 1:
+                    # overflow bucket: max_seconds is the only honest
+                    # bound we hold for observations beyond the ladder
+                    return self.max_seconds
+                return min((2.0 ** index) / 1e6, self.max_seconds)
         return self.max_seconds
 
     def to_dict(self) -> dict:
@@ -184,6 +204,14 @@ class ServiceMetrics:
                     for stage, hist in self.histograms.items()
                 },
             }
+
+    def to_prometheus(self) -> str:
+        """Prometheus text-format exposition of every counter, gauge
+        and per-stage latency histogram (see
+        :func:`repro.obs.export.prometheus_from_snapshot`)."""
+        from repro.obs.export import prometheus_from_snapshot
+
+        return prometheus_from_snapshot(self.to_dict())
 
     def to_table(self, experiment_id: str = "Service") -> ExperimentTable:
         """The ASCII-renderable summary (one row per stage + counters)."""

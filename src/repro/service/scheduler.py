@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.modes import PartitionerConfig
 from repro.errors import ReproError
+from repro.obs.tracing import resolve_tracer
 from repro.service.queue import AdmissionQueue
 
 
@@ -85,6 +86,9 @@ class BatchingScheduler:
             requests to arrive before dispatching a small batch — the
             classic batching latency/throughput trade (0 disables).
         clock: injectable monotonic clock (tests).
+        tracer: optional :class:`~repro.obs.tracing.Tracer`; batch
+            formation runs inside a ``schedule`` span and each
+            coalesce/split decision is recorded as a span event.
 
     Entries handed to :meth:`collect` must expose ``signature`` and
     ``tuples`` attributes; the service precomputes both at admission.
@@ -97,6 +101,7 @@ class BatchingScheduler:
         split_tuples: Optional[int] = None,
         linger_s: float = 0.002,
         clock=time.monotonic,
+        tracer=None,
     ):
         if max_batch_requests < 1:
             raise ReproError(
@@ -119,6 +124,7 @@ class BatchingScheduler:
             )
         self.linger_s = linger_s
         self._clock = clock
+        self._tracer = resolve_tracer(tracer)
 
     # ------------------------------------------------------------------
 
@@ -136,15 +142,18 @@ class BatchingScheduler:
         first = queue.take(timeout)
         if first is None:
             return []
-        entries = [first]
-        if self.linger_s > 0 and len(queue) == 0:
-            # small sleep to let a burst coalesce; skipped when the
-            # queue already has depth (no point waiting for stragglers)
-            deadline = self._clock() + self.linger_s
-            while self._clock() < deadline and len(queue) == 0:
-                time.sleep(min(self.linger_s, 0.0005))
-        entries.extend(queue.drain(4 * self.max_batch_requests - 1))
-        return self.form_batches(entries)
+        with self._tracer.span("schedule") as span:
+            entries = [first]
+            if self.linger_s > 0 and len(queue) == 0:
+                # small sleep to let a burst coalesce; skipped when the
+                # queue already has depth (no point waiting for stragglers)
+                deadline = self._clock() + self.linger_s
+                while self._clock() < deadline and len(queue) == 0:
+                    time.sleep(min(self.linger_s, 0.0005))
+            entries.extend(queue.drain(4 * self.max_batch_requests - 1))
+            batches = self.form_batches(entries)
+            span.set_attributes(requests=len(entries), batches=len(batches))
+            return batches
 
     def form_batches(self, entries: Sequence[object]) -> List[Batch]:
         """Group ``entries`` into batches without reordering groups.
@@ -157,6 +166,10 @@ class BatchingScheduler:
         for entry in entries:
             tuples = entry.tuples
             if tuples >= self.split_tuples:
+                self._tracer.add_event(
+                    "scheduler.split", tuples=tuples,
+                    threshold=self.split_tuples,
+                )
                 batches.append(
                     Batch(
                         entries=[entry],
@@ -175,6 +188,11 @@ class BatchingScheduler:
                 ):
                     batch.entries.append(entry)
                     batch.total_tuples += tuples
+                    self._tracer.add_event(
+                        "scheduler.coalesce", batch=index,
+                        requests=len(batch.entries),
+                        tuples=batch.total_tuples,
+                    )
                     continue
             batches.append(
                 Batch(

@@ -44,6 +44,7 @@ from repro.core.partitioner import (
 )
 from repro.cpu.partitioner import CpuPartitioner
 from repro.errors import ReproError
+from repro.obs.tracing import resolve_tracer
 from repro.service.degradation import BackendFault, DegradationPolicy
 from repro.service.metrics import ServiceMetrics
 from repro.service.queue import AdmissionQueue, QueueFullError
@@ -161,6 +162,8 @@ class _Pending:
     tuples: int
     submitted_at: float
     deadline_at: Optional[float]
+    #: root "request" span, opened at submit and ended at resolution
+    span: Optional[object] = None
 
 
 class PartitionService:
@@ -185,6 +188,15 @@ class PartitionService:
             on the single-core target, parallel dispatch buys nothing.
         cpu_threads: thread count for the CPU (SWWC) failover backend.
         clock: injectable monotonic clock (tests).
+        tracer: optional :class:`~repro.obs.tracing.Tracer`.  Every
+            request gets a root ``request`` span from submit to
+            resolution, with ``queue_wait`` / ``batch`` / ``execute`` /
+            ``resolve`` child spans beneath it; the tracer is forwarded
+            to the scheduler and the kernel partitioners, so scheduler
+            decisions and per-kernel spans land in the same trace.  The
+            service's ``clock`` should be the tracer's clock (both
+            default to ``time.monotonic``) so timestamps share one
+            timeline.
     """
 
     def __init__(
@@ -202,12 +214,14 @@ class PartitionService:
         engine: Optional[str] = "serial",
         cpu_threads: int = 1,
         clock=time.monotonic,
+        tracer=None,
     ):
         if max_retries < 0:
             raise ReproError(f"max_retries must be >= 0, got {max_retries}")
         if retry_backoff_s < 0 or retry_backoff_cap_s < 0:
             raise ReproError("retry backoff values must be >= 0")
         self._clock = clock
+        self.tracer = resolve_tracer(tracer)
         self.queue = AdmissionQueue(
             max_requests=max_queue_requests, max_tuples=max_queue_tuples
         )
@@ -217,6 +231,7 @@ class PartitionService:
             split_tuples=split_tuples,
             linger_s=linger_s,
             clock=clock,
+            tracer=tracer,
         )
         self.metrics = ServiceMetrics(clock=clock)
         self.policy = policy or DegradationPolicy()
@@ -310,10 +325,24 @@ class PartitionService:
                 else None
             ),
         )
+        if self.tracer.enabled:
+            span = self.tracer.start_span(
+                "request",
+                request_id=request_id,
+                tuples=pending.tuples,
+                priority=int(request.priority),
+            )
+            # anchor the root span at the submit timestamp from the
+            # service clock, the clock every later stage measures with
+            span.start_s = now
+            pending.span = span
         self.metrics.increment("submitted")
         if not self.queue.offer(pending, int(request.priority), pending.tuples):
             retry_after = self.queue.retry_after_hint()
             self.metrics.increment("rejected")
+            if pending.span is not None:
+                pending.span.set_attributes(status="rejected")
+                pending.span.end(self._clock())
             if raise_on_reject:
                 raise QueueFullError(len(self.queue), retry_after)
             ticket._resolve(
@@ -372,7 +401,25 @@ class PartitionService:
         self.metrics.set_gauge("inflight", total_tuples)
         for entry in live:
             self.metrics.observe("queue_wait", now - entry.submitted_at)
+            if entry.span is not None:
+                # retroactive: the wait was measured on service clocks
+                self.tracer.record_span(
+                    "queue_wait", entry.submitted_at, now, parent=entry.span
+                )
 
+        with self.tracer.span(
+            "batch",
+            requests=len(live),
+            tuples=total_tuples,
+            split=batch.split,
+        ):
+            self._execute_live(batch, live, total_tuples)
+        self.metrics.set_gauge("inflight", 0)
+
+    def _execute_live(
+        self, batch: Batch, live: List[_Pending], total_tuples: int
+    ) -> None:
+        """Backend selection + execution + resolution for live entries."""
         outputs: Optional[List[PartitionedOutput]] = None
         backend = "fpga"
         degraded = False
@@ -381,30 +428,37 @@ class PartitionService:
         error: Optional[str] = None
         started = self._clock()
 
-        refusal = self.policy.admit_fpga(total_tuples)
-        if refusal is None:
-            outputs, attempts, error = self._try_fpga(live, batch)
+        with self.tracer.span("execute") as exec_span:
+            refusal = self.policy.admit_fpga(total_tuples)
+            if refusal is None:
+                outputs, attempts, error = self._try_fpga(live, batch)
+                if outputs is None:
+                    degrade_reason = error or "fpga-fault"
+            else:
+                degrade_reason = refusal
             if outputs is None:
-                degrade_reason = error or "fpga-fault"
-        else:
-            degrade_reason = refusal
-        if outputs is None:
-            backend = "cpu"
-            degraded = True
-            self.metrics.increment("degraded", len(live))
-            outputs, error = self._try_cpu(live)
+                backend = "cpu"
+                degraded = True
+                self.metrics.increment("degraded", len(live))
+                outputs, error = self._try_cpu(live)
+            exec_span.set_attributes(
+                backend=backend,
+                attempts=attempts,
+                degraded=degraded,
+                degrade_reason=degrade_reason,
+            )
         execute_s = self._clock() - started
 
-        if outputs is None:
-            self._resolve_failed(live, attempts, error)
-        else:
-            self._resolve_ok(
-                live, outputs, backend, degraded, degrade_reason,
-                attempts, execute_s, batch,
-            )
-            if execute_s > 0:
-                self.queue.note_drain_rate(total_tuples / execute_s)
-        self.metrics.set_gauge("inflight", 0)
+        with self.tracer.span("resolve", requests=len(live)):
+            if outputs is None:
+                self._resolve_failed(live, attempts, error)
+            else:
+                self._resolve_ok(
+                    live, outputs, backend, degraded, degrade_reason,
+                    attempts, execute_s, batch,
+                )
+                if execute_s > 0:
+                    self.queue.note_drain_rate(total_tuples / execute_s)
 
     # -- backends -------------------------------------------------------
 
@@ -485,7 +539,9 @@ class PartitionService:
         partitioner = self._fpga.get(entry.signature)
         if partitioner is None:
             partitioner = FpgaPartitioner(
-                config=entry.request.config, engine=self._engine_spec
+                config=entry.request.config,
+                engine=self._engine_spec,
+                tracer=self.tracer,
             )
             self._fpga[entry.signature] = partitioner
         return partitioner
@@ -504,6 +560,9 @@ class PartitionService:
     def _resolve_timeout(self, entry: _Pending, now: float) -> None:
         self.metrics.increment("timed_out")
         self.metrics.observe("total", now - entry.submitted_at)
+        if entry.span is not None:
+            entry.span.set_attributes(status="timed-out")
+            entry.span.end(now)
         entry.ticket._resolve(
             PartitionResponse(
                 request_id=entry.ticket.request_id,
@@ -521,6 +580,9 @@ class PartitionService:
         self.metrics.increment("failed", len(live))
         for entry in live:
             self.metrics.observe("total", now - entry.submitted_at)
+            if entry.span is not None:
+                entry.span.set_attributes(status="failed", attempts=attempts)
+                entry.span.end(now)
             entry.ticket._resolve(
                 PartitionResponse(
                     request_id=entry.ticket.request_id,
@@ -553,6 +615,14 @@ class PartitionService:
         for entry, output in zip(live, outputs):
             total_s = now - entry.submitted_at
             self.metrics.observe("total", total_s)
+            if entry.span is not None:
+                entry.span.set_attributes(
+                    status="ok",
+                    backend=backend,
+                    degraded=degraded,
+                    batch_size=len(live),
+                )
+                entry.span.end(now)
             entry.ticket._resolve(
                 PartitionResponse(
                     request_id=entry.ticket.request_id,

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -535,3 +537,147 @@ class TestPartitionService:
         latency = service.metrics.to_dict()["latency"]
         assert latency["total"]["count"] == len(relations)
         assert latency["queue_wait"]["count"] == len(relations)
+
+
+# ---------------------------------------------------------------------------
+# Regression tests: service-tier bugfix sweep
+
+
+class TestHalfOpenSingleProbe:
+    def _half_open_breaker(self, clock) -> CircuitBreaker:
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=1.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        return breaker
+
+    def test_half_open_admits_exactly_one_caller(self):
+        clock = FakeClock()
+        breaker = self._half_open_breaker(clock)
+        assert breaker.allow()  # the probe
+        # the bug: every further caller in the window was admitted too
+        assert not breaker.allow()
+        assert not breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_single_probe_under_contention(self):
+        clock = FakeClock()
+        breaker = self._half_open_breaker(clock)
+        admitted = []
+        start = threading.Barrier(8)
+
+        def worker():
+            start.wait()
+            if breaker.allow():
+                admitted.append(threading.current_thread().name)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 1
+
+    def test_failed_probe_reopens_with_fresh_probe(self):
+        clock = FakeClock()
+        breaker = self._half_open_breaker(clock)
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed -> re-open
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(1.5)
+        # the new half-open window gets its own single probe
+        assert breaker.allow()
+        assert not breaker.allow()
+
+    def test_release_probe_hands_back_the_claim(self):
+        clock = FakeClock()
+        breaker = self._half_open_breaker(clock)
+        assert breaker.allow()
+        breaker.release_probe()
+        assert breaker.allow()  # claim returned, next caller may probe
+
+    def test_policy_refusal_does_not_wedge_half_open(self):
+        clock = FakeClock()
+        bucket = TokenBucket(
+            tuples_per_second=100, burst_tuples=100, clock=clock
+        )
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=1.0, clock=clock
+        )
+        policy = DegradationPolicy(saturation=bucket, breaker=breaker)
+        policy.record_outcome(False)
+        clock.advance(1.5)
+        # allow() claims the probe but saturation refuses the work; the
+        # claim must be released or the breaker stays wedged half-open
+        assert policy.admit_fpga(1000) == "oversized"
+        assert policy.admit_fpga(50) is None
+
+
+class TestTokenBucketValidation:
+    def test_explicit_zero_burst_raises(self):
+        # the bug: burst_tuples=0 was falsy and silently became `rate`
+        with pytest.raises(ReproError):
+            TokenBucket(tuples_per_second=100, burst_tuples=0)
+
+    def test_negative_burst_raises(self):
+        with pytest.raises(ReproError):
+            TokenBucket(tuples_per_second=100, burst_tuples=-5)
+
+    def test_omitted_burst_still_defaults_to_rate(self):
+        assert TokenBucket(tuples_per_second=250).burst == 250.0
+
+    def test_oversized_is_distinct_from_saturated(self):
+        clock = FakeClock()
+        bucket = TokenBucket(
+            tuples_per_second=100, burst_tuples=100, clock=clock
+        )
+        policy = DegradationPolicy(saturation=bucket)
+        # larger than burst: can never be admitted however long we wait
+        assert policy.admit_fpga(101) == "oversized"
+        # within burst: admitted now, saturated on the immediate retry
+        assert policy.admit_fpga(100) is None
+        assert policy.admit_fpga(100) == "saturated"
+        clock.advance(10.0)
+        assert policy.admit_fpga(100) is None  # refilled
+        assert policy.admit_fpga(101) == "oversized"  # still never
+
+
+class TestQuantileEdges:
+    def test_q0_returns_lowest_occupied_bucket(self):
+        hist = LatencyHistogram()
+        hist.record(0.008)  # ~8 ms -> the 8192 us bucket
+        # the bug: q=0 answered 1 us regardless of where the data sat
+        assert hist.quantile_seconds(0.0) >= 0.004
+        assert hist.quantile_seconds(0.0) <= 0.008192
+
+    def test_overflow_bucket_clamps_to_max_seconds(self):
+        hist = LatencyHistogram()
+        hist.record(120.0)  # beyond the ~33.6 s bucket ladder
+        # the bug: the open-ended bucket answered its fixed ~67 s bound
+        assert hist.quantile_seconds(0.5) == pytest.approx(120.0)
+        assert hist.quantile_seconds(1.0) == pytest.approx(120.0)
+
+    def test_bounds_never_exceed_observed_max(self):
+        hist = LatencyHistogram()
+        hist.record(0.003)  # bucket bound 4096 us > the observation
+        assert hist.quantile_seconds(0.99) == pytest.approx(0.003)
+
+    def test_empty_histogram_and_validation(self):
+        hist = LatencyHistogram()
+        assert hist.quantile_seconds(0.5) == 0.0
+        with pytest.raises(ValueError):
+            hist.quantile_seconds(-0.1)
+        with pytest.raises(ValueError):
+            hist.quantile_seconds(1.1)
+
+    def test_quantiles_monotone_in_q(self):
+        hist = LatencyHistogram()
+        for value in (0.0001, 0.001, 0.01, 0.1, 1.0):
+            hist.record(value)
+        qs = [hist.quantile_seconds(q) for q in (0.0, 0.25, 0.5, 0.95, 1.0)]
+        assert qs == sorted(qs)
+        assert qs[-1] <= hist.max_seconds
