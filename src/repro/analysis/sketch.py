@@ -1,0 +1,294 @@
+"""Streaming cardinality and skew sketches for the ingest pass.
+
+The out-of-core engine (:mod:`repro.storage`) sees a relation exactly
+once while writing it to disk — the same constraint Kara et al.'s
+follow-on HyperLogLog sketch accelerator exploits: a one-pass, tiny-
+state summary computed *while the data streams by* is enough to size
+every downstream stage.  Two sketches ride the ingest pass:
+
+* :class:`HyperLogLogSketch` — the classic HLL cardinality estimator
+  (Flajolet et al., 2007) over the murmur-finalized key stream, with
+  the small-range linear-counting correction.  The partitioner's own
+  hash (:func:`~repro.core.hashing.murmur3_finalizer`) doubles as the
+  sketch hash, so the estimate reflects exactly the key entropy the
+  partition function will see.
+* :class:`HeavyHitterSketch` — a Misra–Gries summary of the most
+  frequent keys.  A single key owning a large share of the input is
+  the one thing no hash partitioner can balance away (Section 3.2 of
+  the paper: all repeats of a key land in one partition), so the
+  heavy-hitter share bounds the largest partition from below.
+
+:class:`StreamSketch` bundles both plus the exact tuple count; it is
+JSON-serialisable (``to_dict`` / ``from_dict``) so the
+:class:`~repro.storage.store.RelationStore` manifest can carry it, and
+:meth:`StreamSketch.partition_plan` turns it into the pre-sizing and
+skew warnings the spill partitioner consumes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.hashing import murmur3_finalizer
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "HeavyHitterSketch",
+    "HyperLogLogSketch",
+    "PartitionPlan",
+    "StreamSketch",
+]
+
+
+class HyperLogLogSketch:
+    """HyperLogLog cardinality estimator over uint32 key batches.
+
+    Args:
+        precision: number of register-index bits ``p``; ``2**p``
+            one-byte registers (default 12 -> 4 KiB, ~1.6% error).
+
+    The update is fully vectorised: one murmur pass, one shift for the
+    register index, one count-leading-zeros on the remaining bits, one
+    ``maximum.at`` scatter.  Estimation applies the standard bias
+    correction plus linear counting below the small-range threshold.
+    """
+
+    def __init__(self, precision: int = 12):
+        if not 4 <= precision <= 16:
+            raise ConfigurationError(
+                f"precision must be in [4, 16], got {precision}"
+            )
+        self.precision = precision
+        self.num_registers = 1 << precision
+        self.registers = np.zeros(self.num_registers, dtype=np.uint8)
+
+    def add(self, keys: np.ndarray) -> "HyperLogLogSketch":
+        """Absorb a batch of uint32 keys; returns self for chaining."""
+        keys = np.ascontiguousarray(keys, dtype=np.uint32)
+        if keys.size == 0:
+            return self
+        hashed = murmur3_finalizer(keys)
+        index = hashed >> np.uint32(32 - self.precision)
+        # rank = position of the first set bit in the low (32 - p) bits,
+        # counted from the MSB side, 1-based; an all-zero suffix gets
+        # the maximum rank (32 - p + 1).
+        suffix_bits = 32 - self.precision
+        suffix = hashed & np.uint32((1 << suffix_bits) - 1)
+        # bit_length via log2 on the nonzero lanes (float64 is exact
+        # for values < 2**32)
+        rank = np.full(suffix.shape, suffix_bits + 1, dtype=np.uint8)
+        nonzero = suffix != 0
+        if nonzero.any():
+            lengths = np.floor(
+                np.log2(suffix[nonzero].astype(np.float64))
+            ).astype(np.int64) + 1
+            rank[nonzero] = (suffix_bits - lengths + 1).astype(np.uint8)
+        np.maximum.at(self.registers, index.astype(np.int64), rank)
+        return self
+
+    def merge(self, other: "HyperLogLogSketch") -> "HyperLogLogSketch":
+        """Register-wise max merge (the HLL union); returns self."""
+        if other.precision != self.precision:
+            raise ConfigurationError(
+                "cannot merge sketches of different precision "
+                f"({self.precision} vs {other.precision})"
+            )
+        np.maximum(self.registers, other.registers, out=self.registers)
+        return self
+
+    def cardinality(self) -> float:
+        """Estimated number of distinct keys seen."""
+        m = float(self.num_registers)
+        alpha = 0.7213 / (1.0 + 1.079 / m)
+        estimate = alpha * m * m / float(
+            np.sum(np.ldexp(1.0, -self.registers.astype(np.int64)))
+        )
+        if estimate <= 2.5 * m:
+            zeros = int(np.count_nonzero(self.registers == 0))
+            if zeros:
+                return m * float(np.log(m / zeros))
+        return estimate
+
+    def to_dict(self) -> dict:
+        """JSON-native form (registers run-length friendly as a list)."""
+        return {
+            "precision": self.precision,
+            "registers": self.registers.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HyperLogLogSketch":
+        sketch = cls(precision=int(data["precision"]))
+        registers = np.asarray(data["registers"], dtype=np.uint8)
+        if registers.shape[0] != sketch.num_registers:
+            raise ConfigurationError("register count does not match precision")
+        sketch.registers = registers
+        return sketch
+
+
+class HeavyHitterSketch:
+    """Misra–Gries top-k summary over uint32 key batches.
+
+    Guarantees: any key with true frequency above ``n / capacity`` is
+    retained, and each retained counter under-counts by at most
+    ``n / capacity`` — enough to flag partition-breaking skew without
+    storing the key domain.  Batches are pre-aggregated with
+    ``np.unique`` so the per-tuple cost stays vectorised.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self.counters: Dict[int, int] = {}
+
+    def add(self, keys: np.ndarray) -> "HeavyHitterSketch":
+        """Absorb a batch of keys; returns self for chaining."""
+        keys = np.ascontiguousarray(keys, dtype=np.uint32)
+        if keys.size == 0:
+            return self
+        unique, counts = np.unique(keys, return_counts=True)
+        counters = self.counters
+        for key, count in zip(unique.tolist(), counts.tolist()):
+            if key in counters:
+                counters[key] += count
+            elif len(counters) < self.capacity:
+                counters[key] = count
+            else:
+                # Misra–Gries decrement step, batched: shedding the
+                # minimum count from every counter preserves the
+                # frequency-error bound.
+                shed = min(count, min(counters.values()))
+                counters = {
+                    k: v - shed for k, v in counters.items() if v > shed
+                }
+                if count > shed:
+                    counters[key] = count - shed
+                self.counters = counters
+        return self
+
+    def top(self, k: int = 8) -> List[tuple]:
+        """The ``k`` largest (key, lower-bound count) pairs."""
+        ranked = sorted(
+            self.counters.items(), key=lambda kv: -kv[1]
+        )
+        return ranked[:k]
+
+    def to_dict(self) -> dict:
+        """JSON-native form (keys stringified for JSON objects)."""
+        return {
+            "capacity": self.capacity,
+            "counters": {str(k): v for k, v in self.counters.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HeavyHitterSketch":
+        sketch = cls(capacity=int(data["capacity"]))
+        sketch.counters = {
+            int(k): int(v) for k, v in data["counters"].items()
+        }
+        return sketch
+
+
+@dataclasses.dataclass
+class PartitionPlan:
+    """What the sketches predict about a partitioning run.
+
+    Attributes:
+        num_tuples: exact tuples seen by the sketch.
+        distinct_keys: HLL cardinality estimate.
+        expected_tuples_per_partition: pre-sizing target for spill
+            partition files — the fair share inflated by the
+            heavy-hitter share (a heavy key concentrates its whole
+            count in one partition).
+        max_key_share: largest single-key input share (lower bound).
+        skewed: True when the heavy-hitter share alone already
+            overflows the fair share by the warning factor.
+    """
+
+    num_tuples: int
+    distinct_keys: int
+    expected_tuples_per_partition: int
+    max_key_share: float
+    skewed: bool
+
+
+class StreamSketch:
+    """The ingest-pass bundle: exact count + HLL + heavy hitters."""
+
+    def __init__(
+        self,
+        precision: int = 12,
+        heavy_hitter_capacity: int = 64,
+    ):
+        self.hll = HyperLogLogSketch(precision=precision)
+        self.heavy = HeavyHitterSketch(capacity=heavy_hitter_capacity)
+        self.num_tuples = 0
+
+    def add(self, keys: np.ndarray) -> "StreamSketch":
+        """Absorb one chunk of keys; returns self for chaining."""
+        keys = np.ascontiguousarray(keys, dtype=np.uint32)
+        self.num_tuples += int(keys.shape[0])
+        self.hll.add(keys)
+        self.heavy.add(keys)
+        return self
+
+    def cardinality(self) -> float:
+        """HLL estimate of the distinct keys seen so far."""
+        return self.hll.cardinality()
+
+    def max_key_share(self) -> float:
+        """Lower-bound input share of the most frequent key."""
+        if self.num_tuples == 0 or not self.heavy.counters:
+            return 0.0
+        return max(self.heavy.counters.values()) / self.num_tuples
+
+    def partition_plan(
+        self, num_partitions: int, skew_factor: float = 2.0
+    ) -> PartitionPlan:
+        """Pre-sizing + skew verdict for a ``num_partitions`` fan-out.
+
+        The expected largest partition is at least the fair share and
+        at least the heavy-hitter count (all repeats of one key share a
+        partition); ``skewed`` flags inputs where the heavy-hitter mass
+        alone exceeds ``skew_factor`` fair shares.
+        """
+        if num_partitions < 1:
+            raise ConfigurationError(
+                f"num_partitions must be >= 1, got {num_partitions}"
+            )
+        fair = -(-self.num_tuples // num_partitions) if self.num_tuples else 0
+        share = self.max_key_share()
+        heavy_tuples = int(share * self.num_tuples)
+        expected = max(fair, heavy_tuples)
+        return PartitionPlan(
+            num_tuples=self.num_tuples,
+            distinct_keys=int(round(self.cardinality())),
+            expected_tuples_per_partition=expected,
+            max_key_share=share,
+            skewed=heavy_tuples > skew_factor * max(1, fair),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-native bundle for the store manifest."""
+        return {
+            "num_tuples": self.num_tuples,
+            "hll": self.hll.to_dict(),
+            "heavy_hitters": self.heavy.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> Optional["StreamSketch"]:
+        """Rebuild from a manifest entry; None passes through."""
+        if data is None:
+            return None
+        sketch = cls.__new__(cls)
+        sketch.num_tuples = int(data["num_tuples"])
+        sketch.hll = HyperLogLogSketch.from_dict(data["hll"])
+        sketch.heavy = HeavyHitterSketch.from_dict(data["heavy_hitters"])
+        return sketch

@@ -4,6 +4,9 @@ Four kinds of commands:
 
 * ``partition`` / ``join`` / ``simulate`` — run the library on
   generated data and print the results (stats, timings, cycle counts);
+* ``spill`` — the out-of-core path: ingest a relation into an on-disk
+  store, stream it through the partitioner under a memory budget,
+  verify the result (see ``docs/STORAGE.md``);
 * ``serve`` — drive the partitioning service layer with a synthetic
   request workload and print its metrics (see ``docs/SERVICE.md``);
 * ``trace`` — the same, under a :class:`~repro.obs.tracing.Tracer`:
@@ -444,6 +447,84 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_spill(args) -> int:
+    """Out-of-core partitioning demo: ingest, spill, verify, report."""
+    import tempfile
+
+    from repro.obs import Tracer
+    from repro.storage import RelationStore, SpillPartitioner
+
+    mode = _parse_mode(args.mode)
+    config = PartitionerConfig(
+        num_partitions=args.partitions,
+        output_mode=mode.output_mode,
+        layout_mode=mode.layout_mode,
+    )
+    relation = make_relation(args.tuples, args.distribution, seed=args.seed)
+    base = pathlib.Path(
+        args.dir or tempfile.mkdtemp(prefix="repro-spill-")
+    )
+    tracer = Tracer()
+    store = RelationStore.ingest(
+        relation, base / "store", chunk_tuples=args.chunk_tuples
+    ).seal()
+    store.verify()
+    spiller = SpillPartitioner(
+        config,
+        backend=args.backend,
+        max_bytes_in_memory=args.memory_budget,
+        tracer=tracer,
+    )
+    spill = spiller.run(store, base / "run", on_overflow="hist")
+    spiller.close()
+    spill.verify()
+    out = spill.to_output()
+    spans = tracer.export()
+    flushes = sum(1 for s in spans if s.name == "spill_flush")
+    print(f"spilled {out.num_tuples:,} tuples into "
+          f"{out.num_partitions} partitions "
+          f"({store.num_chunks} chunks, {flushes} flushes, "
+          f"budget {args.memory_budget:,} B)")
+    print(f"  run directory     : {spill.path}")
+    print(f"  largest partition : {out.max_partition_tuples():,} tuples")
+    print(f"  bytes read/written: {out.bytes_read:,} / "
+          f"{out.bytes_written:,}  (r = {out.read_write_ratio:.2f})")
+    if store.sketch is not None:
+        plan = store.sketch.partition_plan(config.num_partitions)
+        print(f"  ingest sketch     : ~{plan.distinct_keys:,} distinct "
+              f"keys, max key share {100 * plan.max_key_share:.2f}%"
+              f"{' (SKEWED)' if plan.skewed else ''}")
+    if args.check_identity:
+        import numpy as np
+
+        mem = FpgaPartitioner(config).partition(relation)
+        identical = all(
+            np.array_equal(
+                np.asarray(out.partition_keys[p]),
+                np.asarray(mem.partition_keys[p]),
+            )
+            and np.array_equal(
+                np.asarray(out.partition_payloads[p]),
+                np.asarray(mem.partition_payloads[p]),
+            )
+            for p in range(config.num_partitions)
+        ) and np.array_equal(out.counts, mem.counts)
+        print(f"  vs in-memory      : "
+              f"{'byte-identical' if identical else 'MISMATCH'}")
+        if not identical:
+            return 1
+    if args.keep:
+        print(f"  kept store + run under {base}")
+    else:
+        spill.cleanup()
+        store.delete()
+        try:
+            base.rmdir()
+        except OSError:
+            pass
+    return 0
+
+
 def cmd_simulate(args) -> int:
     """Run the cycle-level circuit and print its counters."""
     config = _parse_mode(args.mode)
@@ -586,6 +667,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write a Prometheus exposition here")
     p.add_argument("--seed", type=int, default=0)
 
+    p = sub.add_parser(
+        "spill",
+        help="out-of-core partitioning: ingest to disk, spill, verify",
+    )
+    p.add_argument("--tuples", type=int, default=1_000_000)
+    p.add_argument("--partitions", type=int, default=256)
+    p.add_argument("--mode", default="HIST/RID", help="e.g. HIST/VRID")
+    p.add_argument("--distribution", default="random")
+    p.add_argument("--chunk-tuples", type=int, default=1 << 17,
+                   help="store ingest granularity (tuples per chunk)")
+    p.add_argument("--memory-budget", type=int, default=4 << 20,
+                   help="max bytes of chunk output buffered in memory")
+    p.add_argument("--backend", choices=["fpga", "cpu"], default="fpga")
+    p.add_argument("--dir", default=None,
+                   help="store/run directory (default: fresh temp dir)")
+    p.add_argument("--keep", action="store_true",
+                   help="keep the store and run directories on disk")
+    p.add_argument("--check-identity", action="store_true",
+                   help="also partition in memory and compare outputs")
+    p.add_argument("--seed", type=int, default=0)
+
     p = sub.add_parser("simulate", help="cycle-level circuit run")
     p.add_argument("--tuples", type=int, default=2048)
     p.add_argument("--partitions", type=int, default=16)
@@ -608,6 +710,7 @@ _COMMANDS = {
     "join": cmd_join,
     "serve": cmd_serve,
     "trace": cmd_trace,
+    "spill": cmd_spill,
     "simulate": cmd_simulate,
     "report": cmd_report,
 }

@@ -167,6 +167,27 @@ class PartitionerConfig:
         whole_lines = -(-capacity // per_line)
         return (whole_lines + self.num_lanes) * per_line
 
+    def traffic_bytes(
+        self, n_tuples: int, lines_written: int
+    ) -> tuple:
+        """(bytes_read, bytes_written) for one partitioning pass.
+
+        HIST scans the input twice, PAD once; VRID reads only the 4 B
+        key column.  Writes are whatever the write-back emitted, in
+        64 B cache-line units.  This is the accounting both the
+        in-memory partitioner and the out-of-core spill path use, so
+        their reported traffic stays byte-identical.
+        """
+        passes = 2 if self.output_mode is OutputMode.HIST else 1
+        if self.layout_mode is LayoutMode.VRID:
+            keys_per_line = CACHE_LINE_BYTES // 4
+            lines_read = -(-n_tuples // keys_per_line)
+        else:
+            lines_read = -(-n_tuples // self.tuples_per_line)
+        bytes_read = passes * lines_read * CACHE_LINE_BYTES
+        bytes_written = lines_written * CACHE_LINE_BYTES
+        return bytes_read, bytes_written
+
     def read_write_ratio(self) -> float:
         """``r`` — sequential-read to random-write byte ratio (Table 3).
 

@@ -23,7 +23,6 @@ from typing import List, Literal, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.constants import CACHE_LINE_BYTES
 from repro.core.circuit import CircuitResult, PartitionerCircuit
 from repro.core.hashing import partition_of
 from repro.core.modes import LayoutMode, OutputMode, PartitionerConfig
@@ -164,6 +163,14 @@ class FpgaPartitioner:
             circuit, whose span carries the cycle/stall counters.  The
             tracer also reaches an engine built from a string spec, so
             per-morsel spans nest under the kernel span.
+        max_bytes_in_flight: cap on the concatenated key+payload bytes
+            one :meth:`partition_many` kernel pass may materialise.
+            The coalesced batch kernel concatenates the whole group
+            before sorting, so its peak memory used to scale with the
+            *batch* size rather than the largest request; the cap
+            splits oversized batches into several kernel passes (each
+            still coalesced, still byte-identical per request).
+            ``None`` (default) keeps the old unbounded behaviour.
     """
 
     def __init__(
@@ -173,12 +180,19 @@ class FpgaPartitioner:
         engine=None,
         threads: Optional[int] = None,
         tracer=None,
+        max_bytes_in_flight: Optional[int] = None,
     ):
         from repro.exec.engine import ExecutionEngine, resolve_engine
         from repro.obs.tracing import resolve_tracer
 
+        if max_bytes_in_flight is not None and max_bytes_in_flight < 1:
+            raise ConfigurationError(
+                f"max_bytes_in_flight must be >= 1, got "
+                f"{max_bytes_in_flight}"
+            )
         self.config = config or PartitionerConfig()
         self.platform = platform
+        self.max_bytes_in_flight = max_bytes_in_flight
         self.tracer = resolve_tracer(tracer)
         self.engine = resolve_engine(engine, threads, tracer=tracer)
         # A string spec made resolve_engine build pools just for us; a
@@ -367,14 +381,31 @@ class FpgaPartitioner:
         ]
         # The packed (request, partition) index must fit uint16 for the
         # radix argsort; larger fan-outs simply batch fewer requests.
+        # A max_bytes_in_flight cap additionally closes a group before
+        # its concatenated columns would exceed the budget, so peak
+        # memory tracks the cap (plus one request) rather than the
+        # whole batch.
         max_group = max(1, _PACKED_INDEX_LIMIT // cfg.num_partitions)
         outputs: List[PartitionedOutput] = []
-        for start in range(0, len(columns), max_group):
+        start = 0
+        while start < len(columns):
+            stop = min(start + max_group, len(columns))
+            if self.max_bytes_in_flight is not None:
+                group_bytes = 0
+                for i in range(start, stop):
+                    request_bytes = 2 * columns[i][0].nbytes
+                    if (
+                        i > start
+                        and group_bytes + request_bytes
+                        > self.max_bytes_in_flight
+                    ):
+                        stop = i
+                        break
+                    group_bytes += request_bytes
             outputs.extend(
-                self._partition_group(
-                    columns[start : start + max_group], on_overflow
-                )
+                self._partition_group(columns[start:stop], on_overflow)
             )
+            start = stop
         return outputs
 
     def _partition_group(
@@ -633,16 +664,7 @@ class FpgaPartitioner:
         return flat.reshape(self.config.num_partitions, lanes)
 
     def _traffic(self, n_tuples: int, lines_written: int) -> Tuple[int, int]:
-        cfg = self.config
-        passes = 2 if cfg.output_mode is OutputMode.HIST else 1
-        if cfg.layout_mode is LayoutMode.VRID:
-            keys_per_line = CACHE_LINE_BYTES // 4
-            lines_read = -(-n_tuples // keys_per_line)
-        else:
-            lines_read = -(-n_tuples // cfg.tuples_per_line)
-        bytes_read = passes * lines_read * CACHE_LINE_BYTES
-        bytes_written = lines_written * CACHE_LINE_BYTES
-        return bytes_read, bytes_written
+        return self.config.traffic_bytes(n_tuples, lines_written)
 
     def _handle_overflow(
         self,

@@ -7,13 +7,16 @@ hash table per partition pair.  Two drivers:
 * :func:`cpu_radix_join` — partitioning and build+probe on the CPU;
 * :func:`hybrid_join` — partitioning offloaded to the FPGA, build+probe
   on the CPU (and paying the Section 2.2 coherence penalty for reading
-  FPGA-written partitions).
+  FPGA-written partitions);
+* :func:`hybrid_join_spilled` — build+probe directly from two on-disk
+  :class:`~repro.storage.spill.PartitionSpill` partitionings, memory-
+  mapping one partition pair at a time (the out-of-core join).
 """
 
 from repro.join.hash_table import BucketChainingHashTable
 from repro.join.build_probe import build_probe_partition, BuildProbeCostModel
 from repro.join.radix_join import cpu_radix_join
-from repro.join.hybrid_join import hybrid_join
+from repro.join.hybrid_join import hybrid_join, hybrid_join_spilled
 from repro.join.timing import JoinTiming, JoinResult
 
 __all__ = [
@@ -22,6 +25,7 @@ __all__ = [
     "BuildProbeCostModel",
     "cpu_radix_join",
     "hybrid_join",
+    "hybrid_join_spilled",
     "JoinTiming",
     "JoinResult",
 ]

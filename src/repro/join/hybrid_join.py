@@ -6,6 +6,12 @@ cache-resident hash tables — paying the coherence penalty for touching
 FPGA-written memory (Section 2.2).  When a PAD-mode run overflows on a
 skewed relation, the join transparently retries in HIST mode or falls
 back to the CPU partitioner, per the chosen policy (Section 5.4).
+
+Relations too large to partition in memory can come in pre-partitioned
+on disk: :func:`hybrid_join_spilled` builds and probes directly from
+two :class:`~repro.storage.spill.PartitionSpill` handles, memory-
+mapping one partition pair at a time — the out-of-core completion of
+the same join.
 """
 
 from __future__ import annotations
@@ -168,4 +174,101 @@ def hybrid_join(
         s_payloads=s_pay,
         timing=timing,
         fell_back_to_cpu=fell_back,
+    )
+
+
+def hybrid_join_spilled(
+    r_spill,
+    s_spill,
+    threads: int = 1,
+    collect_payloads: bool = False,
+    fpga_cost_model: Optional[FpgaCostModel] = None,
+    bp_cost_model: Optional[BuildProbeCostModel] = None,
+    calibrated: bool = True,
+    engine=None,
+) -> JoinResult:
+    """Build+probe a join from two spilled (on-disk) partitionings.
+
+    Args:
+        r_spill / s_spill: completed
+            :class:`~repro.storage.spill.PartitionSpill` handles (e.g.
+            from :meth:`SpillPartitioner.run <repro.storage.spill.
+            SpillPartitioner.run>` or a spill-routed
+            :class:`~repro.service.service.PartitionResponse`).  Both
+            must share a fan-out; partition pairs are memory-mapped one
+            at a time, so the working set is one pair, not the
+            relations.
+        threads / collect_payloads / cost models / calibrated / engine:
+            as in :func:`hybrid_join`.  Partitioning seconds are timed
+            by the mode each spill *effectively* ran (PAD runs demoted
+            to HIST accounting at merge are charged the retry, exactly
+            like the in-memory path).
+
+    Returns:
+        A :class:`JoinResult`; ``timing.partitioner`` is labelled
+        ``"spill ..."``.
+    """
+    if r_spill.num_partitions != s_spill.num_partitions:
+        raise ConfigurationError(
+            f"spills disagree on fan-out: {r_spill.num_partitions} vs "
+            f"{s_spill.num_partitions}"
+        )
+    r_out = r_spill.to_output()
+    s_out = s_spill.to_output()
+
+    from repro.exec.engine import resolve_engine
+
+    engine = resolve_engine(engine, threads)
+    matches, r_pay, s_pay = _join_partitions(
+        r_out, s_out, collect_payloads, engine=engine
+    )
+
+    fpga_cost_model = fpga_cost_model or FpgaCostModel()
+    bp_cost_model = bp_cost_model or BuildProbeCostModel()
+    n_r, n_s = r_spill.num_tuples, s_spill.num_tuples
+    partition_seconds = 0.0
+    labels = []
+    for spill, n in ((r_spill, n_r), (s_spill, n_s)):
+        partition_seconds += fpga_cost_model.partitioning_seconds(
+            n, spill.config, calibrated=calibrated
+        )
+        if spill.config != spill.requested_config:
+            # PAD overflow demoted to HIST at merge: charge the
+            # aborted PAD pass too, like the in-memory retry
+            partition_seconds += fpga_cost_model.partitioning_seconds(
+                n, spill.requested_config, calibrated=calibrated
+            )
+            labels.append(spill.config.mode_label + "(retry)")
+        else:
+            labels.append(spill.config.mode_label)
+
+    max_share = max(
+        r_out.max_partition_tuples() / max(1, n_r),
+        s_out.max_partition_tuples() / max(1, n_s),
+    )
+    bp = bp_cost_model.estimate(
+        r_tuples=n_r,
+        s_tuples=n_s,
+        num_partitions=r_spill.num_partitions,
+        threads=threads,
+        tuple_bytes=r_spill.config.tuple_bytes,
+        fpga_partitioned=True,
+        max_partition_share=max_share,
+        r_shares=shares_if_dense(r_out.counts, n_r),
+        s_shares=shares_if_dense(s_out.counts, n_s),
+    )
+    timing = JoinTiming(
+        partition_seconds=partition_seconds,
+        build_probe_seconds=bp.total_seconds,
+        r_tuples=n_r,
+        s_tuples=n_s,
+        threads=threads,
+        partitioner=f"spill {'+'.join(labels)}",
+        num_partitions=r_spill.num_partitions,
+    )
+    return JoinResult(
+        matches=matches,
+        r_payloads=r_pay,
+        s_payloads=s_pay,
+        timing=timing,
     )

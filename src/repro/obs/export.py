@@ -149,10 +149,15 @@ def prometheus_from_spans(
 
     Every distinct span name becomes one ``{span="<name>"}`` series of
     ``<prefix>_duration_seconds``, bucketed on the same log2 ladder as
-    the service latency histograms.
+    the service latency histograms.  Spans carrying a ``bytes``
+    attribute (the storage engine's ``spill_chunk`` / ``spill_flush`` /
+    ``spill_merge`` spans do) additionally roll up into
+    ``<prefix>_bytes_total`` counters per span name, so I/O volume is
+    scrapeable next to the latencies it explains.
     """
     buckets: Dict[str, List[int]] = {}
     sums: Dict[str, float] = {}
+    byte_totals: Dict[str, int] = {}
     for span in spans:
         row = buckets.get(span.name)
         if row is None:
@@ -160,6 +165,13 @@ def prometheus_from_spans(
             sums[span.name] = 0.0
         row[_bucket_index(span.duration_s)] += 1
         sums[span.name] += span.duration_s
+        span_bytes = getattr(span, "attributes", {}).get("bytes")
+        if isinstance(span_bytes, (int, float)) and not isinstance(
+            span_bytes, bool
+        ):
+            byte_totals[span.name] = byte_totals.get(span.name, 0) + int(
+                span_bytes
+            )
     name = f"{prefix}_duration_seconds"
     lines = [
         f"# HELP {name} Span durations by span name (log2 buckets).",
@@ -175,6 +187,17 @@ def prometheus_from_spans(
                 sums[span_name],
             )
         )
+    if byte_totals:
+        bytes_name = f"{prefix}_bytes_total"
+        lines.append(
+            f"# HELP {bytes_name} Bytes attributed to spans, by span name."
+        )
+        lines.append(f"# TYPE {bytes_name} counter")
+        for span_name in sorted(byte_totals):
+            label = f'span="{_escape_label(span_name)}"'
+            lines.append(
+                f"{bytes_name}{{{label}}} {byte_totals[span_name]}"
+            )
     return "\n".join(lines) + "\n"
 
 

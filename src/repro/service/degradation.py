@@ -41,10 +41,13 @@ class BackendFault(ReproError):
 class FaultInjector:
     """Deterministic, thread-safe fault injection for the FPGA path.
 
-    Two knobs that compose:
+    Three knobs that compose:
 
     * :meth:`fail_next` — fail exactly the next ``n`` calls (tests,
       targeted chaos);
+    * :meth:`fail_at` — fail exactly the ``n``-th future call, letting
+      the first ``n - 1`` through (crash-recovery tests aim a fault at
+      one specific checkpoint deep inside a run);
     * ``fail_rate`` — seeded Bernoulli failure per call (load tests).
     """
 
@@ -56,6 +59,7 @@ class FaultInjector:
         self.fail_rate = fail_rate
         self._rng = random.Random(seed)
         self._fail_next = 0
+        self._countdown: Optional[int] = None
         self._lock = threading.Lock()
         self.injected = 0
 
@@ -64,9 +68,24 @@ class FaultInjector:
         with self._lock:
             self._fail_next += calls
 
+    def fail_at(self, call: int) -> None:
+        """Make exactly the ``call``-th future :meth:`check` raise
+        (1-based); earlier and later calls pass.  Replaces any armed
+        :meth:`fail_at` countdown."""
+        if call < 1:
+            raise ReproError(f"fail_at call must be >= 1, got {call}")
+        with self._lock:
+            self._countdown = call
+
     def check(self) -> None:
         """Raise :class:`BackendFault` if a fault is due; else no-op."""
         with self._lock:
+            if self._countdown is not None:
+                self._countdown -= 1
+                if self._countdown == 0:
+                    self._countdown = None
+                    self.injected += 1
+                    raise BackendFault("injected fault (fail_at)")
             if self._fail_next > 0:
                 self._fail_next -= 1
                 self.injected += 1

@@ -120,6 +120,7 @@ COUNTERS = (
     "batches",
     "coalesced_requests",
     "split_requests",
+    "spilled",
     "fpga_invocations",
     "cpu_invocations",
 )

@@ -56,13 +56,17 @@ class Batch:
 
     ``split=True`` marks a deliberately-solo batch whose single entry is
     large enough to be morsel-split inside the engine instead of
-    coalesced with neighbours.
+    coalesced with neighbours.  ``spill=True`` marks a solo batch too
+    large even for that — it exceeds the service's in-memory budget and
+    is routed to the out-of-core spill path
+    (:mod:`repro.storage.spill`) instead of being rejected.
     """
 
     entries: List[object]
     signature: Tuple
     total_tuples: int
     split: bool = False
+    spill: bool = False
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -82,6 +86,10 @@ class BatchingScheduler:
             and run solo with engine-side morsel splitting; defaults to
             ``max_batch_tuples`` (a request that would fill a batch by
             itself gains nothing from coalescing).
+        spill_tuples: requests at or above this size exceed what the
+            service wants resident in memory at once and are marked
+            ``Batch.spill`` for the out-of-core path; ``None`` (the
+            default) disables spill routing.
         linger_s: how long to wait after the first dequeue for more
             requests to arrive before dispatching a small batch — the
             classic batching latency/throughput trade (0 disables).
@@ -99,6 +107,7 @@ class BatchingScheduler:
         max_batch_requests: int = 64,
         max_batch_tuples: int = 1 << 20,
         split_tuples: Optional[int] = None,
+        spill_tuples: Optional[int] = None,
         linger_s: float = 0.002,
         clock=time.monotonic,
         tracer=None,
@@ -122,6 +131,11 @@ class BatchingScheduler:
             raise ReproError(
                 f"split_tuples must be >= 1, got {self.split_tuples}"
             )
+        if spill_tuples is not None and spill_tuples < 1:
+            raise ReproError(
+                f"spill_tuples must be >= 1, got {spill_tuples}"
+            )
+        self.spill_tuples = spill_tuples
         self.linger_s = linger_s
         self._clock = clock
         self._tracer = resolve_tracer(tracer)
@@ -158,13 +172,32 @@ class BatchingScheduler:
     def form_batches(self, entries: Sequence[object]) -> List[Batch]:
         """Group ``entries`` into batches without reordering groups.
 
-        Splitting rule first (oversized → solo ``split`` batch), then
-        signature grouping with request-count and tuple-sum caps.
+        Spill rule first (over the memory budget → solo ``spill``
+        batch for the out-of-core path), then splitting (oversized →
+        solo ``split`` batch), then signature grouping with
+        request-count and tuple-sum caps.
         """
         batches: List[Batch] = []
         open_by_signature: Dict[Tuple, int] = {}
         for entry in entries:
             tuples = entry.tuples
+            if (
+                self.spill_tuples is not None
+                and tuples >= self.spill_tuples
+            ):
+                self._tracer.add_event(
+                    "scheduler.spill", tuples=tuples,
+                    threshold=self.spill_tuples,
+                )
+                batches.append(
+                    Batch(
+                        entries=[entry],
+                        signature=entry.signature,
+                        total_tuples=tuples,
+                        spill=True,
+                    )
+                )
+                continue
             if tuples >= self.split_tuples:
                 self._tracer.add_event(
                     "scheduler.split", tuples=tuples,

@@ -104,12 +104,20 @@ class PartitionRequest:
 
 @dataclasses.dataclass
 class PartitionResponse:
-    """Terminal result delivered through a :class:`PartitionTicket`."""
+    """Terminal result delivered through a :class:`PartitionTicket`.
+
+    ``spill`` is set when the request ran out-of-core: a
+    :class:`~repro.storage.spill.PartitionSpill` handle whose partition
+    files back the (lazily memory-mapped) ``output``.  The files belong
+    to the caller from then on — drop them with ``spill.cleanup()``
+    when done.
+    """
 
     request_id: int
     status: RequestStatus
     output: Optional[PartitionedOutput] = None
-    backend: Optional[str] = None  # "fpga" | "cpu" | None
+    backend: Optional[str] = None  # "fpga" | "cpu" | "spill" | None
+    spill: Optional[object] = None  # PartitionSpill when backend=="spill"
     degraded: bool = False
     degrade_reason: Optional[str] = None
     retry_after: Optional[float] = None  # set on REJECTED
@@ -178,6 +186,22 @@ class PartitionService:
             ``max_batch_requests=1`` with ``linger_s=0`` is the naive
             one-request-at-a-time baseline the benchmark compares
             against.
+        spill_tuples: requests at or above this many tuples run
+            out-of-core through :mod:`repro.storage.spill` instead of
+            being held in memory (or rejected): the relation is staged
+            into a chunked on-disk store, streamed through the kernel
+            under ``spill_bytes_in_memory``, and the response carries a
+            :class:`~repro.storage.spill.PartitionSpill` handle plus a
+            lazily memory-mapped ``output``.  ``None`` (default)
+            disables the spill path.
+        spill_dir: directory for spill stores and runs (a fresh
+            temporary directory per service if omitted).  Run
+            directories outlive their response on purpose — the output
+            *is* those files; callers drop them via
+            ``response.spill.cleanup()``.
+        spill_bytes_in_memory: in-memory budget for the spill path's
+            buffered chunk outputs (see
+            :class:`~repro.storage.spill.SpillPartitioner`).
         max_retries / retry_backoff_s / retry_backoff_cap_s: bounded
             exponential backoff for faulted FPGA calls before the CPU
             failover kicks in.
@@ -206,6 +230,9 @@ class PartitionService:
         max_batch_requests: int = 64,
         max_batch_tuples: int = 1 << 20,
         split_tuples: Optional[int] = None,
+        spill_tuples: Optional[int] = None,
+        spill_dir=None,
+        spill_bytes_in_memory: int = 64 << 20,
         linger_s: float = 0.0,
         max_retries: int = 2,
         retry_backoff_s: float = 0.002,
@@ -229,10 +256,13 @@ class PartitionService:
             max_batch_requests=max_batch_requests,
             max_batch_tuples=max_batch_tuples,
             split_tuples=split_tuples,
+            spill_tuples=spill_tuples,
             linger_s=linger_s,
             clock=clock,
             tracer=tracer,
         )
+        self._spill_dir = spill_dir
+        self.spill_bytes_in_memory = spill_bytes_in_memory
         self.metrics = ServiceMetrics(clock=clock)
         self.policy = policy or DegradationPolicy()
         self.max_retries = max_retries
@@ -412,8 +442,12 @@ class PartitionService:
             requests=len(live),
             tuples=total_tuples,
             split=batch.split,
+            spill=batch.spill,
         ):
-            self._execute_live(batch, live, total_tuples)
+            if batch.spill:
+                self._execute_spill(live)
+            else:
+                self._execute_live(batch, live, total_tuples)
         self.metrics.set_gauge("inflight", 0)
 
     def _execute_live(
@@ -534,6 +568,106 @@ class PartitionService:
             return None, f"{type(exc).__name__}: {exc}"
         self.metrics.increment("cpu_invocations")
         return outputs, None
+
+    def _execute_spill(self, live: List[_Pending]) -> None:
+        """Out-of-core path: stage to disk, stream, resolve with the
+        spill handle.  Solo by construction (``Batch.spill`` batches
+        hold one entry); failures resolve ``FAILED`` like any other
+        terminal error."""
+        started = self._clock()
+        entry = live[0]
+        try:
+            with self.tracer.span("execute", backend="spill"):
+                spill = self._run_spill(entry)
+        except Exception as exc:  # noqa: BLE001 - terminal failure path
+            self._resolve_failed(
+                live, attempts=1, error=f"{type(exc).__name__}: {exc}"
+            )
+            return
+        execute_s = self._clock() - started
+        self.metrics.increment("spilled")
+        with self.tracer.span("resolve", requests=1):
+            now = self._clock()
+            self.metrics.increment("completed")
+            self.metrics.observe("execute", execute_s)
+            self.metrics.observe("total", now - entry.submitted_at)
+            if entry.span is not None:
+                entry.span.set_attributes(
+                    status="ok", backend="spill", batch_size=1
+                )
+                entry.span.end(now)
+            entry.ticket._resolve(
+                PartitionResponse(
+                    request_id=entry.ticket.request_id,
+                    status=RequestStatus.OK,
+                    output=spill.to_output(),
+                    backend="spill",
+                    spill=spill,
+                    attempts=1,
+                    batch_size=1,
+                    queue_wait_s=max(
+                        0.0, now - execute_s - entry.submitted_at
+                    ),
+                    execute_s=execute_s,
+                    total_s=now - entry.submitted_at,
+                )
+            )
+
+    def _spill_root(self):
+        if self._spill_dir is None:
+            import tempfile
+
+            self._spill_dir = tempfile.mkdtemp(prefix="repro-spill-")
+        import pathlib
+
+        root = pathlib.Path(self._spill_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        return root
+
+    def _run_spill(self, entry: _Pending):
+        """Stage one request into a store, spill-partition it, and
+        return the :class:`~repro.storage.spill.PartitionSpill`."""
+        from repro.core.modes import LayoutMode
+        from repro.storage import RelationStore, SpillPartitioner
+
+        request = entry.request
+        root = self._spill_root()
+        request_id = entry.ticket.request_id
+        # VRID payloads are positions; the store generates exactly
+        # those when no payload column is given.
+        payloads = (
+            None
+            if request.config.layout_mode is LayoutMode.VRID
+            else request.payloads
+        )
+        store = RelationStore.ingest(
+            request.relation, root / f"store-{request_id}", payloads=payloads
+        ).seal()
+        spiller = SpillPartitioner(
+            config=request.config,
+            backend="fpga",
+            engine=self._engine_spec,
+            max_bytes_in_memory=self.spill_bytes_in_memory,
+            tracer=self.tracer,
+        )
+        try:
+            spill = spiller.run(
+                store,
+                root / f"run-{request_id}",
+                # the spill path is already software; a requested "cpu"
+                # fallback degenerates to the robust HIST accounting
+                on_overflow=(
+                    "hist"
+                    if request.on_overflow == "cpu"
+                    else request.on_overflow
+                ),
+            )
+        finally:
+            spiller.close()
+        # the staging store is internal scratch: the partition files
+        # hold all the data now, so drop it rather than leak 2x disk
+        store.delete()
+        return spill
 
     def _fpga_for(self, entry: _Pending) -> FpgaPartitioner:
         partitioner = self._fpga.get(entry.signature)

@@ -1,0 +1,162 @@
+"""Streaming sketches: HLL cardinality, heavy hitters, partition plans."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    HeavyHitterSketch,
+    HyperLogLogSketch,
+    StreamSketch,
+)
+from repro.errors import ConfigurationError
+
+
+class TestHyperLogLog:
+    @pytest.mark.parametrize("n", [100, 10_000, 200_000])
+    def test_cardinality_within_error_bound(self, n):
+        keys = np.arange(n, dtype=np.uint32)
+        sketch = HyperLogLogSketch(precision=12)
+        sketch.add(keys)
+        # standard error for p=12 is ~1.6%; allow a generous 5 sigma
+        assert abs(sketch.cardinality() - n) / n < 0.08
+
+    def test_duplicates_do_not_inflate(self):
+        keys = np.arange(1_000, dtype=np.uint32)
+        sketch = HyperLogLogSketch()
+        for _ in range(20):
+            sketch.add(keys)
+        assert abs(sketch.cardinality() - 1_000) / 1_000 < 0.1
+
+    def test_small_range_linear_counting(self):
+        sketch = HyperLogLogSketch(precision=12)
+        sketch.add(np.arange(10, dtype=np.uint32))
+        assert abs(sketch.cardinality() - 10) < 2
+
+    def test_empty_sketch(self):
+        assert HyperLogLogSketch().cardinality() == 0.0
+
+    def test_merge_equals_union(self):
+        a_keys = np.arange(0, 50_000, dtype=np.uint32)
+        b_keys = np.arange(25_000, 75_000, dtype=np.uint32)
+        merged = HyperLogLogSketch().add(a_keys).merge(
+            HyperLogLogSketch().add(b_keys)
+        )
+        union = HyperLogLogSketch().add(
+            np.arange(0, 75_000, dtype=np.uint32)
+        )
+        assert merged.cardinality() == union.cardinality()
+
+    def test_merge_rejects_precision_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            HyperLogLogSketch(precision=10).merge(
+                HyperLogLogSketch(precision=12)
+            )
+
+    def test_precision_bounds(self):
+        with pytest.raises(ConfigurationError):
+            HyperLogLogSketch(precision=3)
+        with pytest.raises(ConfigurationError):
+            HyperLogLogSketch(precision=17)
+
+    def test_dict_roundtrip(self):
+        sketch = HyperLogLogSketch().add(
+            np.arange(5_000, dtype=np.uint32)
+        )
+        restored = HyperLogLogSketch.from_dict(
+            json.loads(json.dumps(sketch.to_dict()))
+        )
+        assert restored.cardinality() == sketch.cardinality()
+
+
+class TestHeavyHitters:
+    def test_dominant_key_detected(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 2**32, size=10_000, dtype=np.uint64).astype(
+            np.uint32
+        )
+        keys[:4_000] = 42  # 40% of the input is one key
+        sketch = HeavyHitterSketch(capacity=32).add(keys)
+        top_key, count = sketch.top(1)[0]
+        assert top_key == 42
+        # Misra-Gries undercount is bounded by n / capacity
+        assert count >= 4_000 - 10_000 // 32
+
+    def test_uniform_input_has_no_large_share(self):
+        keys = np.arange(100_000, dtype=np.uint32)
+        sketch = StreamSketch()
+        sketch.add(keys)
+        assert sketch.max_key_share() < 0.01
+
+    def test_streaming_matches_one_shot(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 100, size=9_000, dtype=np.uint64).astype(
+            np.uint32
+        )
+        keys[:3_000] = 7
+        one_shot = HeavyHitterSketch(capacity=128).add(keys)
+        streamed = HeavyHitterSketch(capacity=128)
+        for chunk in np.array_split(keys, 13):
+            streamed.add(chunk)
+        assert streamed.top(1)[0][0] == one_shot.top(1)[0][0] == 7
+
+    def test_dict_roundtrip(self):
+        sketch = HeavyHitterSketch(capacity=8).add(
+            np.array([1, 1, 1, 2, 3], dtype=np.uint32)
+        )
+        restored = HeavyHitterSketch.from_dict(
+            json.loads(json.dumps(sketch.to_dict()))
+        )
+        assert restored.counters == sketch.counters
+
+
+class TestPartitionPlan:
+    def test_uniform_plan_is_fair_share(self):
+        sketch = StreamSketch().add(np.arange(64_000, dtype=np.uint32))
+        plan = sketch.partition_plan(64)
+        assert plan.num_tuples == 64_000
+        assert plan.expected_tuples_per_partition == 1_000
+        assert not plan.skewed
+        assert abs(plan.distinct_keys - 64_000) / 64_000 < 0.08
+
+    def test_heavy_key_inflates_presize_and_flags_skew(self):
+        keys = np.zeros(10_000, dtype=np.uint32)
+        keys[:2_000] = np.arange(2_000, dtype=np.uint32) + 1
+        plan = StreamSketch().add(keys).partition_plan(16)
+        # key 0 holds 80% -> expected partition >= its count
+        assert plan.expected_tuples_per_partition >= 7_000
+        assert plan.max_key_share > 0.7
+        assert plan.skewed
+
+    def test_skew_factor_threshold(self):
+        keys = np.arange(1_000, dtype=np.uint32)
+        keys[:150] = 0  # 15.1% share, fair share at P=4 is 25%
+        sketch = StreamSketch().add(keys)
+        assert not sketch.partition_plan(4, skew_factor=2.0).skewed
+        assert sketch.partition_plan(64, skew_factor=2.0).skewed
+
+    def test_empty_stream(self):
+        plan = StreamSketch().partition_plan(8)
+        assert plan.num_tuples == 0
+        assert plan.expected_tuples_per_partition == 0
+        assert not plan.skewed
+
+    def test_invalid_fanout(self):
+        with pytest.raises(ConfigurationError):
+            StreamSketch().partition_plan(0)
+
+    def test_stream_sketch_dict_roundtrip(self):
+        sketch = StreamSketch().add(
+            np.array([5, 5, 5, 9], dtype=np.uint32)
+        )
+        restored = StreamSketch.from_dict(
+            json.loads(json.dumps(sketch.to_dict()))
+        )
+        assert restored.num_tuples == 4
+        assert restored.max_key_share() == sketch.max_key_share()
+
+    def test_from_dict_none_passthrough(self):
+        assert StreamSketch.from_dict(None) is None
