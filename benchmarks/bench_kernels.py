@@ -1,0 +1,237 @@
+"""Hot-path kernel primitives — native (C) vs NumPy throughput.
+
+Per-primitive single-thread throughput of the four inner kernels
+behind :mod:`repro.kernels`:
+
+1. ``hash_histogram``        — fused murmur hash + radix histogram;
+2. ``hash_histogram+lanes``  — the same with the per-(partition, lane)
+   matrix the FPGA cache-line accounting needs;
+3. ``stable_scatter``        — sequential cursor scatter (the morsel
+   engine's phase 2);
+4. ``swwc_scatter``          — the scatter driven through cache-line
+   software write-combine buffers (Code 2).
+
+Each primitive is timed on both backends over identical inputs, so the
+``speedup`` column is the native kernels' win over the vectorised
+NumPy fallback at that fan-out.  Outputs are byte-identical by test
+(``tests/test_kernels.py``); this benchmark only measures.
+
+Run as a script to write the standard JSON artifact::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py \
+        --output BENCH_kernels.json
+
+The pytest entry point uses benchmark-scaled sizes and skips the
+native rows when no compiler is available.
+"""
+
+import argparse
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import kernels
+from repro.bench import ExperimentTable, shape_check, write_json_artifact
+from repro.exec.morsels import parts_dtype
+
+EXPERIMENT = "Kernel primitives"
+
+DEFAULT_TUPLES = 1 << 22
+QUICK_TUPLES = 1 << 16
+DEFAULT_PARTITIONS = 256
+DEFAULT_LANES = 8
+DEFAULT_BUFFER_TUPLES = 16
+
+
+def _make_input(n: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 2**32, size=n, dtype=np.uint64).astype(np.uint32)
+    payloads = np.arange(n, dtype=np.uint32)
+    return keys, payloads
+
+
+def _best_seconds(fn, repeats: int) -> float:
+    fn()  # warm up (native: triggers the one-time build/load)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def kernels_table(
+    tuples: Optional[int] = None,
+    num_partitions: int = DEFAULT_PARTITIONS,
+    repeats: int = 3,
+    quick: bool = False,
+) -> ExperimentTable:
+    """Per-primitive Mtuples/s for every available backend."""
+    if tuples is None:
+        tuples = QUICK_TUPLES if quick else DEFAULT_TUPLES
+    n = tuples
+    keys, payloads = _make_input(n)
+    parts = np.empty(n, dtype=parts_dtype(num_partitions))
+    _, hist, _ = kernels.hash_histogram(
+        keys, num_partitions, True, parts_out=parts
+    )
+    dest_base = np.zeros(num_partitions, dtype=np.int64)
+    np.cumsum(hist[:-1], out=dest_base[1:])
+    out_keys = np.empty(n, dtype=np.uint32)
+    out_payloads = np.empty(n, dtype=np.uint32)
+
+    primitives = [
+        (
+            "hash_histogram",
+            lambda: kernels.hash_histogram(
+                keys, num_partitions, True, parts_out=parts
+            ),
+        ),
+        (
+            "hash_histogram+lanes",
+            lambda: kernels.hash_histogram(
+                keys,
+                num_partitions,
+                True,
+                lanes=DEFAULT_LANES,
+                parts_out=parts,
+            ),
+        ),
+        (
+            "stable_scatter",
+            lambda: kernels.stable_scatter(
+                keys,
+                payloads,
+                parts,
+                dest_base,
+                num_partitions,
+                out_keys,
+                out_payloads,
+            ),
+        ),
+        (
+            "swwc_scatter",
+            lambda: kernels.swwc_scatter(
+                keys,
+                payloads,
+                parts,
+                dest_base,
+                num_partitions,
+                DEFAULT_BUFFER_TUPLES,
+                out_keys,
+                out_payloads,
+            ),
+        ),
+    ]
+
+    backends = ["numpy"]
+    if kernels.native_available():
+        backends.insert(0, "native")
+
+    rows = []
+    numpy_seconds = {}
+    for backend in reversed(backends):  # numpy first to fill the baseline
+        with kernels.using_backend(backend):
+            for name, fn in primitives:
+                seconds = _best_seconds(fn, repeats)
+                if backend == "numpy":
+                    numpy_seconds[name] = seconds
+                rows.append(
+                    [
+                        name,
+                        backend,
+                        seconds,
+                        n / seconds / 1e6,
+                        numpy_seconds[name] / seconds,
+                    ]
+                )
+    rows.sort(key=lambda row: (row[0], row[1]))
+    return ExperimentTable(
+        experiment_id=EXPERIMENT,
+        title=f"kernel primitives, {n:,} tuples, "
+        f"{num_partitions} partitions, single thread",
+        headers=["primitive", "backend", "seconds", "Mtuples/s", "speedup"],
+        rows=rows,
+        note="speedup is native vs the NumPy fallback on identical "
+        "inputs; outputs are byte-identical (tests/test_kernels.py).",
+    )
+
+
+def write_artifact(
+    path: str,
+    tuples: Optional[int] = None,
+    quick: bool = False,
+):
+    """Measure the table and write the ``BENCH_kernels.json`` artifact."""
+    table = kernels_table(tuples=tuples, quick=quick)
+    native = {r[0]: float(r[3]) for r in table.rows if r[1] == "native"}
+    numpy_rows = {r[0]: float(r[3]) for r in table.rows if r[1] == "numpy"}
+    extra = {
+        "schema": "repro-bench/1",
+        "benchmark": "kernels",
+        "quick": quick,
+        "kernel_backend": kernels.backend_name(),
+        "native_available": kernels.native_available(),
+        "native_mtuples": native,
+        "numpy_mtuples": numpy_rows,
+        "native_speedup": {
+            name: native[name] / numpy_rows[name]
+            for name in native
+            if numpy_rows.get(name)
+        },
+    }
+    written = write_json_artifact(path, [table], extra=extra)
+    return written, table
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Script entry point: print the table, write the JSON artifact."""
+    parser = argparse.ArgumentParser(
+        description="native vs NumPy kernel primitive throughput"
+    )
+    parser.add_argument("--tuples", type=int, default=None)
+    parser.add_argument("--output", default="BENCH_kernels.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny sizes for smoke testing")
+    args = parser.parse_args(argv)
+    written, table = write_artifact(
+        args.output, tuples=args.tuples, quick=args.quick
+    )
+    print(table.render())
+    print(f"\nwrote {written}")
+    return 0
+
+
+def test_kernels_quick(benchmark):
+    """Benchmark-harness entry: quick-size kernel primitive table."""
+    table = benchmark.pedantic(
+        lambda: kernels_table(quick=True), rounds=1, iterations=1
+    )
+    table.emit()
+    backends = {row[1] for row in table.rows}
+    shape_check(
+        "numpy" in backends,
+        EXPERIMENT,
+        "the NumPy fallback must always be measurable",
+    )
+    if kernels.native_available():
+        shape_check(
+            "native" in backends,
+            EXPERIMENT,
+            "native kernels are available but were not measured",
+        )
+        hash_rows = [
+            float(row[4])
+            for row in table.rows
+            if row[0] == "hash_histogram" and row[1] == "native"
+        ]
+        shape_check(
+            hash_rows and hash_rows[0] > 1.0,
+            EXPERIMENT,
+            "the fused native hash+histogram must beat NumPy dispatch",
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

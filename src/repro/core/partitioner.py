@@ -23,8 +23,8 @@ from typing import List, Literal, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import kernels
 from repro.core.circuit import CircuitResult, PartitionerCircuit
-from repro.core.hashing import partition_of
 from repro.core.modes import LayoutMode, OutputMode, PartitionerConfig
 from repro.core.tuples import check_payloads_valid
 from repro.errors import ConfigurationError, PartitionOverflowError
@@ -305,11 +305,17 @@ class FpgaPartitioner:
             finally:
                 task.close()
         else:
-            parts = np.asarray(
-                partition_of(keys, cfg.num_partitions, cfg.uses_hash)
-            ).astype(np.int64)
-            counts = np.bincount(parts, minlength=cfg.num_partitions)
-            lane_counts = self._lane_counts(parts)
+            # Engine-less reference path, on the compiled primitives:
+            # one fused hash+histogram pass (with the per-lane counts
+            # the line accounting needs), the overflow check *before*
+            # any data moves — mirroring the hardware's HIST pass —
+            # then one stable scatter straight into the output columns.
+            parts, counts, lane_counts = kernels.hash_histogram(
+                keys,
+                cfg.num_partitions,
+                cfg.uses_hash,
+                lanes=cfg.num_lanes,
+            )
             lines_per_partition = (-(-lane_counts // per_line)).sum(axis=1)
             overflow = self._check_pad_overflow(
                 lines_per_partition, int(keys.shape[0])
@@ -318,9 +324,15 @@ class FpgaPartitioner:
                 return self._handle_overflow(
                     keys, payloads, overflow[0], overflow[1], on_overflow
                 )
-            order = np.argsort(parts, kind="stable")
-            sorted_keys = keys[order]
-            sorted_payloads = payloads[order]
+            n = int(keys.shape[0])
+            partition_base = np.zeros(cfg.num_partitions, dtype=np.int64)
+            np.cumsum(counts[:-1], out=partition_base[1:])
+            sorted_keys = np.empty(n, dtype=np.uint32)
+            sorted_payloads = np.empty(n, dtype=np.uint32)
+            kernels.stable_scatter(
+                keys, payloads, parts, partition_base,
+                cfg.num_partitions, sorted_keys, sorted_payloads,
+            )
 
         output = self._finalize_output(
             int(keys.shape[0]),
@@ -450,9 +462,13 @@ class FpgaPartitioner:
         keys = np.concatenate([k for k, _ in columns])
         pays = np.concatenate([p for _, p in columns])
 
-        # packed = request * P + partition, in uint16 (radix-sortable)
-        parts = np.asarray(
-            partition_of(keys, num_partitions, cfg.uses_hash)
+        # packed = request * P + partition, in uint16 (radix-sortable);
+        # the hash runs on the compiled kernel (GIL-free single pass)
+        parts = kernels.hash_only(
+            keys,
+            num_partitions,
+            cfg.uses_hash,
+            parts_out=np.empty(n, dtype=np.uint16),
         )
         packed = np.repeat(
             (np.arange(batch, dtype=np.uint32) * num_partitions).astype(
@@ -460,7 +476,7 @@ class FpgaPartitioner:
             ),
             sizes,
         )
-        packed += parts.astype(np.uint16)
+        packed += parts
 
         # Lane of a tuple is its index *within its request* mod lanes;
         # globally that is a cyclic pattern phase-shifted per request.
@@ -479,12 +495,20 @@ class FpgaPartitioner:
         counts_matrix = lane_matrix.sum(axis=2)
         lines_matrix = (-(-lane_matrix // per_line)).sum(axis=2)
 
-        # One stable radix sort orders the whole batch by (request,
+        # One stable scatter orders the whole batch by (request,
         # partition); each request's slice is then exactly its own
-        # stable sort by partition index.
-        order = np.argsort(packed, kind="stable")
-        sorted_keys = keys[order]
-        sorted_payloads = pays[order]
+        # stable sort by partition index.  The destination bases come
+        # straight from the (request, partition) histogram, so the
+        # whole batch lands in one contiguous pair of output columns —
+        # the very buffers the per-request PartitionSlices view.
+        dest_base = np.zeros(batch * num_partitions, dtype=np.int64)
+        np.cumsum(counts_matrix.reshape(-1)[:-1], out=dest_base[1:])
+        sorted_keys = np.empty(n, dtype=np.uint32)
+        sorted_payloads = np.empty(n, dtype=np.uint32)
+        kernels.stable_scatter(
+            keys, pays, packed, dest_base, batch * num_partitions,
+            sorted_keys, sorted_payloads,
+        )
         bounds = np.zeros(batch + 1, dtype=np.int64)
         np.cumsum(sizes, out=bounds[1:])
 

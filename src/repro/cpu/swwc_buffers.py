@@ -24,8 +24,8 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
+from repro import kernels
 from repro.constants import CACHE_LINE_BYTES
-from repro.core.hashing import partition_of
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -48,19 +48,6 @@ class SwwcStats:
     def non_temporal_bytes(self) -> int:
         """Bytes streamed to memory by buffer flushes."""
         return self.tuples_written * self.tuple_bytes
-
-
-def _group_positions(parts: np.ndarray, num_partitions: int) -> np.ndarray:
-    """Rank of each element within its partition (stable cumcount)."""
-    order = np.argsort(parts, kind="stable")
-    counts = np.bincount(parts, minlength=num_partitions)
-    starts = np.zeros(num_partitions, dtype=np.int64)
-    np.cumsum(counts[:-1], out=starts[1:])
-    ranks = np.empty(parts.shape[0], dtype=np.int64)
-    ranks[order] = np.arange(parts.shape[0], dtype=np.int64) - starts[
-        parts[order]
-    ]
-    return ranks
 
 
 def _thread_chunks(n: int, threads: int) -> List[Tuple[int, int]]:
@@ -161,16 +148,19 @@ def swwc_partition(
         ]
         return partition_keys, partition_payloads, counts, stats
 
-    parts = np.asarray(partition_of(keys, num_partitions, use_hash)).astype(
-        np.int64
-    )
+    # Phase 1: per-thread partition indices + histograms, through the
+    # fused kernel (native: one GIL-free C pass per chunk).
+    from repro.exec.morsels import parts_dtype
 
-    # Phase 1: per-thread histograms.
+    parts = np.empty(n, dtype=parts_dtype(num_partitions))
     local_hist = np.zeros((threads, num_partitions), dtype=np.int64)
     for t, (lo, hi) in enumerate(chunks):
         if hi > lo:
-            local_hist[t] = np.bincount(
-                parts[lo:hi], minlength=num_partitions
+            _, local_hist[t], _ = kernels.hash_histogram(
+                keys[lo:hi],
+                num_partitions,
+                use_hash,
+                parts_out=parts[lo:hi],
             )
 
     # Phase 2: two-level prefix sum -> per-(thread, partition) bases.
@@ -182,17 +172,24 @@ def swwc_partition(
     np.cumsum(local_hist[:-1], axis=0, out=thread_offsets[1:])
     dest_base = partition_base[None, :] + thread_offsets
 
-    # Phase 3: buffered scatter.
+    # Phase 3: buffered scatter — the SWWC primitive itself: tuples
+    # stream through cache-line buffers and land at the preassigned
+    # destinations (byte-identical to a stable scatter).
     out_keys = np.empty(n, dtype=np.uint32)
     out_payloads = np.empty(n, dtype=np.uint32)
     for t, (lo, hi) in enumerate(chunks):
         if hi <= lo:
             continue
-        chunk_parts = parts[lo:hi]
-        ranks = _group_positions(chunk_parts, num_partitions)
-        dest = dest_base[t][chunk_parts] + ranks
-        out_keys[dest] = keys[lo:hi]
-        out_payloads[dest] = payloads[lo:hi]
+        kernels.swwc_scatter(
+            keys[lo:hi],
+            payloads[lo:hi],
+            parts[lo:hi],
+            dest_base[t],
+            num_partitions,
+            buffer_tuples,
+            out_keys,
+            out_payloads,
+        )
         # Buffer mechanics accounting (full flushes + final drain).
         chunk_counts = local_hist[t]
         stats.full_buffer_flushes += int((chunk_counts // buffer_tuples).sum())

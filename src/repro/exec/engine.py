@@ -38,11 +38,12 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import kernels
 from repro.errors import ConfigurationError
 from repro.obs.tracing import resolve_tracer
 from repro.exec.morsels import (
-    DEFAULT_MORSEL_TUPLES,
     MorselStats,
+    default_morsel_tuples,
     merge_histograms,
     morsel_histogram,
     morsel_scatter,
@@ -246,7 +247,7 @@ class ExecutionEngine:
         self,
         workers: Optional[int] = None,
         kind: str = "auto",
-        morsel_tuples: int = DEFAULT_MORSEL_TUPLES,
+        morsel_tuples: Optional[int] = None,
         small_input_tuples: int = SMALL_INPUT_TUPLES,
         tracer=None,
     ):
@@ -258,7 +259,10 @@ class ExecutionEngine:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers or os.cpu_count() or 1)
         self.kind = kind
-        self.morsel_tuples = int(morsel_tuples)
+        # None → backend-tuned default: the compiled kernels take
+        # larger morsels (no per-morsel sort working set to keep cache
+        # resident), the NumPy path keeps the original size.
+        self.morsel_tuples = int(morsel_tuples or default_morsel_tuples())
         self.small_input_tuples = int(small_input_tuples)
         self.tracer = resolve_tracer(tracer)
         self._thread_pool: Optional[ThreadPoolExecutor] = None
@@ -313,7 +317,14 @@ class ExecutionEngine:
             return "thread"
         if self.kind == "process":
             return "thread" if n < self.small_input_tuples else "process"
-        # auto: processes only where they can pay for themselves
+        # auto: with the native kernels loaded, threads are strictly
+        # better — the kernels release the GIL, so threads parallelise
+        # as well as processes without the fork + shared-memory copy-in
+        # (this is what made 1→2 worker scaling *negative* before).
+        if kernels.backend_name() == "native":
+            return "thread"
+        # numpy kernels hold the GIL for part of each morsel; processes
+        # pay for themselves only on large inputs and real multi-core
         if (
             n >= self.small_input_tuples
             and (os.cpu_count() or 1) > 1
@@ -489,8 +500,16 @@ class ExecutionEngine:
             "morsel.scatter", backend="process", morsels=len(tasks)
         ):
             list(self._processes().map(_shm_scatter_task, tasks))
-        views = state["views"]
-        return np.array(views["out_keys"]), np.array(views["out_payloads"])
+        # Zero-copy hand-off: ownership of the two output blocks moves
+        # from the task (which would unlink them on close) to the
+        # returned arrays — downstream PartitionSlices/tickets then
+        # serve views of the very memory the workers scattered into.
+        views, blocks = state["views"], state["blocks"]
+        out = []
+        for name in ("out_keys", "out_payloads"):
+            views.pop(name, None)
+            out.append(_adopt_shm_array(blocks.pop(name), n, np.uint32))
+        return out[0], out[1]
 
     # ------------------------------------------------------------------
     # Generic ordered fan-out (joins, benchmarks)
@@ -586,6 +605,29 @@ def _release_blocks(blocks, views) -> None:
             block.unlink()
         except FileNotFoundError:  # pragma: no cover
             pass
+
+
+def _release_adopted_block(block) -> None:
+    try:
+        block.close()
+        block.unlink()
+    except (FileNotFoundError, BufferError):  # pragma: no cover
+        pass
+
+
+def _adopt_shm_array(block, n: int, dtype) -> np.ndarray:
+    """An ndarray view over a shared-memory block that owns the block.
+
+    The block is closed and unlinked when the array is collected, so
+    callers can hand the view around (engine merge → PartitionSlices →
+    service response) without a copy and without leaking ``/dev/shm``
+    segments.
+    """
+    import weakref
+
+    array = np.ndarray(n, dtype=dtype, buffer=block.buf)
+    weakref.finalize(array, _release_adopted_block, block)
+    return array
 
 
 EngineSpec = Union[None, str, ExecutionEngine]

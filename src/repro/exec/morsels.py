@@ -36,13 +36,25 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.hashing import partition_function
+from repro import kernels
 from repro.errors import ConfigurationError
 
 #: default morsel size in tuples; large enough to amortise task
 #: dispatch, small enough that the per-morsel index arrays stay cache
 #: friendly for the stable sort.
 DEFAULT_MORSEL_TUPLES = 1 << 18
+
+#: default morsel size on the native backend: the compiled kernels
+#: have no per-morsel sort whose working set must fit in cache, so
+#: larger morsels win — less dispatch, fewer histogram merges.
+NATIVE_MORSEL_TUPLES = 1 << 20
+
+
+def default_morsel_tuples() -> int:
+    """Backend-tuned default morsel size (see the two constants)."""
+    if kernels.backend_name() == "native":
+        return NATIVE_MORSEL_TUPLES
+    return DEFAULT_MORSEL_TUPLES
 
 
 @dataclasses.dataclass
@@ -119,25 +131,18 @@ def morsel_histogram(
         ``int64`` per-partition counts, and the ``(num_partitions,
         lanes)`` counts (or None when ``lanes`` is None).
     """
-    kernel = partition_function(num_partitions, use_hash)
     if parts_out is None:
         parts_out = np.empty(
             keys_chunk.shape[0], dtype=parts_dtype(num_partitions)
         )
-    parts = kernel(keys_chunk, out=parts_out)
-    hist = np.bincount(parts, minlength=num_partitions).astype(np.int64)
-    lane_hist = None
-    if lanes is not None:
-        lane = (
-            global_offset + np.arange(parts.shape[0], dtype=np.int64)
-        ) % lanes
-        combined = parts.astype(np.int64) * lanes + lane
-        lane_hist = (
-            np.bincount(combined, minlength=num_partitions * lanes)
-            .astype(np.int64)
-            .reshape(num_partitions, lanes)
-        )
-    return parts, hist, lane_hist
+    return kernels.hash_histogram(
+        keys_chunk,
+        num_partitions,
+        use_hash,
+        lanes=lanes,
+        global_offset=global_offset,
+        parts_out=parts_out,
+    )
 
 
 def merge_histograms(
@@ -173,22 +178,21 @@ def morsel_scatter(
 ) -> None:
     """Phase 2 for one morsel: stable scatter into the output buffers.
 
-    The morsel is stable-sorted by partition index; group ``p`` (a
-    contiguous run of the sorted morsel) is written to
-    ``out[dest_base_row[p] : dest_base_row[p] + local_count[p]]``.
-    Input order within each group is preserved by the stable sort.
+    The morsel's tuples land at
+    ``out[dest_base_row[p] : dest_base_row[p] + local_count[p]]`` per
+    partition ``p``, input order preserved within each group — i.e. a
+    stable scatter, byte-identical to a stable sort by partition index
+    (the native backend walks a cursor, the NumPy backend stable-sorts;
+    same bytes either way).
     """
     if parts_chunk.shape[0] == 0:
         return
-    order = np.argsort(parts_chunk, kind="stable")
-    sorted_parts = parts_chunk[order]
-    local_counts = np.bincount(parts_chunk, minlength=num_partitions)
-    starts = np.zeros(num_partitions, dtype=np.int64)
-    np.cumsum(local_counts[:-1], out=starts[1:])
-    dest = (
-        dest_base_row[sorted_parts]
-        - starts[sorted_parts]
-        + np.arange(sorted_parts.shape[0], dtype=np.int64)
+    kernels.stable_scatter(
+        keys_chunk,
+        payloads_chunk,
+        parts_chunk,
+        dest_base_row,
+        num_partitions,
+        out_keys,
+        out_payloads,
     )
-    out_keys[dest] = keys_chunk[order]
-    out_payloads[dest] = payloads_chunk[order]

@@ -1,0 +1,238 @@
+/* Native hot-path kernels for the partitioning data plane.
+ *
+ * Four primitives, mirroring the paper's inner loops (Section 4):
+ *
+ *   1. hash           — murmur3 finalizer (Code 3) or radix bits;
+ *   2. radix histogram — fused hash + per-partition counts, with the
+ *      optional per-(partition, lane) histogram the FPGA cache-line
+ *      accounting needs;
+ *   3. stable scatter — sequential cursor scatter, byte-identical to a
+ *      stable sort by partition index;
+ *   4. SWWC scatter   — the same scatter driven through cache-line
+ *      sized software write-combine buffers (Code 2): tuples
+ *      accumulate per partition and a full buffer is flushed with one
+ *      memcpy, so the random-write working set is the buffer pool, not
+ *      the whole output.
+ *
+ * Deliberately plain C99 with no Python.h: the module is loaded
+ * through ctypes, which drops the GIL for the duration of every call —
+ * that is what makes the thread backend of the execution engine scale
+ * instead of serialising on NumPy dispatch.  Every function is
+ * instantiated for the three partition-index dtypes the morsel planner
+ * uses (uint8 / uint16 / int64, see exec.morsels.parts_dtype).
+ *
+ * The outputs are bit-exact with the NumPy reference implementations
+ * (pinned by tests/test_kernels.py): same murmur constants, same
+ * wrap-around arithmetic, same stable visit order.
+ */
+
+#include <stdint.h>
+#include <string.h>
+#include <stdlib.h>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define REPRO_PREFETCH_W(addr) __builtin_prefetch((addr), 1, 0)
+#else
+#define REPRO_PREFETCH_W(addr) ((void)0)
+#endif
+
+/* Scatter lookahead: far enough to cover DRAM latency, near enough
+ * that cursor[] has advanced at most SCATTER_PF_DIST slots since the
+ * prefetch address was computed (same cache line in practice). */
+#define SCATTER_PF_DIST 24
+
+#define MURMUR32_C1 0x85ebca6bu
+#define MURMUR32_C2 0xc2b2ae35u
+
+static inline uint32_t murmur32(uint32_t h)
+{
+    h ^= h >> 16;
+    h *= MURMUR32_C1;
+    h ^= h >> 13;
+    h *= MURMUR32_C2;
+    h ^= h >> 16;
+    return h;
+}
+
+/* ------------------------------------------------------------------ */
+/* 1 + 2: fused hash + histogram (+ optional lane histogram)           */
+/*                                                                     */
+/* parts[i] = (use_hash ? murmur32(keys[i]) : keys[i]) & (P - 1)       */
+/* hist[p] += 1; lane_hist[p * lanes + (global_offset + i) % lanes]    */
+/* (lane accounting only when lanes > 0; lanes is a power of two).     */
+/* ------------------------------------------------------------------ */
+
+#define DEFINE_HASH_HIST(SUFFIX, PART_T)                                   \
+    void repro_hash_hist_##SUFFIX(                                         \
+        const uint32_t *keys, int64_t n, int64_t num_partitions,           \
+        int use_hash, int64_t lanes, int64_t global_offset,                \
+        PART_T *parts, int64_t *hist, int64_t *lane_hist)                  \
+    {                                                                      \
+        const uint32_t mask = (uint32_t)(num_partitions - 1);              \
+        int64_t i;                                                         \
+        if (lanes > 0) {                                                   \
+            const int64_t lane_mask = lanes - 1;                           \
+            for (i = 0; i < n; i++) {                                      \
+                uint32_t h = keys[i];                                      \
+                if (use_hash) h = murmur32(h);                             \
+                const uint32_t p = h & mask;                               \
+                parts[i] = (PART_T)p;                                      \
+                hist[p]++;                                                 \
+                lane_hist[(int64_t)p * lanes +                             \
+                          ((global_offset + i) & lane_mask)]++;            \
+            }                                                              \
+        } else if (use_hash) {                                             \
+            for (i = 0; i < n; i++) {                                      \
+                const uint32_t p = murmur32(keys[i]) & mask;               \
+                parts[i] = (PART_T)p;                                      \
+                hist[p]++;                                                 \
+            }                                                              \
+        } else {                                                           \
+            for (i = 0; i < n; i++) {                                      \
+                const uint32_t p = keys[i] & mask;                         \
+                parts[i] = (PART_T)p;                                      \
+                hist[p]++;                                                 \
+            }                                                              \
+        }                                                                  \
+    }
+
+DEFINE_HASH_HIST(u8, uint8_t)
+DEFINE_HASH_HIST(u16, uint16_t)
+DEFINE_HASH_HIST(i64, int64_t)
+
+/* Hash only (no histogram): the batch kernel of partition_many wants
+ * raw partition indices to pack with the request index. */
+void repro_hash_only_u16(const uint32_t *keys, int64_t n,
+                         int64_t num_partitions, int use_hash,
+                         uint16_t *parts)
+{
+    const uint32_t mask = (uint32_t)(num_partitions - 1);
+    int64_t i;
+    if (use_hash) {
+        for (i = 0; i < n; i++)
+            parts[i] = (uint16_t)(murmur32(keys[i]) & mask);
+    } else {
+        for (i = 0; i < n; i++)
+            parts[i] = (uint16_t)(keys[i] & mask);
+    }
+}
+
+void repro_hash_only_i64(const uint32_t *keys, int64_t n,
+                         int64_t num_partitions, int use_hash,
+                         int64_t *parts)
+{
+    const uint32_t mask = (uint32_t)(num_partitions - 1);
+    int64_t i;
+    if (use_hash) {
+        for (i = 0; i < n; i++)
+            parts[i] = (int64_t)(murmur32(keys[i]) & mask);
+    } else {
+        for (i = 0; i < n; i++)
+            parts[i] = (int64_t)(keys[i] & mask);
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* 3: stable cursor scatter                                            */
+/*                                                                     */
+/* cursor[] starts as the morsel's per-partition destination bases and */
+/* is advanced in place; the sequential visit order makes the scatter  */
+/* stable, i.e. byte-identical to a stable sort by partition index.    */
+/* ------------------------------------------------------------------ */
+
+#define DEFINE_SCATTER(SUFFIX, PART_T)                                     \
+    void repro_scatter_##SUFFIX(                                           \
+        const uint32_t *keys, const uint32_t *payloads,                    \
+        const PART_T *parts, int64_t n, int64_t *cursor,                   \
+        uint32_t *out_keys, uint32_t *out_payloads)                        \
+    {                                                                      \
+        const int64_t pf_end = n > SCATTER_PF_DIST ? n - SCATTER_PF_DIST : 0; \
+        int64_t i;                                                         \
+        for (i = 0; i < pf_end; i++) {                                     \
+            const int64_t a = cursor[parts[i + SCATTER_PF_DIST]];          \
+            REPRO_PREFETCH_W(out_keys + a);                                \
+            REPRO_PREFETCH_W(out_payloads + a);                            \
+            const int64_t d = cursor[parts[i]]++;                          \
+            out_keys[d] = keys[i];                                         \
+            out_payloads[d] = payloads[i];                                 \
+        }                                                                  \
+        for (; i < n; i++) {                                               \
+            const int64_t d = cursor[parts[i]]++;                          \
+            out_keys[d] = keys[i];                                         \
+            out_payloads[d] = payloads[i];                                 \
+        }                                                                  \
+    }
+
+DEFINE_SCATTER(u8, uint8_t)
+DEFINE_SCATTER(u16, uint16_t)
+DEFINE_SCATTER(i64, int64_t)
+
+/* ------------------------------------------------------------------ */
+/* 4: SWWC buffered scatter (Code 2)                                   */
+/*                                                                     */
+/* Key/payload pairs accumulate in per-partition buffers of            */
+/* buffer_tuples entries; a full buffer is drained with two memcpys    */
+/* (the software stand-in for one non-temporal cache-line store).      */
+/* Output is byte-identical to repro_scatter_*: the buffers preserve   */
+/* per-partition arrival order.  Returns 0, or -1 if the buffer pool   */
+/* allocation failed (caller falls back to the plain scatter).         */
+/* ------------------------------------------------------------------ */
+
+#define DEFINE_SWWC_SCATTER(SUFFIX, PART_T)                                \
+    int repro_swwc_scatter_##SUFFIX(                                       \
+        const uint32_t *keys, const uint32_t *payloads,                    \
+        const PART_T *parts, int64_t n, int64_t num_partitions,            \
+        int64_t buffer_tuples, int64_t *cursor,                            \
+        uint32_t *out_keys, uint32_t *out_payloads)                        \
+    {                                                                      \
+        uint32_t *buf_keys, *buf_pays;                                     \
+        int64_t *fill;                                                     \
+        int64_t i, p;                                                      \
+        if (buffer_tuples < 1) return -1;                                  \
+        buf_keys = (uint32_t *)malloc(                                     \
+            (size_t)num_partitions * (size_t)buffer_tuples * 4);           \
+        buf_pays = (uint32_t *)malloc(                                     \
+            (size_t)num_partitions * (size_t)buffer_tuples * 4);           \
+        fill = (int64_t *)calloc((size_t)num_partitions, 8);               \
+        if (!buf_keys || !buf_pays || !fill) {                             \
+            free(buf_keys); free(buf_pays); free(fill);                    \
+            return -1;                                                     \
+        }                                                                  \
+        for (i = 0; i < n; i++) {                                          \
+            const int64_t part = (int64_t)parts[i];                        \
+            const int64_t base = part * buffer_tuples;                     \
+            int64_t f = fill[part];                                        \
+            buf_keys[base + f] = keys[i];                                  \
+            buf_pays[base + f] = payloads[i];                              \
+            if (++f == buffer_tuples) {                                    \
+                const int64_t d = cursor[part];                            \
+                memcpy(out_keys + d, buf_keys + base,                      \
+                       (size_t)buffer_tuples * 4);                         \
+                memcpy(out_payloads + d, buf_pays + base,                  \
+                       (size_t)buffer_tuples * 4);                         \
+                cursor[part] = d + buffer_tuples;                          \
+                f = 0;                                                     \
+            }                                                              \
+            fill[part] = f;                                                \
+        }                                                                  \
+        for (p = 0; p < num_partitions; p++) {                             \
+            const int64_t f = fill[p];                                     \
+            if (f > 0) {                                                   \
+                const int64_t d = cursor[p];                               \
+                memcpy(out_keys + d, buf_keys + p * buffer_tuples,         \
+                       (size_t)f * 4);                                     \
+                memcpy(out_payloads + d, buf_pays + p * buffer_tuples,     \
+                       (size_t)f * 4);                                     \
+                cursor[p] = d + f;                                         \
+            }                                                              \
+        }                                                                  \
+        free(buf_keys); free(buf_pays); free(fill);                        \
+        return 0;                                                          \
+    }
+
+DEFINE_SWWC_SCATTER(u8, uint8_t)
+DEFINE_SWWC_SCATTER(u16, uint16_t)
+DEFINE_SWWC_SCATTER(i64, int64_t)
+
+/* ABI version stamp so a stale cached .so is never silently reused. */
+int repro_kernels_abi(void) { return 1; }

@@ -1,0 +1,132 @@
+"""On-demand build of the native kernel library.
+
+The kernels are plain C with no Python API (see ``_native.c``), so the
+build is one compiler invocation — no ``Python.h``, no ``setuptools``
+machinery, no network.  The shared object is cached under a
+content-addressed name (source hash × compiler), so the compile runs
+once per source revision per machine; subsequent imports just ``dlopen``
+the cached file.
+
+Build location, in order of preference:
+
+1. ``$REPRO_KERNELS_CACHE`` when set;
+2. ``~/.cache/repro-kernels/``;
+3. a per-user directory under the system temp dir.
+
+Concurrent builders are safe: each compiles to a unique temporary name
+and ``os.replace``-s it into place atomically.  Any failure (no
+compiler, read-only cache, broken toolchain) raises
+:class:`KernelBuildError`; the dispatch layer catches it and falls back
+to the NumPy backend unless ``REPRO_KERNELS=native`` demands otherwise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+from typing import List, Optional
+
+
+class KernelBuildError(RuntimeError):
+    """The native kernel library could not be built or loaded."""
+
+
+_SOURCE = pathlib.Path(__file__).with_name("_native.c")
+
+#: flags tried in order; the first compiler invocation that succeeds
+#: wins.  -O3 + -fPIC is the baseline; march=native is attempted first
+#: for the vectorised hash loop and dropped if the compiler rejects it.
+_BASE_FLAGS = ["-O3", "-fPIC", "-shared", "-std=c99", "-fvisibility=default"]
+_ARCH_FLAGS: List[List[str]] = [["-march=native"], []]
+
+
+def _compiler() -> Optional[str]:
+    for name in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if name and shutil.which(name):
+            return name
+    return None
+
+
+def _cache_dir() -> pathlib.Path:
+    override = os.environ.get("REPRO_KERNELS_CACHE")
+    if override:
+        return pathlib.Path(override)
+    home = pathlib.Path.home()
+    if os.access(home, os.W_OK):
+        return home / ".cache" / "repro-kernels"
+    return (
+        pathlib.Path(tempfile.gettempdir())
+        / f"repro-kernels-{os.getuid() if hasattr(os, 'getuid') else 'u'}"
+    )
+
+
+def _build_key(compiler: str) -> str:
+    digest = hashlib.sha256()
+    digest.update(_SOURCE.read_bytes())
+    digest.update(compiler.encode())
+    digest.update(sys.platform.encode())
+    return digest.hexdigest()[:16]
+
+
+def library_path() -> pathlib.Path:
+    """Where the built library for the current source lives (or will)."""
+    compiler = _compiler() or "none"
+    suffix = ".dylib" if sys.platform == "darwin" else ".so"
+    return _cache_dir() / f"repro_kernels_{_build_key(compiler)}{suffix}"
+
+
+def build_native(force: bool = False) -> pathlib.Path:
+    """Compile ``_native.c`` into the cache; returns the library path.
+
+    Idempotent: a cached build for the current source hash is reused
+    unless ``force`` is set.  Raises :class:`KernelBuildError` on any
+    failure, with the compiler's stderr attached.
+    """
+    if not _SOURCE.exists():
+        raise KernelBuildError(f"kernel source missing: {_SOURCE}")
+    compiler = _compiler()
+    if compiler is None:
+        raise KernelBuildError(
+            "no C compiler found (tried $CC, cc, gcc, clang)"
+        )
+    target = library_path()
+    if target.exists() and not force:
+        return target
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+    except OSError as error:
+        raise KernelBuildError(
+            f"cannot create kernel cache dir {target.parent}: {error}"
+        ) from error
+
+    errors = []
+    for arch in _ARCH_FLAGS:
+        handle, tmp_name = tempfile.mkstemp(
+            suffix=target.suffix, dir=target.parent
+        )
+        os.close(handle)
+        command = (
+            [compiler, *_BASE_FLAGS, *arch, "-o", tmp_name, str(_SOURCE)]
+        )
+        try:
+            result = subprocess.run(
+                command, capture_output=True, text=True, timeout=120
+            )
+        except (OSError, subprocess.TimeoutExpired) as error:
+            os.unlink(tmp_name)
+            raise KernelBuildError(
+                f"compiler invocation failed: {error}"
+            ) from error
+        if result.returncode == 0:
+            os.replace(tmp_name, target)
+            return target
+        os.unlink(tmp_name)
+        errors.append(result.stderr.strip())
+    raise KernelBuildError(
+        "native kernel build failed:\n" + "\n---\n".join(errors)
+    )

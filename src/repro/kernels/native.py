@@ -1,0 +1,213 @@
+"""ctypes bindings over the compiled kernel library.
+
+Loading goes through :func:`load`: build (cached) → ``dlopen`` →
+prototype every symbol → ABI check.  The binding layer is intentionally
+thin — argument marshalling is raw pointers over contiguous ndarrays,
+and every call releases the GIL for its whole duration (ctypes drops it
+around foreign calls), which is the property the thread backend of the
+execution engine relies on.
+
+All wrappers assume the dispatch layer (:mod:`repro.kernels`) has
+already normalised dtypes and contiguity; they only assert, never
+convert, so the native path never hides a copy.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.build import KernelBuildError, build_native
+
+_i64 = ctypes.c_int64
+_int = ctypes.c_int
+_p_u32 = ctypes.POINTER(ctypes.c_uint32)
+_p_i64 = ctypes.POINTER(ctypes.c_int64)
+
+#: kernel suffix + ctypes pointer type per partition-index dtype
+_PART_VARIANTS = {
+    np.dtype(np.uint8): ("u8", ctypes.POINTER(ctypes.c_uint8)),
+    np.dtype(np.uint16): ("u16", ctypes.POINTER(ctypes.c_uint16)),
+    np.dtype(np.int64): ("i64", ctypes.POINTER(ctypes.c_int64)),
+}
+
+#: SWWC buffering pays off while the buffer pool stays cache resident;
+#: past this fan-out the plain cursor scatter wins (pool > L2).
+SWWC_MAX_PARTITIONS = 1 << 13
+
+
+class NativeKernels:
+    """Handle over the loaded library; one instance per process."""
+
+    def __init__(self, lib: ctypes.CDLL):
+        self._lib = lib
+        self._hash_hist = {}
+        self._scatter = {}
+        self._swwc = {}
+        for dtype, (suffix, part_ptr) in _PART_VARIANTS.items():
+            fn = getattr(lib, f"repro_hash_hist_{suffix}")
+            fn.argtypes = [
+                _p_u32, _i64, _i64, _int, _i64, _i64,
+                part_ptr, _p_i64, _p_i64,
+            ]
+            fn.restype = None
+            self._hash_hist[dtype] = (fn, part_ptr)
+
+            fn = getattr(lib, f"repro_scatter_{suffix}")
+            fn.argtypes = [_p_u32, _p_u32, part_ptr, _i64, _p_i64,
+                           _p_u32, _p_u32]
+            fn.restype = None
+            self._scatter[dtype] = (fn, part_ptr)
+
+            fn = getattr(lib, f"repro_swwc_scatter_{suffix}")
+            fn.argtypes = [_p_u32, _p_u32, part_ptr, _i64, _i64, _i64,
+                           _p_i64, _p_u32, _p_u32]
+            fn.restype = _int
+            self._swwc[dtype] = (fn, part_ptr)
+
+        self._hash_only = {}
+        for dtype, suffix in (
+            (np.dtype(np.uint16), "u16"),
+            (np.dtype(np.int64), "i64"),
+        ):
+            fn = getattr(lib, f"repro_hash_only_{suffix}")
+            fn.argtypes = [_p_u32, _i64, _i64, _int,
+                           _PART_VARIANTS[dtype][1]]
+            fn.restype = None
+            self._hash_only[dtype] = fn
+
+    # -- wrappers -------------------------------------------------------
+
+    @staticmethod
+    def _ptr(array: np.ndarray, pointer_type):
+        return array.ctypes.data_as(pointer_type)
+
+    def hash_histogram(
+        self,
+        keys: np.ndarray,
+        num_partitions: int,
+        use_hash: bool,
+        lanes: Optional[int],
+        global_offset: int,
+        parts_out: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """Fused hash + histogram (+ lane histogram) over one morsel."""
+        fn, part_ptr = self._hash_hist[parts_out.dtype]
+        hist = np.zeros(num_partitions, dtype=np.int64)
+        if lanes is not None:
+            lane_hist = np.zeros((num_partitions, lanes), dtype=np.int64)
+            lane_ptr = self._ptr(lane_hist, _p_i64)
+            lane_count = lanes
+        else:
+            lane_hist = None
+            lane_ptr = _p_i64()
+            lane_count = 0
+        fn(
+            self._ptr(keys, _p_u32),
+            keys.shape[0],
+            num_partitions,
+            1 if use_hash else 0,
+            lane_count,
+            global_offset,
+            self._ptr(parts_out, part_ptr),
+            self._ptr(hist, _p_i64),
+            lane_ptr,
+        )
+        return parts_out, hist, lane_hist
+
+    def hash_only(
+        self,
+        keys: np.ndarray,
+        num_partitions: int,
+        use_hash: bool,
+        parts_out: np.ndarray,
+    ) -> np.ndarray:
+        """Partition indices only (no counting)."""
+        fn = self._hash_only[parts_out.dtype]
+        fn(
+            self._ptr(keys, _p_u32),
+            keys.shape[0],
+            num_partitions,
+            1 if use_hash else 0,
+            parts_out.ctypes.data_as(_PART_VARIANTS[parts_out.dtype][1]),
+        )
+        return parts_out
+
+    def scatter(
+        self,
+        keys: np.ndarray,
+        payloads: np.ndarray,
+        parts: np.ndarray,
+        cursor: np.ndarray,
+        out_keys: np.ndarray,
+        out_payloads: np.ndarray,
+    ) -> None:
+        """Stable cursor scatter; ``cursor`` is advanced in place."""
+        fn, part_ptr = self._scatter[parts.dtype]
+        fn(
+            self._ptr(keys, _p_u32),
+            self._ptr(payloads, _p_u32),
+            self._ptr(parts, part_ptr),
+            keys.shape[0],
+            self._ptr(cursor, _p_i64),
+            self._ptr(out_keys, _p_u32),
+            self._ptr(out_payloads, _p_u32),
+        )
+
+    def swwc_scatter(
+        self,
+        keys: np.ndarray,
+        payloads: np.ndarray,
+        parts: np.ndarray,
+        num_partitions: int,
+        buffer_tuples: int,
+        cursor: np.ndarray,
+        out_keys: np.ndarray,
+        out_payloads: np.ndarray,
+    ) -> None:
+        """Buffered (write-combine) scatter; same bytes as scatter()."""
+        fn, part_ptr = self._swwc[parts.dtype]
+        status = fn(
+            self._ptr(keys, _p_u32),
+            self._ptr(payloads, _p_u32),
+            self._ptr(parts, part_ptr),
+            keys.shape[0],
+            num_partitions,
+            buffer_tuples,
+            self._ptr(cursor, _p_i64),
+            self._ptr(out_keys, _p_u32),
+            self._ptr(out_payloads, _p_u32),
+        )
+        if status != 0:  # pragma: no cover - malloc failure path
+            self.scatter(keys, payloads, parts, cursor, out_keys,
+                         out_payloads)
+
+
+def load() -> NativeKernels:
+    """Build (if needed) and load the native library.
+
+    Raises :class:`KernelBuildError` when the build fails, the library
+    cannot be loaded, or its ABI stamp does not match this binding.
+    """
+    path = build_native()
+    try:
+        lib = ctypes.CDLL(str(path))
+    except OSError as error:
+        raise KernelBuildError(
+            f"cannot load kernel library {path}: {error}"
+        ) from error
+    try:
+        abi = lib.repro_kernels_abi
+        abi.restype = ctypes.c_int
+        version = int(abi())
+    except AttributeError as error:
+        raise KernelBuildError(
+            f"kernel library {path} has no ABI stamp"
+        ) from error
+    if version != 1:
+        raise KernelBuildError(
+            f"kernel library ABI {version} != expected 1 (stale cache?)"
+        )
+    return NativeKernels(lib)

@@ -1,0 +1,104 @@
+"""Pure-NumPy reference implementations of the hot-path kernels.
+
+These are the vectorised kernels the repo shipped before the native
+extension existed, factored behind the same four-primitive API so the
+dispatch layer (:mod:`repro.kernels`) can swap freely between them.
+They are the always-available fallback *and* the correctness oracle:
+the native kernels must match them byte for byte (tests/test_kernels.py
+pins this with hypothesis property tests).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.hashing import partition_function
+
+
+def hash_histogram(
+    keys: np.ndarray,
+    num_partitions: int,
+    use_hash: bool,
+    lanes: Optional[int],
+    global_offset: int,
+    parts_out: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Fused hash + histogram (+ lane histogram) over one morsel."""
+    kernel = partition_function(num_partitions, use_hash)
+    parts = kernel(keys, out=parts_out)
+    hist = np.bincount(parts, minlength=num_partitions).astype(np.int64)
+    lane_hist = None
+    if lanes is not None:
+        lane = (
+            global_offset + np.arange(parts.shape[0], dtype=np.int64)
+        ) % lanes
+        combined = parts.astype(np.int64) * lanes + lane
+        lane_hist = (
+            np.bincount(combined, minlength=num_partitions * lanes)
+            .astype(np.int64)
+            .reshape(num_partitions, lanes)
+        )
+    return parts, hist, lane_hist
+
+
+def hash_only(
+    keys: np.ndarray,
+    num_partitions: int,
+    use_hash: bool,
+    parts_out: np.ndarray,
+) -> np.ndarray:
+    """Partition indices only (no counting)."""
+    return partition_function(num_partitions, use_hash)(keys, out=parts_out)
+
+
+def scatter(
+    keys: np.ndarray,
+    payloads: np.ndarray,
+    parts: np.ndarray,
+    cursor: np.ndarray,
+    out_keys: np.ndarray,
+    out_payloads: np.ndarray,
+) -> None:
+    """Stable scatter via a stable argsort (the vectorised equivalent
+    of the native sequential cursor loop; identical bytes).
+
+    ``cursor`` holds the per-partition destination bases and is
+    advanced past the written tuples, matching the native contract.
+    """
+    n = parts.shape[0]
+    if n == 0:
+        return
+    num_partitions = cursor.shape[0]
+    order = np.argsort(parts, kind="stable")
+    sorted_parts = parts[order]
+    local_counts = np.bincount(parts, minlength=num_partitions).astype(
+        np.int64
+    )
+    starts = np.zeros(num_partitions, dtype=np.int64)
+    np.cumsum(local_counts[:-1], out=starts[1:])
+    dest = (
+        cursor[sorted_parts]
+        - starts[sorted_parts]
+        + np.arange(n, dtype=np.int64)
+    )
+    out_keys[dest] = keys[order]
+    out_payloads[dest] = payloads[order]
+    cursor += local_counts
+
+
+def swwc_scatter(
+    keys: np.ndarray,
+    payloads: np.ndarray,
+    parts: np.ndarray,
+    num_partitions: int,
+    buffer_tuples: int,
+    cursor: np.ndarray,
+    out_keys: np.ndarray,
+    out_payloads: np.ndarray,
+) -> None:
+    """Write-combine scatter.  Buffering changes only the write
+    schedule, never the destination slots, so the vectorised fallback
+    is the plain stable scatter."""
+    scatter(keys, payloads, parts, cursor, out_keys, out_payloads)

@@ -1,0 +1,388 @@
+"""Native kernels: byte-identity with NumPy, dispatch, zero-copy plane.
+
+The contract of :mod:`repro.kernels` is that the compiled backend is a
+pure speedup — for every primitive and every partitioner mode, the
+bytes that come out are exactly the bytes the NumPy fallback produces.
+These tests pin that contract:
+
+1. primitive-level property tests (hypothesis): ``hash_histogram``,
+   ``hash_only``, ``stable_scatter`` and ``swwc_scatter`` agree between
+   backends for arbitrary inputs, fan-outs and partition-index dtypes;
+2. partitioner-level property tests: ``FpgaPartitioner`` output is
+   byte-identical across backends for HIST/PAD x RID/VRID x hash kind;
+3. dispatch behaviour: the env switch, forced-native failure mode, and
+   the per-call dtype fallback;
+4. zero-copy assertions: partition views share memory with the single
+   backing column all the way through the service resolve path.
+
+The native-vs-numpy tests skip cleanly when no C compiler is available
+(the numpy backend is then the only backend, and trivially agrees with
+itself).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.core.modes import (
+    HashKind,
+    LayoutMode,
+    OutputMode,
+    PartitionerConfig,
+)
+from repro.core.partitioner import FpgaPartitioner, PartitionSlices
+from repro.exec.morsels import parts_dtype
+
+NATIVE = kernels.native_available()
+needs_native = pytest.mark.skipif(
+    not NATIVE, reason="native kernels unavailable (no C compiler?)"
+)
+
+key_arrays = st.lists(
+    st.integers(min_value=0, max_value=2**32 - 1), min_size=0, max_size=200
+).map(lambda xs: np.array(xs, dtype=np.uint32))
+
+
+def _both_backends(fn):
+    """Run ``fn()`` under each backend, return the two results."""
+    with kernels.using_backend("native"):
+        native = fn()
+    with kernels.using_backend("numpy"):
+        fallback = fn()
+    return native, fallback
+
+
+# ---------------------------------------------------------------------------
+# 1. Primitive-level byte identity
+
+
+@needs_native
+@given(
+    keys=key_arrays,
+    num_partitions=st.sampled_from([2, 256, 1024, 1 << 17]),
+    use_hash=st.booleans(),
+    lanes=st.sampled_from([None, 1, 8]),
+    offset=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_hash_histogram_native_equals_numpy(
+    keys, num_partitions, use_hash, lanes, offset
+):
+    def run():
+        parts = np.empty(keys.shape[0], dtype=parts_dtype(num_partitions))
+        return kernels.hash_histogram(
+            keys,
+            num_partitions,
+            use_hash,
+            lanes=lanes,
+            global_offset=offset,
+            parts_out=parts,
+        )
+
+    native, fallback = _both_backends(run)
+    assert np.array_equal(native[0], fallback[0])  # partition indices
+    assert np.array_equal(native[1], fallback[1])  # histogram
+    if lanes is None:
+        assert native[2] is None and fallback[2] is None
+    else:
+        assert np.array_equal(native[2], fallback[2])  # lane histogram
+    assert int(native[1].sum()) == keys.shape[0]
+
+
+@needs_native
+@given(
+    keys=key_arrays,
+    num_partitions=st.sampled_from([2, 64, 1 << 16, 1 << 17]),
+    use_hash=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_hash_only_native_equals_numpy(keys, num_partitions, use_hash):
+    native, fallback = _both_backends(
+        lambda: kernels.hash_only(keys, num_partitions, use_hash)
+    )
+    assert native.dtype == fallback.dtype
+    assert np.array_equal(native, fallback)
+
+
+@needs_native
+@given(
+    keys=key_arrays,
+    num_partitions=st.sampled_from([2, 256, 1024, 1 << 17]),
+    use_hash=st.booleans(),
+    buffer_tuples=st.sampled_from([1, 3, 16]),
+)
+@settings(max_examples=60, deadline=None)
+def test_scatters_native_equals_numpy(
+    keys, num_partitions, use_hash, buffer_tuples
+):
+    """stable_scatter and swwc_scatter: same bytes on both backends,
+    and byte-identical to each other (buffering must only change the
+    write schedule, never the destination slots)."""
+    n = keys.shape[0]
+    payloads = np.arange(n, dtype=np.uint32)
+    parts = np.empty(n, dtype=parts_dtype(num_partitions))
+    _, hist, _ = kernels.hash_histogram(
+        keys, num_partitions, use_hash, parts_out=parts
+    )
+    dest_base = np.zeros(num_partitions, dtype=np.int64)
+    np.cumsum(hist[:-1], out=dest_base[1:])
+
+    def run(primitive, extra):
+        out_keys = np.empty(n, dtype=np.uint32)
+        out_payloads = np.empty(n, dtype=np.uint32)
+        primitive(
+            keys, payloads, parts, dest_base, num_partitions,
+            *extra, out_keys, out_payloads,
+        )
+        return out_keys, out_payloads
+
+    plain_native, plain_numpy = _both_backends(
+        lambda: run(kernels.stable_scatter, ())
+    )
+    swwc_native, swwc_numpy = _both_backends(
+        lambda: run(kernels.swwc_scatter, (buffer_tuples,))
+    )
+    reference = plain_numpy
+    for label, got in [
+        ("scatter/native", plain_native),
+        ("swwc/native", swwc_native),
+        ("swwc/numpy", swwc_numpy),
+    ]:
+        assert np.array_equal(got[0], reference[0]), label
+        assert np.array_equal(got[1], reference[1]), label
+    # the scatter is a permutation: nothing lost, nothing invented
+    assert np.array_equal(np.sort(reference[0]), np.sort(keys))
+
+
+@needs_native
+def test_scatter_does_not_mutate_dest_base():
+    keys = np.arange(64, dtype=np.uint32)
+    payloads = keys.copy()
+    parts = (keys % 4).astype(np.uint8)
+    dest_base = np.array([0, 16, 32, 48], dtype=np.int64)
+    snapshot = dest_base.copy()
+    out = np.empty(64, dtype=np.uint32)
+    for backend in ("native", "numpy"):
+        with kernels.using_backend(backend):
+            kernels.stable_scatter(
+                keys, payloads, parts, dest_base, 4, out, out.copy()
+            )
+            assert np.array_equal(dest_base, snapshot), backend
+
+
+# ---------------------------------------------------------------------------
+# 2. Partitioner-level byte identity across every mode
+
+
+@needs_native
+@given(
+    keys=key_arrays.filter(lambda a: a.size >= 1),
+    num_partitions=st.sampled_from([2, 16, 64]),
+    output_mode=st.sampled_from(list(OutputMode)),
+    layout_mode=st.sampled_from(list(LayoutMode)),
+    hash_kind=st.sampled_from(list(HashKind)),
+)
+@settings(max_examples=40, deadline=None)
+def test_partitioner_byte_identical_across_backends(
+    keys, num_partitions, output_mode, layout_mode, hash_kind
+):
+    config = PartitionerConfig(
+        num_partitions=num_partitions,
+        output_mode=output_mode,
+        layout_mode=layout_mode,
+        hash_kind=hash_kind,
+        pad_tuples=len(keys) + 64,
+    )
+    payloads = np.arange(keys.shape[0], dtype=np.uint32)
+
+    def run():
+        return FpgaPartitioner(config).partition(keys, payloads)
+
+    native, fallback = _both_backends(run)
+    assert np.array_equal(native.counts, fallback.counts)
+    assert np.array_equal(
+        native.lines_per_partition, fallback.lines_per_partition
+    )
+    assert np.array_equal(native.base_lines, fallback.base_lines)
+    assert native.dummy_slots == fallback.dummy_slots
+    for a, b in zip(native.partition_keys, fallback.partition_keys):
+        assert np.array_equal(a, b)
+    for a, b in zip(native.partition_payloads, fallback.partition_payloads):
+        assert np.array_equal(a, b)
+
+
+@needs_native
+@given(
+    sizes=st.lists(
+        st.integers(min_value=1, max_value=300), min_size=1, max_size=6
+    ),
+    num_partitions=st.sampled_from([4, 64]),
+)
+@settings(max_examples=25, deadline=None)
+def test_partition_many_byte_identical_across_backends(sizes, num_partitions):
+    rng = np.random.default_rng(sum(sizes) + len(sizes))
+    relations = [
+        rng.integers(0, 2**32, size=s, dtype=np.uint64).astype(np.uint32)
+        for s in sizes
+    ]
+    config = PartitionerConfig(num_partitions=num_partitions)
+
+    def run():
+        return FpgaPartitioner(config).partition_many(relations)
+
+    native, fallback = _both_backends(run)
+    assert len(native) == len(fallback) == len(relations)
+    for left, right in zip(native, fallback):
+        assert np.array_equal(left.counts, right.counts)
+        for a, b in zip(left.partition_keys, right.partition_keys):
+            assert np.array_equal(a, b)
+        for a, b in zip(left.partition_payloads, right.partition_payloads):
+            assert np.array_equal(a, b)
+
+
+# ---------------------------------------------------------------------------
+# 3. Dispatch behaviour
+
+
+class TestDispatch:
+    def test_backend_name_is_valid(self):
+        assert kernels.backend_name() in ("native", "numpy")
+
+    def test_set_backend_rejects_unknown(self):
+        with pytest.raises(kernels.KernelBuildError):
+            kernels.set_backend("cuda")
+
+    def test_using_backend_restores(self):
+        before = kernels.backend_name()
+        with kernels.using_backend("numpy"):
+            assert kernels.backend_name() == "numpy"
+        assert kernels.backend_name() == before
+
+    @needs_native
+    def test_uint64_keys_fall_back_per_call(self):
+        """16 B tuples (uint64 keys) are outside the native dtype set;
+        the dispatch layer must route them to NumPy, not crash."""
+        keys = np.arange(100, dtype=np.uint64)
+        with kernels.using_backend("native"):
+            parts, hist, _ = kernels.hash_histogram(
+                keys, 16, True, parts_out=np.empty(100, dtype=np.uint8)
+            )
+        with kernels.using_backend("numpy"):
+            ref_parts, ref_hist, _ = kernels.hash_histogram(
+                keys, 16, True, parts_out=np.empty(100, dtype=np.uint8)
+            )
+        assert np.array_equal(parts, ref_parts)
+        assert np.array_equal(hist, ref_hist)
+
+    @needs_native
+    def test_non_contiguous_keys_fall_back_per_call(self):
+        base = np.arange(200, dtype=np.uint32)
+        strided = base[::2]
+        assert not strided.flags.c_contiguous or strided.base is not None
+        with kernels.using_backend("native"):
+            parts, hist, _ = kernels.hash_histogram(strided[::1], 8, True)
+        with kernels.using_backend("numpy"):
+            ref = kernels.hash_histogram(np.ascontiguousarray(strided), 8, True)
+        assert np.array_equal(hist, ref[1])
+
+    @needs_native
+    def test_native_abi_and_library_cache(self):
+        from repro.kernels.build import library_path
+
+        path = library_path()
+        assert path.exists()
+        # rebuilding is a no-op (content-addressed cache hit)
+        assert kernels.build_native() == path
+
+
+# ---------------------------------------------------------------------------
+# 4. Zero-copy data plane
+
+
+class TestZeroCopy:
+    def _output(self, n=10_000, num_partitions=64):
+        rng = np.random.default_rng(11)
+        keys = rng.integers(0, 2**32, size=n, dtype=np.uint64).astype(
+            np.uint32
+        )
+        config = PartitionerConfig(num_partitions=num_partitions)
+        return FpgaPartitioner(config).partition(keys)
+
+    def test_partition_views_share_one_column(self):
+        """Every per-partition array is a view into the single sorted
+        column — no per-partition copies anywhere in the output."""
+        output = self._output()
+        assert isinstance(output.partition_keys, PartitionSlices)
+        column = output.partition_keys._column
+        for p in range(output.num_partitions):
+            view = output.partition_keys[p]
+            if view.size:
+                assert np.shares_memory(view, column)
+                assert view.base is not None
+
+    def test_payload_views_share_one_column(self):
+        output = self._output()
+        column = output.partition_payloads._column
+        for p in range(output.num_partitions):
+            view = output.partition_payloads[p]
+            if view.size:
+                assert np.shares_memory(view, column)
+
+    def test_service_resolve_path_is_zero_copy(self):
+        """The buffers a service client receives are views over the
+        partitioner's backing column — resolve adds no copies."""
+        from repro.service.service import (
+            PartitionRequest,
+            PartitionService,
+            RequestStatus,
+        )
+
+        rng = np.random.default_rng(12)
+        keys = rng.integers(0, 2**32, size=20_000, dtype=np.uint64).astype(
+            np.uint32
+        )
+        config = PartitionerConfig(num_partitions=32)
+        with PartitionService() as service:
+            ticket = service.submit(
+                PartitionRequest(relation=keys, config=config)
+            )
+            response = ticket.result(timeout=30)
+        assert response.status is RequestStatus.OK
+        output = response.output
+        assert isinstance(output.partition_keys, PartitionSlices)
+        column = output.partition_keys._column
+        nonempty = [
+            output.partition_keys[p]
+            for p in range(output.num_partitions)
+            if output.partition_keys[p].size
+        ]
+        assert nonempty, "test relation must fill at least one partition"
+        for view in nonempty:
+            assert np.shares_memory(view, column)
+
+    @needs_native
+    def test_thread_engine_scatter_is_zero_copy(self):
+        """The thread backend scatters straight into the output arrays
+        the partitioner hands out — the views alias those buffers."""
+        from repro.exec.engine import ExecutionEngine
+
+        rng = np.random.default_rng(13)
+        keys = rng.integers(0, 2**32, size=200_000, dtype=np.uint64).astype(
+            np.uint32
+        )
+        config = PartitionerConfig(num_partitions=64)
+        with kernels.using_backend("native"):
+            with ExecutionEngine(workers=2, kind="thread") as engine:
+                output = FpgaPartitioner(config, engine=engine).partition(keys)
+        column = output.partition_keys._column
+        assert column.dtype == np.uint32
+        assert sum(
+            output.partition_keys[p].size
+            for p in range(output.num_partitions)
+        ) == int(output.counts.sum())
+        for p in range(output.num_partitions):
+            view = output.partition_keys[p]
+            if view.size:
+                assert np.shares_memory(view, column)
