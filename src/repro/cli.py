@@ -525,6 +525,143 @@ def cmd_spill(args) -> int:
     return 0
 
 
+def cmd_cluster(args) -> int:
+    """Sharded cluster driver: ``serve`` a workload or ``bench`` scaling."""
+    import numpy as np
+
+    from repro.cluster import ShardRouter
+    from repro.obs import Tracer
+
+    mode = _parse_mode(args.mode)
+    config = PartitionerConfig(
+        num_partitions=args.partitions,
+        output_mode=mode.output_mode,
+        layout_mode=mode.layout_mode,
+    )
+
+    if args.action == "bench":
+        rows = []
+        for shards in args.shards_sweep:
+            for placement in (False, True):
+                router = ShardRouter(
+                    shards,
+                    seed=args.seed,
+                    placement=None if placement else False,
+                )
+                relation = make_relation(
+                    args.tuples, args.distribution, seed=args.seed
+                )
+                with router:
+                    import time as _time
+
+                    start = _time.perf_counter()
+                    for _ in range(args.requests):
+                        response = router.partition(
+                            relation, config=config, on_overflow="hist"
+                        )
+                        if not response.ok:
+                            raise SystemExit(
+                                f"cluster request failed: {response.error}"
+                            )
+                    elapsed = _time.perf_counter() - start
+                    snap = router.snapshot()
+                loads = np.array([
+                    shard["shard"]["tuples"]
+                    for shard in snap["shards"].values()
+                ], dtype=np.float64)
+                imbalance = (
+                    float(loads.max() / loads.mean())
+                    if loads.mean() > 0 else 1.0
+                )
+                total = args.requests * args.tuples
+                rows.append([
+                    shards,
+                    "on" if placement else "off",
+                    total / elapsed / 1e6,
+                    imbalance,
+                    snap["router"]["handoffs"],
+                ])
+        table = ExperimentTable(
+            experiment_id="cluster-bench",
+            title=(
+                f"cluster throughput and shard balance "
+                f"({args.distribution} keys, {args.tuples} tuples/req)"
+            ),
+            headers=[
+                "shards", "replication", "Mtuples/s",
+                "max/mean load", "handoffs",
+            ],
+            rows=rows,
+        )
+        print(table.render())
+        return 0
+
+    # action == "serve"
+    tracer = Tracer() if args.prometheus_out else None
+    router = ShardRouter(
+        args.shards,
+        seed=args.seed,
+        replicas=args.replicas,
+        handoff_tuples=args.handoff_tuples or None,
+        tracer=tracer,
+    )
+    rng = np.random.default_rng(args.seed)
+    kill_at = (
+        args.requests // 2 if args.kill_shard is not None else None
+    )
+    identical = 0
+    with router:
+        for i in range(args.requests):
+            if kill_at is not None and i == kill_at:
+                victim = router.nodes[args.kill_shard].shard_id
+                router.kill_shard(victim)
+                print(f"killed {victim} after request {i}")
+            relation = make_relation(
+                args.tuples, args.distribution,
+                seed=int(rng.integers(0, 2**31)),
+            )
+            response = router.partition(
+                relation, config=config, on_overflow="hist"
+            )
+            if not response.ok:
+                raise SystemExit(f"request {i} failed: {response.error}")
+            if args.check_identity:
+                single = FpgaPartitioner(config).partition(
+                    relation, on_overflow="hist"
+                )
+                for p in range(config.num_partitions):
+                    ck, cp = response.output.partition(p)
+                    sk, sp = single.partition(p)
+                    if not (
+                        np.array_equal(ck, sk) and np.array_equal(cp, sp)
+                    ):
+                        raise SystemExit(
+                            f"request {i}: partition {p} diverged "
+                            f"from single-node output"
+                        )
+                identical += 1
+        snap = router.snapshot()
+        if args.prometheus_out:
+            with open(args.prometheus_out, "w") as handle:
+                handle.write(router.prometheus())
+            print(f"wrote Prometheus exposition to {args.prometheus_out}")
+    stats = snap["router"]
+    print(f"served {stats['requests']} requests on {args.shards} shards "
+          f"({stats['completed']} ok, {stats['failed']} failed)")
+    print(f"  failovers         : {stats['failovers']}")
+    print(f"  spill handoffs    : {stats['handoffs']}")
+    print(f"  degraded requests : {stats['degraded']}")
+    for shard_id, shard in snap["shards"].items():
+        s = shard["shard"]
+        print(f"  {shard_id:<10}: {s['requests']} reqs, "
+              f"{s['tuples']} tuples, breaker {s['breaker']}, "
+              f"{'alive' if s['alive'] else 'down'}")
+    if args.check_identity:
+        print(f"  byte-identity     : {identical}/{stats['requests']} "
+              f"requests verified against single-node partition()")
+    return 0
+
+
 def cmd_simulate(args) -> int:
     """Run the cycle-level circuit and print its counters."""
     config = _parse_mode(args.mode)
@@ -688,6 +825,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also partition in memory and compare outputs")
     p.add_argument("--seed", type=int, default=0)
 
+    p = sub.add_parser(
+        "cluster",
+        help="sharded partition cluster: serve a workload or bench scaling",
+    )
+    p.add_argument("action", choices=["serve", "bench"],
+                   help="serve: route requests through a shard cluster; "
+                        "bench: sweep shard counts and replication")
+    p.add_argument("--shards", type=int, default=3,
+                   help="shard count for 'serve'")
+    p.add_argument("--shards-sweep", type=int, nargs="+",
+                   default=[1, 2, 4],
+                   help="shard counts for 'bench'")
+    p.add_argument("--requests", type=int, default=8)
+    p.add_argument("--tuples", type=int, default=100_000,
+                   help="tuples per request")
+    p.add_argument("--partitions", type=int, default=64)
+    p.add_argument("--mode", default="HIST/RID", help="e.g. PAD/VRID")
+    p.add_argument("--distribution", default="random")
+    p.add_argument("--replicas", type=int, default=2,
+                   help="replica-set size for hot partitions")
+    p.add_argument("--handoff-tuples", type=int, default=0,
+                   help="per-shard slice budget; above it the slice is "
+                        "spill-handed to a peer (0 = never)")
+    p.add_argument("--kill-shard", type=int, default=None,
+                   help="kill this shard index halfway through 'serve'")
+    p.add_argument("--check-identity", action="store_true",
+                   help="verify every response against single-node output")
+    p.add_argument("--prometheus-out", default=None,
+                   help="write the per-shard Prometheus exposition here")
+    p.add_argument("--seed", type=int, default=0)
+
     p = sub.add_parser("simulate", help="cycle-level circuit run")
     p.add_argument("--tuples", type=int, default=2048)
     p.add_argument("--partitions", type=int, default=16)
@@ -711,6 +879,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "trace": cmd_trace,
     "spill": cmd_spill,
+    "cluster": cmd_cluster,
     "simulate": cmd_simulate,
     "report": cmd_report,
 }

@@ -1,0 +1,853 @@
+"""The cluster front door: route, fail over, hand off, reassemble.
+
+:class:`ShardRouter` makes N in-process
+:class:`~repro.service.service.PartitionService` shard nodes look like
+one partitioner.  The contract is the repo's standing invariant,
+extended across the network boundary: for every HIST/PAD × RID/VRID
+mode, :meth:`ShardRouter.partition` returns output **byte-identical**
+to a single-node
+:meth:`~repro.core.partitioner.FpgaPartitioner.partition` — same
+partition contents in the same order, same counts, line layout, byte
+traffic and padding — regardless of shard count, replication, replica
+failover, or spill handoff.
+
+How the identity is held:
+
+* **Routing is by partition, with a stable scatter.**  The router runs
+  one global :func:`repro.kernels.hash_histogram` pass (the same fused
+  kernel the single-node path uses), so it knows every tuple's
+  partition and the exact global histogram before anything moves.
+  Tuples are scattered to shards with the stable scatter kernel, so
+  each shard receives its partitions' tuples in input order.
+* **Shards run a HIST/RID clone of the request config** (the same
+  trick as :class:`~repro.storage.spill.SpillPartitioner`): per-shard
+  PAD capacities or shard-local virtual record ids would be globally
+  wrong, so shards always partition in the robust mode and the router
+  supplies explicit global positions as payloads.  A shard's output
+  partition ``p`` is then exactly the global partition ``p`` — which
+  is also why *any* replica produces identical bytes, making failover
+  and replication invisible in the output.
+* **Accounting is computed globally by the router** from the lane-exact
+  histogram, mirroring the single-node math — including the PAD
+  overflow check, which runs against the *global* histogram before
+  routing (the hardware aborts before scattering; so does the
+  cluster), with the usual ``raise`` / ``hist`` / ``cpu`` policies.
+* **The output columns are lazy**: a :class:`_ClusterColumn` maps
+  partition ``p`` to the serving shard's (or handoff spill's) column,
+  so reassembly copies nothing.
+
+Failure handling: a dead shard (submit raises), a FAILED/timed-out
+response, or an OPEN router-side breaker sends the affected partitions
+to the next healthy shard in their ring preference order — replica
+failover.  A REJECTED response or a slice above the shard's
+``handoff_tuples`` budget triggers cross-node spill handoff
+(:mod:`repro.cluster.handoff`) — borrow a peer's memory before
+shedding load.  ``DegradationPolicy`` semantics are preserved end to
+end: each shard's own policy still decides FPGA vs CPU, and every
+shard-level downgrade surfaces on the :class:`ClusterResponse`.
+"""
+
+from __future__ import annotations
+
+import collections.abc
+import dataclasses
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro import kernels
+from repro.cluster.handoff import DEFAULT_HANDOFF_BYTES, SpillHandoff
+from repro.cluster.node import ShardNode
+from repro.cluster.placement import PlacementPolicy
+from repro.cluster.ring import ConsistentHashRing
+from repro.core.modes import LayoutMode, OutputMode, PartitionerConfig
+from repro.core.partitioner import (
+    OverflowPolicy,
+    PartitionedOutput,
+)
+from repro.core.tuples import check_payloads_valid
+from repro.errors import (
+    ConfigurationError,
+    PartitionOverflowError,
+    ReproError,
+)
+from repro.obs.tracing import resolve_tracer
+from repro.service.service import (
+    PartitionRequest,
+    RequestStatus,
+)
+from repro.workloads.relations import Relation
+
+__all__ = ["ClusterResponse", "ShardRouter", "shard_config"]
+
+
+def shard_config(config: PartitionerConfig) -> PartitionerConfig:
+    """The shard-plane clone of a request config: HIST/RID.
+
+    Same fan-out, tuple width and hash — so shard partition ``p`` is
+    global partition ``p`` — but HIST output (no per-shard PAD
+    capacities, no overflow) and RID layout (the router supplies
+    explicit global positions; shard-local VRIDs would be wrong).
+    """
+    return dataclasses.replace(
+        config, output_mode=OutputMode.HIST, layout_mode=LayoutMode.RID
+    )
+
+
+class _ClusterColumn(collections.abc.Sequence):
+    """Lazy partition→serving-column dispatch, cluster flavour.
+
+    The third sibling of
+    :class:`~repro.core.partitioner.PartitionSlices` (one contiguous
+    buffer) and :class:`~repro.storage.spill._SpillColumn` (memmapped
+    files): entry ``p`` reads partition ``p`` of whichever shard output
+    or handoff spill serves it.  Empty partitions need no source.
+    """
+
+    __slots__ = ("_sources", "_counts", "_overrides")
+
+    def __init__(self, sources: List, counts: np.ndarray):
+        self._sources = sources
+        self._counts = counts
+        self._overrides: Optional[dict] = None
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        if self._overrides is not None and index in self._overrides:
+            return self._overrides[index]
+        source = self._sources[index]
+        if source is None:
+            return np.empty(0, dtype=np.uint32)
+        return source[index]
+
+    def __setitem__(self, index: int, value: np.ndarray) -> None:
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        if self._overrides is None:
+            self._overrides = {}
+        self._overrides[index] = value
+
+
+@dataclasses.dataclass
+class ClusterResponse:
+    """Terminal result of one cluster-routed partition request."""
+
+    status: RequestStatus
+    output: Optional[PartitionedOutput] = None
+    #: shard id serving each partition (None for empty partitions)
+    shard_of_partition: Optional[List[Optional[str]]] = None
+    replicated_partitions: int = 0
+    moved_partitions: int = 0
+    failovers: int = 0
+    handoffs: int = 0
+    #: backends reported by the shards ("fpga"/"cpu"/"spill"/"handoff")
+    backends: Tuple[str, ...] = ()
+    degraded: bool = False
+    degrade_reasons: Tuple[str, ...] = ()
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RequestStatus.OK
+
+
+@dataclasses.dataclass
+class _Job:
+    """One shard submission: a slice of the input plus its partitions."""
+
+    shard: int
+    partitions: np.ndarray
+    keys: np.ndarray
+    payloads: np.ndarray
+
+    @property
+    def tuples(self) -> int:
+        return int(self.keys.shape[0])
+
+
+class _RequestFailed(ReproError):
+    """Internal: no healthy shard can serve some partition."""
+
+
+class ShardRouter:
+    """Consistent-hash front-end over N in-process shard services.
+
+    Args:
+        shards: cluster size (``int`` builds ``shard-0..N-1``), a
+            sequence of shard-id strings, or a sequence of ready
+            :class:`~repro.cluster.node.ShardNode` instances.
+        virtual_nodes / seed: consistent-hash ring shape (see
+            :class:`~repro.cluster.ring.ConsistentHashRing`).
+        replicas: replication degree for hot partitions (forwarded to
+            the default :class:`PlacementPolicy`).
+        placement: a :class:`PlacementPolicy`, ``None`` for the default
+            policy, or ``False`` for plain consistent hashing (no
+            replication — the benchmark baseline).
+        service_kwargs: forwarded to every shard's
+            :class:`~repro.service.service.PartitionService`.
+        handoff_tuples: default memory-pressure threshold applied to
+            every built shard (per-node override via ``ShardNode``).
+        handoff_bytes_in_memory: spill budget for handoff runs.
+        storage_root: base directory for shard storage roots.
+        request_timeout_s: per-shard-call resolve timeout before the
+            router treats the shard as failed.
+        tracer / clock: shared across router, shards and handoffs.
+    """
+
+    def __init__(
+        self,
+        shards=3,
+        *,
+        virtual_nodes: int = 64,
+        seed: int = 0,
+        replicas: int = 2,
+        placement=None,
+        service_kwargs: Optional[dict] = None,
+        handoff_tuples: Optional[int] = None,
+        handoff_bytes_in_memory: int = DEFAULT_HANDOFF_BYTES,
+        storage_root=None,
+        request_timeout_s: float = 30.0,
+        tracer=None,
+        clock=time.monotonic,
+    ):
+        self.tracer = resolve_tracer(tracer)
+        self._clock = clock
+        self.request_timeout_s = request_timeout_s
+        self._nodes: List[ShardNode] = self._build_nodes(
+            shards, storage_root, service_kwargs, handoff_tuples, clock
+        )
+        if len({node.shard_id for node in self._nodes}) != len(self._nodes):
+            raise ConfigurationError("shard ids must be unique")
+        self.ring = ConsistentHashRing(
+            [node.shard_id for node in self._nodes],
+            virtual_nodes=virtual_nodes,
+            seed=seed,
+        )
+        if placement is False:
+            self.placement: Optional[PlacementPolicy] = None
+        elif placement is None:
+            self.placement = PlacementPolicy(replicas=replicas)
+        else:
+            self.placement = placement
+        self.handoff = SpillHandoff(
+            bytes_in_memory=handoff_bytes_in_memory,
+            tracer=tracer,
+        )
+        self._started = False
+        #: router-level counters (see :meth:`snapshot`)
+        self.stats = {
+            "requests": 0,
+            "completed": 0,
+            "failed": 0,
+            "failovers": 0,
+            "handoffs": 0,
+            "degraded": 0,
+        }
+
+    def _build_nodes(
+        self, shards, storage_root, service_kwargs, handoff_tuples, clock
+    ) -> List[ShardNode]:
+        if isinstance(shards, int):
+            if shards < 1:
+                raise ConfigurationError(
+                    f"shards must be >= 1, got {shards}"
+                )
+            shards = [f"shard-{i}" for i in range(shards)]
+        shards = list(shards)
+        if shards and isinstance(shards[0], ShardNode):
+            return shards
+        import pathlib
+        import tempfile
+
+        if storage_root is None:
+            storage_root = tempfile.mkdtemp(prefix="repro-cluster-")
+        root = pathlib.Path(storage_root)
+        return [
+            ShardNode(
+                shard_id,
+                storage_root=root / str(shard_id),
+                service_kwargs=service_kwargs,
+                handoff_tuples=handoff_tuples,
+                tracer=self.tracer if self.tracer.enabled else None,
+                clock=clock,
+            )
+            for shard_id in shards
+        ]
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[ShardNode]:
+        return list(self._nodes)
+
+    def node(self, shard_id: str) -> ShardNode:
+        """Look up a shard node by id; raises on an unknown id."""
+        for node in self._nodes:
+            if node.shard_id == str(shard_id):
+                return node
+        raise ConfigurationError(f"no shard {shard_id!r} in cluster")
+
+    def start(self) -> "ShardRouter":
+        """Start every shard node; returns self for chaining."""
+        for node in self._nodes:
+            node.start()
+        self._started = True
+        return self
+
+    def stop(self, timeout: Optional[float] = 30.0) -> None:
+        """Stop every shard node (killed shards are already down)."""
+        for node in self._nodes:
+            node.stop(timeout)
+        self._started = False
+
+    def kill_shard(self, shard_id: str) -> None:
+        """Crash one shard (drains in-flight, refuses new work)."""
+        self.node(shard_id).kill()
+
+    def __enter__(self) -> "ShardRouter":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- observations ---------------------------------------------------
+
+    def observe_plan(self, plan) -> None:
+        """Feed an :class:`~repro.ops.distributed.ExchangePlan`'s skew
+        metrics into the placement policy (no-op without one)."""
+        if self.placement is not None:
+            self.placement.observe_plan(plan)
+
+    # -- the data plane -------------------------------------------------
+
+    def partition(
+        self,
+        relation: "Relation | np.ndarray",
+        payloads: Optional[np.ndarray] = None,
+        config: Optional[PartitionerConfig] = None,
+        on_overflow: OverflowPolicy = "raise",
+        timeout: Optional[float] = None,
+    ) -> ClusterResponse:
+        """Partition through the cluster; single-node semantics.
+
+        Mirrors :meth:`FpgaPartitioner.partition` including PAD
+        overflow policies; the returned ``output`` is byte-identical to
+        the single-node result.  Shard failures and rejections are
+        absorbed by failover and handoff; only a cluster with no
+        healthy shard left returns ``status=FAILED``.
+        """
+        if not self._started:
+            raise ReproError("router is not running (use start() or `with`)")
+        cfg = config or PartitionerConfig()
+        keys, pays = _extract_columns(cfg, relation, payloads)
+        n = int(keys.shape[0])
+        self.stats["requests"] += 1
+        with self.tracer.span(
+            "cluster.partition",
+            tuples=n,
+            partitions=cfg.num_partitions,
+            mode=cfg.mode_label,
+            shards=len(self._nodes),
+        ) as root:
+            response = self._partition_traced(
+                cfg, keys, pays, n, on_overflow, timeout
+            )
+            root.set_attributes(
+                status=response.status.value,
+                failovers=response.failovers,
+                handoffs=response.handoffs,
+                degraded=response.degraded,
+            )
+        if response.ok:
+            self.stats["completed"] += 1
+        else:
+            self.stats["failed"] += 1
+        self.stats["failovers"] += response.failovers
+        self.stats["handoffs"] += response.handoffs
+        if response.degraded:
+            self.stats["degraded"] += 1
+        return response
+
+    def _partition_traced(
+        self,
+        cfg: PartitionerConfig,
+        keys: np.ndarray,
+        pays: np.ndarray,
+        n: int,
+        on_overflow: OverflowPolicy,
+        timeout: Optional[float],
+    ) -> ClusterResponse:
+        P = cfg.num_partitions
+        per_line = cfg.tuples_per_line
+
+        # 1. Global accounting pass — the same fused kernel the
+        # single-node path runs, so counts and lane matrix are exact.
+        with self.tracer.span("cluster.route", tuples=n, partitions=P):
+            parts, counts, lane_counts = kernels.hash_histogram(
+                keys, P, cfg.uses_hash, lanes=cfg.num_lanes
+            )
+            counts = counts.astype(np.int64, copy=False)
+            lines_per_partition = (-(-lane_counts // per_line)).sum(axis=1)
+
+            # 2. PAD overflow — checked globally BEFORE routing, like
+            # the hardware checks before scattering.
+            effective_cfg = cfg
+            extra_read = 0
+            fallback = self._check_overflow(
+                cfg, lines_per_partition, n, keys, pays, on_overflow
+            )
+            if isinstance(fallback, ClusterResponse):
+                return fallback
+            if fallback is not None:
+                effective_cfg, extra_read = fallback
+
+            # 3. Placement: primaries from the ring, hot partitions
+            # spread over their replica sets; partitions whose chosen
+            # shard is unhealthy move to their next healthy replica
+            # before anything is scattered.
+            if self.placement is not None:
+                self.placement.observe_keys(keys)
+            banned = {
+                i
+                for i, node in enumerate(self._nodes)
+                if not node.healthy
+            }
+            owner, plan = self._place(counts, cfg, banned)
+            if owner is None:
+                return ClusterResponse(
+                    status=RequestStatus.FAILED,
+                    error="no healthy shard in the cluster",
+                )
+
+            # 4. Stable scatter to shards: each shard's slice holds its
+            # partitions' tuples in input order.
+            jobs = self._scatter_jobs(keys, pays, parts, counts, owner)
+
+        # 5. Submit / failover / handoff rounds.
+        try:
+            (
+                key_sources,
+                pay_sources,
+                serving,
+                failovers,
+                handoffs,
+                backends,
+                reasons,
+            ) = self._drive_jobs(cfg, jobs, banned, timeout)
+        except _RequestFailed as exc:
+            return ClusterResponse(
+                status=RequestStatus.FAILED,
+                failovers=0,
+                error=str(exc),
+            )
+
+        # 6. Assemble: lazy columns + global accounting identical to
+        # FpgaPartitioner._finalize_output under the effective config.
+        with self.tracer.span("cluster.assemble", partitions=P):
+            if effective_cfg.output_mode is OutputMode.PAD:
+                capacity_lines = (
+                    effective_cfg.partition_capacity(n) // per_line
+                )
+                base_lines = (
+                    np.arange(P, dtype=np.int64) * capacity_lines
+                )
+            else:
+                base_lines = np.zeros(P, dtype=np.int64)
+                np.cumsum(lines_per_partition[:-1], out=base_lines[1:])
+            bytes_read, bytes_written = effective_cfg.traffic_bytes(
+                n, int(lines_per_partition.sum())
+            )
+            output = PartitionedOutput(
+                config=effective_cfg,
+                partition_keys=_ClusterColumn(key_sources, counts),
+                partition_payloads=_ClusterColumn(pay_sources, counts),
+                counts=counts,
+                lines_per_partition=lines_per_partition,
+                base_lines=base_lines,
+                bytes_read=bytes_read + extra_read,
+                bytes_written=bytes_written,
+                dummy_slots=int(
+                    lines_per_partition.sum() * per_line - n
+                ),
+                produced_by="cluster",
+            )
+        return ClusterResponse(
+            status=RequestStatus.OK,
+            output=output,
+            shard_of_partition=serving,
+            replicated_partitions=(
+                plan.replicated_partitions if plan is not None else 0
+            ),
+            moved_partitions=(
+                plan.moved_partitions if plan is not None else 0
+            ),
+            failovers=failovers,
+            handoffs=handoffs,
+            backends=tuple(sorted(backends)),
+            degraded=bool(reasons),
+            degrade_reasons=tuple(sorted(set(reasons))),
+        )
+
+    # -- overflow -------------------------------------------------------
+
+    def _check_overflow(
+        self,
+        cfg: PartitionerConfig,
+        lines_per_partition: np.ndarray,
+        n: int,
+        keys: np.ndarray,
+        pays: np.ndarray,
+        on_overflow: OverflowPolicy,
+    ):
+        """Global PAD-capacity check, single-node policy semantics.
+
+        Returns None (no overflow), ``(effective_cfg, extra_read)`` for
+        the in-cluster HIST fallback, or a terminal
+        :class:`ClusterResponse` for the local CPU fallback.
+        """
+        if cfg.output_mode is not OutputMode.PAD:
+            return None
+        capacity_lines = cfg.partition_capacity(n) // cfg.tuples_per_line
+        overflowed = np.nonzero(lines_per_partition > capacity_lines)[0]
+        if not overflowed.size:
+            return None
+        if on_overflow == "raise":
+            raise PartitionOverflowError(
+                partition=int(overflowed[0]),
+                capacity=capacity_lines * cfg.tuples_per_line,
+                tuples_seen=n,
+            )
+        if on_overflow == "hist":
+            # Same accounting as the single-node retry: the run
+            # proceeds under the HIST clone, charged for the aborted
+            # PAD scan (worst case of Section 5.4).
+            effective = dataclasses.replace(
+                cfg, output_mode=OutputMode.HIST
+            )
+            return effective, cfg.traffic_bytes(n, 0)[0]
+        if on_overflow == "cpu":
+            # The paper's software fallback aborts the accelerator
+            # path entirely; the cluster mirrors that by running the
+            # same local CPU partitioner a single node would.
+            from repro.cpu.partitioner import CpuPartitioner
+
+            cpu_out = CpuPartitioner.matching(cfg).partition(keys, pays)
+            cpu_out.fell_back_to_cpu = True
+            return ClusterResponse(
+                status=RequestStatus.OK,
+                output=cpu_out,
+                backends=("cpu-local",),
+                degraded=True,
+                degrade_reasons=("pad-overflow-cpu",),
+            )
+        raise ConfigurationError(
+            f"unknown overflow policy {on_overflow!r}; "
+            "expected 'raise', 'hist' or 'cpu'"
+        )
+
+    # -- placement + scatter --------------------------------------------
+
+    def _place(
+        self,
+        counts: np.ndarray,
+        cfg: PartitionerConfig,
+        banned: set,
+    ):
+        """(owner array, placement plan) with unhealthy shards routed
+        around; owner is None when nothing is healthy."""
+        P = len(counts)
+        if len(banned) >= len(self._nodes):
+            return None, None
+        if self.placement is not None:
+            plan = self.placement.place(counts, self.ring, cfg.uses_hash)
+            owner = plan.owner.copy()
+        else:
+            plan = None
+            owner = self.ring.owners(P).copy()
+        if banned:
+            for p in np.nonzero(np.isin(owner, list(banned)))[0]:
+                owner[p] = self._next_healthy(int(p), P, banned)
+        return owner, plan
+
+    def _next_healthy(
+        self, partition: int, num_partitions: int, banned: set
+    ) -> int:
+        for shard in self.ring.preference(partition, num_partitions):
+            if shard not in banned and self._nodes[shard].healthy:
+                return shard
+        raise _RequestFailed(
+            f"no healthy shard left for partition {partition}"
+        )
+
+    def _scatter_jobs(
+        self,
+        keys: np.ndarray,
+        pays: np.ndarray,
+        parts: np.ndarray,
+        counts: np.ndarray,
+        owner: np.ndarray,
+    ) -> List[_Job]:
+        """One stable scatter, shard index as the partition key."""
+        num_shards = len(self._nodes)
+        shard_of_tuple = owner[parts]
+        shard_counts = np.bincount(
+            owner, weights=counts.astype(np.float64), minlength=num_shards
+        ).astype(np.int64)
+        dest_base = np.zeros(num_shards, dtype=np.int64)
+        np.cumsum(shard_counts[:-1], out=dest_base[1:])
+        n = int(keys.shape[0])
+        routed_keys = np.empty(n, dtype=np.uint32)
+        routed_pays = np.empty(n, dtype=np.uint32)
+        kernels.stable_scatter(
+            keys, pays, shard_of_tuple, dest_base, num_shards,
+            routed_keys, routed_pays,
+        )
+        bounds = np.zeros(num_shards + 1, dtype=np.int64)
+        np.cumsum(shard_counts, out=bounds[1:])
+        jobs = []
+        for s in range(num_shards):
+            if shard_counts[s] == 0:
+                continue
+            partitions = np.nonzero((owner == s) & (counts > 0))[0]
+            jobs.append(
+                _Job(
+                    shard=s,
+                    partitions=partitions,
+                    keys=routed_keys[bounds[s]:bounds[s + 1]],
+                    payloads=routed_pays[bounds[s]:bounds[s + 1]],
+                )
+            )
+        return jobs
+
+    def _reroute(self, job: _Job, cfg: PartitionerConfig, banned: set):
+        """Re-scatter a failed job's slice to next-preference shards."""
+        P = cfg.num_partitions
+        mapping = np.zeros(P, dtype=np.int64)
+        for p in job.partitions:
+            mapping[int(p)] = self._next_healthy(int(p), P, banned)
+        slice_parts = kernels.hash_only(job.keys, P, cfg.uses_hash)
+        slice_counts = np.bincount(slice_parts, minlength=P).astype(
+            np.int64
+        )
+        return self._scatter_jobs(
+            job.keys, job.payloads, slice_parts, slice_counts, mapping
+        )
+
+    # -- the submit / failover / handoff loop ---------------------------
+
+    def _drive_jobs(
+        self,
+        cfg: PartitionerConfig,
+        jobs: List[_Job],
+        banned: set,
+        timeout: Optional[float],
+    ):
+        P = cfg.num_partitions
+        request_cfg = shard_config(cfg)
+        key_sources: List = [None] * P
+        pay_sources: List = [None] * P
+        serving: List[Optional[str]] = [None] * P
+        failovers = 0
+        handoffs = 0
+        backends: set = set()
+        reasons: List[str] = []
+        queue = list(jobs)
+        wait_s = timeout if timeout is not None else self.request_timeout_s
+        # each failure bans a shard, so the loop is bounded; the extra
+        # headroom covers handoff-instead-of-ban rounds
+        for _ in range(2 * len(self._nodes) + 2):
+            if not queue:
+                break
+            inflight: List[Tuple[_Job, object]] = []
+            retry: List[_Job] = []
+            for job in queue:
+                node = self._nodes[job.shard]
+                if job.shard in banned or not node.healthy:
+                    banned.add(job.shard)
+                    failovers += 1
+                    retry.extend(self._reroute(job, cfg, banned))
+                    continue
+                if (
+                    node.handoff_tuples is not None
+                    and job.tuples >= node.handoff_tuples
+                ):
+                    peer = self._pick_peer(job.shard, banned)
+                    if peer is not None:
+                        handoffs += 1
+                        self._apply_handoff(
+                            job, node, peer, request_cfg,
+                            key_sources, pay_sources, serving,
+                        )
+                        backends.add("handoff")
+                        continue
+                try:
+                    ticket = node.submit(
+                        PartitionRequest(
+                            relation=job.keys,
+                            payloads=job.payloads,
+                            config=request_cfg,
+                        )
+                    )
+                except ReproError:
+                    banned.add(job.shard)
+                    failovers += 1
+                    retry.extend(self._reroute(job, cfg, banned))
+                    continue
+                inflight.append((job, ticket))
+            for job, ticket in inflight:
+                node = self._nodes[job.shard]
+                try:
+                    resp = ticket.result(wait_s)
+                except TimeoutError:
+                    node.breaker.record_failure()
+                    node.stats.failures += 1
+                    banned.add(job.shard)
+                    failovers += 1
+                    retry.extend(self._reroute(job, cfg, banned))
+                    continue
+                if resp.ok:
+                    node.breaker.record_success()
+                    backends.add(resp.backend or "fpga")
+                    if resp.degraded and resp.degrade_reason:
+                        reasons.append(
+                            f"{node.shard_id}:{resp.degrade_reason}"
+                        )
+                    for p in job.partitions:
+                        p = int(p)
+                        key_sources[p] = resp.output.partition_keys
+                        pay_sources[p] = resp.output.partition_payloads
+                        serving[p] = node.shard_id
+                    continue
+                if resp.status is RequestStatus.REJECTED:
+                    # Saturated, not broken: borrow a peer's memory
+                    # (spill handoff) before shedding or rerouting.
+                    node.stats.rejections += 1
+                    peer = self._pick_peer(job.shard, banned)
+                    if peer is not None:
+                        handoffs += 1
+                        self._apply_handoff(
+                            job, node, peer, request_cfg,
+                            key_sources, pay_sources, serving,
+                        )
+                        backends.add("handoff")
+                        reasons.append(f"{node.shard_id}:handoff")
+                        continue
+                node.breaker.record_failure()
+                node.stats.failures += 1
+                banned.add(job.shard)
+                failovers += 1
+                retry.extend(self._reroute(job, cfg, banned))
+            queue = retry
+            for job in retry:
+                self._nodes[job.shard].stats.failovers_in += 1
+        if queue:
+            raise _RequestFailed(
+                "routing did not converge (shards kept failing)"
+            )
+        return (
+            key_sources, pay_sources, serving,
+            failovers, handoffs, backends, reasons,
+        )
+
+    def _pick_peer(self, shard: int, banned: set) -> Optional[ShardNode]:
+        """Next alive shard after ``shard`` in ring id order."""
+        num = len(self._nodes)
+        for step in range(1, num):
+            candidate = (shard + step) % num
+            node = self._nodes[candidate]
+            if candidate not in banned and node.healthy:
+                return node
+        return None
+
+    def _apply_handoff(
+        self,
+        job: _Job,
+        donor: ShardNode,
+        peer: ShardNode,
+        request_cfg: PartitionerConfig,
+        key_sources: List,
+        pay_sources: List,
+        serving: List,
+    ) -> None:
+        with self.tracer.span(
+            "cluster.handoff",
+            donor=donor.shard_id,
+            peer=peer.shard_id,
+            tuples=job.tuples,
+        ):
+            result = self.handoff.execute(
+                donor, peer, job.keys, job.payloads, request_cfg
+            )
+        for p in job.partitions:
+            p = int(p)
+            key_sources[p] = result.partition_keys
+            pay_sources[p] = result.partition_payloads
+            serving[p] = f"{peer.shard_id} (handoff from {donor.shard_id})"
+
+    # -- reporting ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Router counters plus every shard's metrics snapshot."""
+        return {
+            "router": dict(self.stats),
+            "ring": {
+                "shards": [str(s) for s in self.ring.shard_ids],
+                "virtual_nodes": self.ring.virtual_nodes,
+                "seed": self.ring.seed,
+            },
+            "shards": {
+                node.shard_id: node.snapshot() for node in self._nodes
+            },
+        }
+
+    def prometheus(self) -> str:
+        """One exposition page for the whole cluster: every shard's
+        series labelled ``shard="<id>"``, router counters unlabelled."""
+        lines = []
+        for counter, value in sorted(self.stats.items()):
+            name = f"repro_cluster_{counter}_total"
+            lines.append(f"# HELP {name} Router counter '{counter}'.")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {value}")
+        pages = ["\n".join(lines) + "\n"] if lines else []
+        pages.extend(node.prometheus() for node in self._nodes)
+        return "".join(pages)
+
+
+def _extract_columns(
+    cfg: PartitionerConfig,
+    relation: "Relation | np.ndarray",
+    payloads: Optional[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Input normalisation, mirroring
+    :meth:`FpgaPartitioner._extract_columns` exactly: the router must
+    compute the same effective payload column a single node would
+    (VRID and bare-array inputs get positional ids)."""
+    if isinstance(relation, Relation):
+        keys = relation.keys
+        payloads = relation.payloads
+    else:
+        keys = np.ascontiguousarray(relation, dtype=np.uint32)
+        if cfg.layout_mode is LayoutMode.VRID or payloads is None:
+            payloads = np.arange(keys.shape[0], dtype=np.uint32)
+        else:
+            payloads = np.ascontiguousarray(payloads, dtype=np.uint32)
+    if cfg.layout_mode is LayoutMode.VRID:
+        payloads = np.arange(keys.shape[0], dtype=np.uint32)
+    if keys.shape != payloads.shape:
+        raise ConfigurationError("keys and payloads must align")
+    if keys.size == 0:
+        raise ConfigurationError("cannot partition an empty relation")
+    check_payloads_valid(payloads)
+    return keys, payloads

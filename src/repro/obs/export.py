@@ -58,15 +58,35 @@ def _escape_label(value: str) -> str:
     )
 
 
+def _label_pairs(labels: Optional[Dict[str, str]]) -> str:
+    """Render extra ``key="value"`` label pairs (empty when None)."""
+    if not labels:
+        return ""
+    return ",".join(
+        f'{key}="{_escape_label(value)}"'
+        for key, value in sorted(labels.items())
+    )
+
+
+def _labelled(name: str, labels: Optional[Dict[str, str]]) -> str:
+    """A sample name with optional constant labels attached."""
+    pairs = _label_pairs(labels)
+    return f"{name}{{{pairs}}}" if pairs else name
+
+
 def _histogram_lines(
     name: str,
     label_key: str,
     label_value: str,
     cumulative: Sequence[int],
     total_sum: float,
+    labels: Optional[Dict[str, str]] = None,
 ) -> List[str]:
     """One Prometheus histogram series (bucket/sum/count lines)."""
     label = f'{label_key}="{_escape_label(label_value)}"'
+    extra = _label_pairs(labels)
+    if extra:
+        label = f"{extra},{label}"
     lines = []
     for bound, running in zip(_BUCKET_BOUNDS_S, cumulative):
         lines.append(
@@ -88,21 +108,28 @@ def _cumulate(buckets: Sequence[int]) -> List[int]:
 
 
 def prometheus_from_snapshot(
-    snapshot: dict, prefix: str = "repro_service"
+    snapshot: dict,
+    prefix: str = "repro_service",
+    labels: Optional[Dict[str, str]] = None,
 ) -> str:
     """Render a :meth:`ServiceMetrics.to_dict` snapshot as Prometheus
-    text-format exposition (counters, gauges, latency histograms)."""
+    text-format exposition (counters, gauges, latency histograms).
+
+    ``labels`` attaches constant labels to every sample — the cluster
+    layer renders each shard's snapshot with ``{"shard": "<id>"}`` so
+    one scrape page carries distinguishable per-shard series.
+    """
     lines: List[str] = []
     for counter, value in sorted(snapshot.get("counters", {}).items()):
         name = f"{prefix}_{counter}_total"
         lines.append(f"# HELP {name} Service counter '{counter}'.")
         lines.append(f"# TYPE {name} counter")
-        lines.append(f"{name} {_format_value(value)}")
+        lines.append(f"{_labelled(name, labels)} {_format_value(value)}")
     for gauge, value in sorted(snapshot.get("gauges", {}).items()):
         name = f"{prefix}_{gauge}"
         lines.append(f"# HELP {name} Service gauge '{gauge}'.")
         lines.append(f"# TYPE {name} gauge")
-        lines.append(f"{name} {_format_value(value)}")
+        lines.append(f"{_labelled(name, labels)} {_format_value(value)}")
     latency = snapshot.get("latency", {})
     if latency:
         name = f"{prefix}_latency_seconds"
@@ -120,6 +147,7 @@ def prometheus_from_snapshot(
                     stage,
                     cumulative,
                     hist["mean_s"] * hist["count"],
+                    labels=labels,
                 )
             )
     throughput = snapshot.get("throughput_rps")
@@ -129,7 +157,9 @@ def prometheus_from_snapshot(
             f"# HELP {name} Completed requests per second since start."
         )
         lines.append(f"# TYPE {name} gauge")
-        lines.append(f"{name} {_format_value(throughput)}")
+        lines.append(
+            f"{_labelled(name, labels)} {_format_value(throughput)}"
+        )
     return "\n".join(lines) + "\n"
 
 
@@ -143,7 +173,9 @@ def _bucket_index(seconds: float) -> int:
 
 
 def prometheus_from_spans(
-    spans: Iterable, prefix: str = "repro_span"
+    spans: Iterable,
+    prefix: str = "repro_span",
+    labels: Optional[Dict[str, str]] = None,
 ) -> str:
     """Roll finished spans into per-name Prometheus duration histograms.
 
@@ -185,6 +217,7 @@ def prometheus_from_spans(
                 span_name,
                 _cumulate(buckets[span_name]),
                 sums[span_name],
+                labels=labels,
             )
         )
     if byte_totals:
@@ -193,8 +226,11 @@ def prometheus_from_spans(
             f"# HELP {bytes_name} Bytes attributed to spans, by span name."
         )
         lines.append(f"# TYPE {bytes_name} counter")
+        extra = _label_pairs(labels)
         for span_name in sorted(byte_totals):
             label = f'span="{_escape_label(span_name)}"'
+            if extra:
+                label = f"{extra},{label}"
             lines.append(
                 f"{bytes_name}{{{label}}} {byte_totals[span_name]}"
             )
@@ -204,13 +240,14 @@ def prometheus_from_spans(
 def render_prometheus(
     snapshot: Optional[dict] = None,
     spans: Optional[Iterable] = None,
+    labels: Optional[Dict[str, str]] = None,
 ) -> str:
     """The combined exposition page: metrics first, span rollups after."""
     parts = []
     if snapshot is not None:
-        parts.append(prometheus_from_snapshot(snapshot))
+        parts.append(prometheus_from_snapshot(snapshot, labels=labels))
     if spans is not None:
-        parts.append(prometheus_from_spans(spans))
+        parts.append(prometheus_from_spans(spans, labels=labels))
     return "".join(parts)
 
 

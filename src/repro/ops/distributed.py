@@ -25,9 +25,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import kernels
 from repro.core.model import FpgaCostModel
 from repro.core.modes import PartitionerConfig
-from repro.core.partitioner import FpgaPartitioner
 from repro.errors import ConfigurationError
 from repro.workloads.relations import Relation
 
@@ -39,6 +39,11 @@ class ExchangePlan:
     nodes: int
     bytes_matrix: np.ndarray        # [sender, receiver] bytes
     partition_owner: np.ndarray     # partition -> node
+    #: global per-partition tuple counts (summed over senders); the
+    #: cluster router's placement policy consumes these as a skew
+    #: signal, so the all-to-all planner's histogram is reused rather
+    #: than recomputed
+    partition_counts: Optional[np.ndarray] = None
 
     @property
     def total_bytes(self) -> int:
@@ -53,9 +58,19 @@ class ExchangePlan:
 
     @property
     def receive_imbalance(self) -> float:
+        """``max / mean`` inbound bytes across receivers (1.0 = flat).
+
+        An all-local plan (every partition already on its owner, zero
+        off-diagonal inbound everywhere) has ``mean == 0``; dividing
+        would produce ``nan``/``inf`` or raise under strict numpy error
+        state, so it is reported explicitly as the perfectly balanced
+        1.0 — no node receives more than any other.
+        """
         inbound = self.bytes_matrix.sum(axis=0) - np.diag(self.bytes_matrix)
-        mean = inbound.mean()
-        return float(inbound.max() / mean) if mean else 1.0
+        mean = float(inbound.mean())
+        if mean <= 0.0:
+            return 1.0
+        return float(inbound.max() / mean)
 
     def exchange_seconds(self, link_gbs: float) -> float:
         """All-to-all time, bounded by the busiest inbound link."""
@@ -139,34 +154,53 @@ class DistributedPartitioner:
         ]
 
     def plan(self, chunks: List[Relation]) -> ExchangePlan:
-        """Exchange matrix from each node's local partition histogram."""
+        """Exchange matrix from each node's local partition histogram.
+
+        Runs the fused hash+histogram kernel per chunk (native dispatch
+        when available) — planning needs only the counts, so no tuple
+        is moved and no scatter is paid.
+        """
         if len(chunks) != self.nodes:
             raise ConfigurationError(
                 f"expected {self.nodes} chunks, got {len(chunks)}"
             )
         partitions = self.config.num_partitions
-        owner = np.array(
-            [self.owner_of(p) for p in range(partitions)], dtype=np.int64
-        )
+        owner = np.arange(partitions, dtype=np.int64) % self.nodes
         matrix = np.zeros((self.nodes, self.nodes), dtype=np.int64)
-        partitioner = FpgaPartitioner(self.config)
+        partition_counts = np.zeros(partitions, dtype=np.int64)
         for sender, chunk in enumerate(chunks):
             if len(chunk) == 0:
                 continue
-            out = partitioner.partition(chunk, on_overflow="hist")
+            keys = np.ascontiguousarray(chunk.keys, dtype=np.uint32)
+            _, counts, _ = kernels.hash_histogram(
+                keys, partitions, self.config.uses_hash
+            )
+            counts = counts.astype(np.int64, copy=False)
+            partition_counts += counts
             per_owner = np.bincount(
-                owner, weights=out.counts.astype(np.float64),
+                owner, weights=counts.astype(np.float64),
                 minlength=self.nodes,
             ).astype(np.int64)
             matrix[sender] += per_owner * chunk.tuple_bytes
         return ExchangePlan(
-            nodes=self.nodes, bytes_matrix=matrix, partition_owner=owner
+            nodes=self.nodes,
+            bytes_matrix=matrix,
+            partition_owner=owner,
+            partition_counts=partition_counts,
         )
 
     def execute(self, chunks: List[Relation]) -> DistributedResult:
-        """Partition every chunk locally and perform the exchange."""
+        """Partition every chunk locally and perform the exchange.
+
+        The per-node functional partitioning runs on the compiled
+        kernel primitives (fused hash+histogram, then one stable
+        scatter per chunk) — the same data plane as
+        :class:`~repro.core.partitioner.FpgaPartitioner`, so each
+        chunk's per-partition slices are byte-identical to what a
+        local ``partition()`` call would produce.
+        """
         plan = self.plan(chunks)
-        partitioner = FpgaPartitioner(self.config)
+        partitions = self.config.num_partitions
         node_keys: List[Dict[int, List[np.ndarray]]] = [
             {} for _ in range(self.nodes)
         ]
@@ -176,14 +210,32 @@ class DistributedPartitioner:
         for chunk in chunks:
             if len(chunk) == 0:
                 continue
-            out = partitioner.partition(chunk, on_overflow="hist")
-            for p in range(self.config.num_partitions):
-                keys, payloads = out.partition(p)
-                if keys.shape[0] == 0:
-                    continue
-                owner = self.owner_of(p)
-                node_keys[owner].setdefault(p, []).append(keys)
-                node_payloads[owner].setdefault(p, []).append(payloads)
+            keys = np.ascontiguousarray(chunk.keys, dtype=np.uint32)
+            payloads = np.ascontiguousarray(chunk.payloads, dtype=np.uint32)
+            parts, counts, _ = kernels.hash_histogram(
+                keys, partitions, self.config.uses_hash
+            )
+            counts = counts.astype(np.int64, copy=False)
+            base = np.zeros(partitions, dtype=np.int64)
+            np.cumsum(counts[:-1], out=base[1:])
+            n = int(keys.shape[0])
+            sorted_keys = np.empty(n, dtype=np.uint32)
+            sorted_payloads = np.empty(n, dtype=np.uint32)
+            kernels.stable_scatter(
+                keys, payloads, parts, base, partitions,
+                sorted_keys, sorted_payloads,
+            )
+            bounds = np.zeros(partitions + 1, dtype=np.int64)
+            np.cumsum(counts, out=bounds[1:])
+            for p in np.nonzero(counts)[0]:
+                p = int(p)
+                owner = int(plan.partition_owner[p])
+                node_keys[owner].setdefault(p, []).append(
+                    sorted_keys[bounds[p]:bounds[p + 1]]
+                )
+                node_payloads[owner].setdefault(p, []).append(
+                    sorted_payloads[bounds[p]:bounds[p + 1]]
+                )
         merged_keys = [
             {p: np.concatenate(parts) for p, parts in per_node.items()}
             for per_node in node_keys

@@ -184,6 +184,41 @@ class TestSimulate:
         assert capsys.readouterr().out == reference
 
 
+class TestCluster:
+    def test_serve_with_kill_and_identity(self, capsys):
+        assert main(
+            ["cluster", "serve", "--shards", "3", "--requests", "4",
+             "--tuples", "4000", "--partitions", "16",
+             "--distribution", "zipf", "--kill-shard", "1",
+             "--check-identity"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "killed shard-1" in out
+        assert "4/4 requests verified" in out
+        assert "0 failed" in out
+
+    def test_serve_prometheus_output(self, tmp_path, capsys):
+        page = tmp_path / "cluster.prom"
+        assert main(
+            ["cluster", "serve", "--shards", "2", "--requests", "2",
+             "--tuples", "2000", "--partitions", "16",
+             "--prometheus-out", str(page)]
+        ) == 0
+        text = page.read_text()
+        assert 'shard="shard-0"' in text
+        assert "repro_cluster_requests_total" in text
+
+    def test_bench_table(self, capsys):
+        assert main(
+            ["cluster", "bench", "--shards-sweep", "1", "2",
+             "--requests", "1", "--tuples", "4000",
+             "--partitions", "16", "--distribution", "zipf"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cluster-bench" in out
+        assert "max/mean load" in out
+
+
 class TestReport:
     def test_report_written(self, tmp_path, capsys):
         out = tmp_path / "REPORT.md"

@@ -60,6 +60,45 @@ class TestPlan:
         with pytest.raises(ConfigurationError):
             cluster.plan(cluster.split_relation(relation)[:2])
 
+    def test_partition_counts_exposed(self, cluster, relation):
+        """The plan carries the global per-partition histogram, which
+        the cluster router's placement policy consumes as a skew
+        signal."""
+        chunks = cluster.split_relation(relation)
+        plan = cluster.plan(chunks)
+        assert plan.partition_counts is not None
+        assert plan.partition_counts.shape == (64,)
+        assert int(plan.partition_counts.sum()) == len(relation)
+        single = FpgaPartitioner(cluster.config).partition(relation)
+        assert np.array_equal(plan.partition_counts, single.counts)
+
+    def test_all_local_plan_reports_flat_imbalance(self):
+        """Regression: an all-local exchange (zero off-diagonal bytes)
+        used to divide by a zero mean; it must report exactly 1.0 even
+        under a strict numpy error state."""
+        from repro.ops.distributed import ExchangePlan
+
+        plan = ExchangePlan(
+            nodes=3,
+            bytes_matrix=np.diag([100, 200, 300]).astype(np.int64),
+            partition_owner=np.arange(12, dtype=np.int64) % 3,
+        )
+        with np.errstate(all="raise"):
+            assert plan.receive_imbalance == 1.0
+
+    def test_feeds_router_placement(self, cluster, relation):
+        """ExchangePlan skew metrics flow into ShardRouter placement."""
+        from repro.cluster import ShardRouter
+
+        plan = cluster.plan(cluster.split_relation(relation))
+        router = ShardRouter(3, seed=0)
+        router.observe_plan(plan)
+        assert router.placement is not None
+        assert 64 in router.placement._plan_counts
+        assert router.placement._observed_imbalance == pytest.approx(
+            plan.receive_imbalance
+        )
+
 
 class TestExecution:
     def test_exchange_equals_single_node_partitioning(self, cluster, relation):
