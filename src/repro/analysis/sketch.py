@@ -99,10 +99,17 @@ class HyperLogLogSketch:
         np.maximum(self.registers, other.registers, out=self.registers)
         return self
 
+    #: Flajolet et al.'s bias constants for small register counts; the
+    #: asymptotic 0.7213/(1 + 1.079/m) formula only holds for m >= 128
+    #: and overestimates by several percent at m = 16/32/64.
+    _SMALL_M_ALPHA = {16: 0.673, 32: 0.697, 64: 0.709}
+
     def cardinality(self) -> float:
         """Estimated number of distinct keys seen."""
         m = float(self.num_registers)
-        alpha = 0.7213 / (1.0 + 1.079 / m)
+        alpha = self._SMALL_M_ALPHA.get(
+            self.num_registers, 0.7213 / (1.0 + 1.079 / m)
+        )
         estimate = alpha * m * m / float(
             np.sum(np.ldexp(1.0, -self.registers.astype(np.int64)))
         )
@@ -172,6 +179,33 @@ class HeavyHitterSketch:
                 self.counters = counters
         return self
 
+    def merge(self, other: "HeavyHitterSketch") -> "HeavyHitterSketch":
+        """Combine another Misra–Gries summary into this one.
+
+        Counter sums are taken first, then the summary is shrunk back
+        to ``capacity`` by shedding the ``(capacity + 1)``-th largest
+        count from every counter — the standard mergeable-summary step,
+        which keeps the combined under-count bounded by the sum of the
+        two inputs' bounds (Agarwal et al., "Mergeable Summaries").
+        Returns self.
+        """
+        if other.capacity != self.capacity:
+            raise ConfigurationError(
+                "cannot merge sketches of different capacity "
+                f"({self.capacity} vs {other.capacity})"
+            )
+        combined = dict(self.counters)
+        for key, count in other.counters.items():
+            combined[key] = combined.get(key, 0) + count
+        if len(combined) > self.capacity:
+            ranked = sorted(combined.values(), reverse=True)
+            shed = ranked[self.capacity]
+            combined = {
+                k: v - shed for k, v in combined.items() if v > shed
+            }
+        self.counters = combined
+        return self
+
     def top(self, k: int = 8) -> List[tuple]:
         """The ``k`` largest (key, lower-bound count) pairs."""
         ranked = sorted(
@@ -236,6 +270,25 @@ class StreamSketch:
         self.num_tuples += int(keys.shape[0])
         self.hll.add(keys)
         self.heavy.add(keys)
+        return self
+
+    def merge(self, other: "StreamSketch") -> "StreamSketch":
+        """Union with another ingest bundle; returns self.
+
+        Raises :class:`~repro.errors.ConfigurationError` when the HLL
+        precisions or heavy-hitter capacities differ — the register
+        and counter merges are only sound between identically-shaped
+        sketches.  Shapes are checked up front so a mismatch leaves
+        this bundle untouched rather than half-merged.
+        """
+        if other.heavy.capacity != self.heavy.capacity:
+            raise ConfigurationError(
+                "cannot merge sketches of different capacity "
+                f"({self.heavy.capacity} vs {other.heavy.capacity})"
+            )
+        self.hll.merge(other.hll)
+        self.heavy.merge(other.heavy)
+        self.num_tuples += other.num_tuples
         return self
 
     def cardinality(self) -> float:

@@ -312,12 +312,23 @@ def cmd_report(args) -> int:
 
 def _synthetic_requests(args):
     """Build the synthetic request stream ``serve``/``trace`` share."""
+    import dataclasses
+
     import numpy as np
 
     from repro.service import PartitionRequest, Priority
 
     rng = np.random.default_rng(args.seed)
-    config = PartitionerConfig(num_partitions=args.partitions)
+    mode = getattr(args, "mode", None)
+    config = (
+        dataclasses.replace(
+            _parse_mode(mode), num_partitions=args.partitions
+        )
+        if mode
+        else PartitionerConfig(num_partitions=args.partitions)
+    )
+    distribution = getattr(args, "distribution", None)
+    zipf = getattr(args, "zipf", 0.0) or 0.0
     priorities = (Priority.LOW, Priority.NORMAL, Priority.HIGH)
     lo, hi = args.min_tuples, args.max_tuples
     if lo < 1 or hi < lo:
@@ -325,14 +336,24 @@ def _synthetic_requests(args):
             f"need 1 <= --min-tuples <= --max-tuples, got {lo}..{hi}"
         )
     deadline = getattr(args, "deadline", 0.0)
+
+    def keys_for(index: int, size: int) -> np.ndarray:
+        if distribution:
+            return make_relation(
+                size, distribution, seed=args.seed + index,
+                zipf_factor=zipf,
+            ).keys
+        return rng.integers(
+            0, 2**32, size=size, dtype=np.uint64
+        ).astype(np.uint32)
+
     return [
         PartitionRequest(
-            relation=rng.integers(
-                0, 2**32, size=int(size), dtype=np.uint64
-            ).astype(np.uint32),
+            relation=keys_for(i, int(size)),
             config=config,
             priority=priorities[i % len(priorities)],
             deadline_s=deadline or None,
+            on_overflow=getattr(args, "on_overflow", "raise"),
         )
         for i, size in enumerate(
             rng.integers(lo, hi + 1, size=args.requests)
@@ -354,6 +375,50 @@ def _write_trace_outputs(args, tracer, service) -> None:
         with open(args.prometheus_out, "w") as handle:
             handle.write(text)
         print(f"wrote Prometheus exposition to {args.prometheus_out}")
+
+
+def _check_serve_identity(requests, responses) -> int:
+    """Count responses whose contents differ from the static reference.
+
+    The reference is a fresh single-shot partitioner per config with
+    ``on_overflow="hist"`` — partition contents and counts are
+    identical across output modes and backends, so every successful
+    response (optimized or not) must match it byte for byte.
+    """
+    import numpy as np
+
+    from repro.core.partitioner import FpgaPartitioner
+    from repro.service import RequestStatus
+
+    mismatches = 0
+    partitioners = {}
+    try:
+        for request, response in zip(requests, responses):
+            if response.status is not RequestStatus.OK:
+                continue
+            key = request.config
+            if key not in partitioners:
+                partitioners[key] = FpgaPartitioner(config=request.config)
+            reference = partitioners[key].partition(
+                request.relation, request.payloads, on_overflow="hist"
+            )
+            output = response.output
+            same = np.array_equal(output.counts, reference.counts)
+            for p in range(request.config.num_partitions):
+                if not same:
+                    break
+                same = np.array_equal(
+                    output.partition_keys[p], reference.partition_keys[p]
+                ) and np.array_equal(
+                    output.partition_payloads[p],
+                    reference.partition_payloads[p],
+                )
+            if not same:
+                mismatches += 1
+    finally:
+        for partitioner in partitioners.values():
+            partitioner.close()
+    return mismatches
 
 
 def cmd_serve(args) -> int:
@@ -383,11 +448,17 @@ def cmd_serve(args) -> int:
     tracer = (
         Tracer() if (args.trace_out or args.prometheus_out) else None
     )
+    optimizer = None
+    if args.optimize:
+        from repro.optimize import AdaptiveOptimizer
+
+        optimizer = AdaptiveOptimizer(seed=args.seed)
     service = PartitionService(
         max_queue_requests=args.queue,
         max_batch_requests=1 if args.naive else args.batch,
         policy=policy,
         tracer=tracer,
+        optimizer=optimizer,
     )
     import time as _time
 
@@ -414,14 +485,67 @@ def cmd_serve(args) -> int:
         hints = [r.retry_after for r in rejected if r.retry_after]
         print(f"  retry-after hints : "
               f"{min(hints):.3f}s .. {max(hints):.3f}s")
+    if optimizer is not None:
+        snap = optimizer.snapshot()
+        print("  optimizer         : " + ", ".join(
+            f"{label} {count}"
+            for label, count in sorted(snap["decisions"].items())
+        ) + f" ({snap['observations']} rate observations)")
+    if args.check_identity:
+        mismatches = _check_serve_identity(requests, responses)
+        print(f"  identity check    : "
+              f"{len(responses) - mismatches}/{len(responses)} "
+              f"byte-identical to static reference")
+        if mismatches:
+            raise SystemExit(f"{mismatches} responses differ from static")
     if args.output:
         import json
 
         with open(args.output, "w") as handle:
-            json.dump(service.metrics.to_dict(), handle, indent=2)
+            json.dump(service.snapshot(), handle, indent=2)
         print(f"wrote {args.output}")
     if tracer is not None:
         _write_trace_outputs(args, tracer, service)
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    """Explain optimizer decisions for a sweep of synthetic workloads."""
+    import dataclasses
+
+    from repro.optimize import AdaptiveOptimizer, WorkloadProfile
+
+    if args.action != "explain":  # pragma: no cover - argparse enforces
+        raise SystemExit(f"unknown optimize action {args.action!r}")
+    optimizer = AdaptiveOptimizer(seed=args.seed)
+    config = None
+    if args.mode:
+        config = dataclasses.replace(
+            _parse_mode(args.mode), num_partitions=args.partitions
+        )
+    workloads = {}
+    for spec in args.workloads:
+        name, _, factor = spec.partition(":")
+        distribution = name
+        zipf = float(factor) if factor else 0.0
+        relation = make_relation(
+            args.tuples, distribution, seed=args.seed, zipf_factor=zipf
+        )
+        label = f"{distribution}({zipf:g})" if zipf else distribution
+        workloads[label] = WorkloadProfile.from_keys(
+            relation.keys, tuple_bytes=8
+        )
+    rows = optimizer.explain(workloads, config=config)
+    headers = list(rows[0].keys()) if rows else []
+    table = ExperimentTable(
+        experiment_id="repro optimize",
+        title="adaptive optimizer decisions "
+              + ("(request config)" if config else "(planned configs)"),
+        headers=headers,
+        rows=[[row[h] for h in headers] for row in rows],
+        note=f"{args.tuples} tuples per workload, seed {args.seed}",
+    )
+    print(table.render())
     return 0
 
 
@@ -781,6 +905,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trace the run; write the span log (JSONL) here")
     p.add_argument("--prometheus-out", default=None,
                    help="trace the run; write a Prometheus exposition here")
+    p.add_argument("--optimize", action="store_true",
+                   help="attach the adaptive optimizer (sketch-driven "
+                        "backend routing and heavy-hitter isolation)")
+    p.add_argument("--mode", default=None,
+                   help="request output/layout mode, e.g. PAD/RID "
+                        "(default: the config default)")
+    p.add_argument("--distribution", default=None,
+                   help="generate request keys with this distribution "
+                        "(default: legacy uniform stream)")
+    p.add_argument("--zipf", type=float, default=0.0,
+                   help="Zipf factor for --distribution zipf")
+    p.add_argument("--on-overflow", default="raise",
+                   choices=["raise", "hist", "cpu"],
+                   help="PAD overflow policy for every request")
+    p.add_argument("--check-identity", action="store_true",
+                   help="verify every OK response against a static "
+                        "single-shot reference (exit 1 on mismatch)")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser(
+        "optimize",
+        help="adaptive-optimizer tooling (decision explain table)",
+    )
+    p.add_argument("action", choices=["explain"],
+                   help="explain: print the decision table for a "
+                        "sweep of synthetic workloads")
+    p.add_argument("--workloads", nargs="+",
+                   default=["random", "zipf:0.9", "zipf:1.2"],
+                   help="distribution[:zipf_factor] specs to profile")
+    p.add_argument("--tuples", type=int, default=200_000,
+                   help="tuples per profiled workload")
+    p.add_argument("--partitions", type=int, default=64,
+                   help="fan-out for --mode (ignored when planning)")
+    p.add_argument("--mode", default=None,
+                   help="explain against this request mode (e.g. "
+                        "PAD/RID); omit to also plan fan-out/mode")
     p.add_argument("--seed", type=int, default=0)
 
     p = sub.add_parser(
@@ -877,6 +1037,7 @@ _COMMANDS = {
     "partition": cmd_partition,
     "join": cmd_join,
     "serve": cmd_serve,
+    "optimize": cmd_optimize,
     "trace": cmd_trace,
     "spill": cmd_spill,
     "cluster": cmd_cluster,

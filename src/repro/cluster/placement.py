@@ -44,10 +44,11 @@ __all__ = ["PlacementPlan", "PlacementPolicy"]
 
 #: cap on how many keys one request feeds the sketch (keeps the
 #: per-request policy cost bounded on multi-million-tuple requests).
-#: A strided sample of 4k keys still surfaces any key with more than
-#: ~hot_factor/P of the stream with high probability, and the
-#: Misra–Gries update loops over *unique* sampled keys in Python, so
-#: the cap is what bounds the policy's per-request cost.
+#: A uniform sample of 4k keys surfaces any key with more than
+#: ~hot_factor/P of the stream with high probability regardless of how
+#: the input is ordered, and the Misra–Gries update loops over *unique*
+#: sampled keys in Python, so the cap is what bounds the policy's
+#: per-request cost.
 _SKETCH_SAMPLE = 1 << 12
 
 
@@ -94,6 +95,10 @@ class PlacementPolicy:
             count) — the cluster replicates more aggressively exactly
             when the all-to-all planner reports skew.  ``None``
             disables the adaptation.
+        sample_seed: seed for the uniform key-sampling RNG used by
+            :meth:`observe_keys`.  Two policies built with the same
+            seed and fed the same observation sequence draw identical
+            samples, keeping placement deterministic across routers.
     """
 
     def __init__(
@@ -102,6 +107,7 @@ class PlacementPolicy:
         hot_factor: float = 2.0,
         sketch_capacity: int = 64,
         imbalance_boost: Optional[float] = 1.5,
+        sample_seed: int = 0x5EED,
     ):
         if replicas < 1:
             raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
@@ -113,6 +119,7 @@ class PlacementPolicy:
         self.hot_factor = float(hot_factor)
         self.imbalance_boost = imbalance_boost
         self.sketch = HeavyHitterSketch(capacity=sketch_capacity)
+        self._sample_rng = np.random.default_rng(sample_seed)
         self._lock = threading.Lock()
         self._observed_imbalance = 1.0
         #: decayed per-partition counts from observed exchange plans,
@@ -124,15 +131,53 @@ class PlacementPolicy:
     def observe_keys(self, keys: np.ndarray) -> None:
         """Feed one request's keys into the heavy-hitter sketch.
 
-        Samples with a stride (rather than a prefix) so sorted or
-        clustered inputs still contribute a representative slice.
+        Samples uniformly at random (seeded) rather than with a stride:
+        a stride aliases against sorted, periodic, or run-length-
+        clustered inputs — e.g. Zipf keys arriving as runs shorter than
+        the stride are systematically skipped or over-weighted — while
+        a uniform sample sees every key with probability proportional
+        to its true frequency no matter how the stream is ordered.
         """
         keys = np.asarray(keys)
         if keys.size > _SKETCH_SAMPLE:
-            stride = keys.size // _SKETCH_SAMPLE
-            keys = keys[::stride][:_SKETCH_SAMPLE]
+            with self._lock:
+                idx = self._sample_rng.integers(
+                    0, keys.size, size=_SKETCH_SAMPLE
+                )
+            keys = keys[idx]
         with self._lock:
             self.sketch.add(keys)
+
+    def observe_profile(self, profile, num_partitions: int = 64) -> None:
+        """Absorb an optimizer :class:`~repro.optimize.profile.WorkloadProfile`.
+
+        The optimizer's sketch-detected hot set feeds the replication
+        decision twice over: each hot key joins the Misra–Gries
+        counters at its share lower bound (so :meth:`hot_mask` flags
+        its partition even before this policy has seen the key
+        itself), and the implied partition imbalance — the top key's
+        share times the fan-out — drives the same adaptive replication
+        boost that exchange-plan skew does, raising the effective R.
+        """
+        if profile.num_tuples <= 0 or not profile.hot_keys:
+            return
+        with self._lock:
+            counters = self.sketch.counters
+            for key, share in zip(profile.hot_keys, profile.hot_shares):
+                estimate = int(share * profile.num_tuples)
+                if estimate <= 0:
+                    continue
+                counters[int(key)] = max(counters.get(int(key), 0), estimate)
+            if len(counters) > self.sketch.capacity:
+                ranked = sorted(counters.items(), key=lambda kv: -kv[1])
+                shed = ranked[self.sketch.capacity][1]
+                self.sketch.counters = {
+                    k: v - shed for k, v in ranked if v > shed
+                }
+            implied = profile.max_key_share * num_partitions
+            self._observed_imbalance = max(
+                self._observed_imbalance, implied
+            )
 
     def observe_plan(self, plan) -> None:
         """Absorb an :class:`~repro.ops.distributed.ExchangePlan`.

@@ -58,7 +58,18 @@ class ModelPrediction:
         return self.tuples_per_second / 1e6
 
     def seconds_for(self, num_tuples: int) -> float:
-        """Wall time this rate implies for ``num_tuples``."""
+        """Wall time this rate implies for ``num_tuples``.
+
+        Zero tuples take zero seconds by definition — short-circuited
+        so a degenerate zero-rate prediction cannot turn ``0 / 0`` into
+        a NaN that poisons downstream cost comparisons.
+        """
+        if num_tuples < 0:
+            raise ConfigurationError(
+                f"num_tuples must be >= 0, got {num_tuples}"
+            )
+        if num_tuples == 0:
+            return 0.0
         return num_tuples / self.tuples_per_second
 
 
@@ -106,7 +117,9 @@ class FpgaCostModel:
     def process_rate(self, config: PartitionerConfig, num_tuples: int) -> float:
         """Circuit-side rate including mode factor and latency dilution."""
         if num_tuples < 1:
-            raise ConfigurationError("num_tuples must be >= 1")
+            raise ConfigurationError(
+                f"num_tuples must be >= 1, got {num_tuples}"
+            )
         b_fpga = self.circuit_tuple_rate(config)
         l_fpga = self.latency_seconds()
         return 1.0 / (config.mode_factor * (1.0 / b_fpga + l_fpga / num_tuples))
@@ -159,6 +172,12 @@ class FpgaCostModel:
         yielding the Figure 9 end-to-end numbers instead of the pure
         Section 4.8 model.
         """
+        if num_tuples < 0:
+            raise ConfigurationError(
+                f"num_tuples must be >= 0, got {num_tuples}"
+            )
+        if num_tuples == 0:
+            return 0.0
         rate = self.predict(config, num_tuples, interfered).tuples_per_second
         if calibrated:
             rate *= MEASURED_CALIBRATION.get(config.mode_label, 1.0)

@@ -105,6 +105,9 @@ class PartitionedOutput:
     dummy_slots: int
     produced_by: str = "fpga-functional"
     fell_back_to_cpu: bool = False
+    #: regions carved out of the PAD grid for sketch-detected heavy
+    #: hitters (see :func:`repro.optimize.isolation.partition_isolated`)
+    isolated_partitions: int = 0
 
     @property
     def num_partitions(self) -> int:

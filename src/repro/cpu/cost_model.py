@@ -55,7 +55,18 @@ class CpuPartitionEstimate:
         return self.memory_bound_rate <= self.compute_bound_rate
 
     def seconds_for(self, num_tuples: int) -> float:
-        """Wall time this estimate implies for ``num_tuples``."""
+        """Wall time this estimate implies for ``num_tuples``.
+
+        Zero tuples take zero seconds by definition — short-circuited
+        so a degenerate zero-rate estimate cannot turn ``0 / 0`` into a
+        NaN (or ZeroDivisionError) that poisons downstream cost sums.
+        """
+        if num_tuples < 0:
+            raise ConfigurationError(
+                f"num_tuples must be >= 0, got {num_tuples}"
+            )
+        if num_tuples == 0:
+            return 0.0
         return num_tuples / self.tuples_per_second
 
 
@@ -83,6 +94,10 @@ class CpuCostModel:
         ``B(read_frac=1)``.  Scatter pass: ``tuple_bytes`` read plus
         ``tuple_bytes`` written (non-temporal) at ``B(read_frac=0.5)``.
         """
+        if tuple_bytes < 1:
+            raise ConfigurationError(
+                f"tuple_bytes must be >= 1, got {tuple_bytes}"
+            )
         b_seq = self.bandwidth.bytes_per_second(Agent.CPU, 1.0, interfered)
         b_mix = self.bandwidth.bytes_per_second(Agent.CPU, 0.5, interfered)
         seconds_per_tuple = tuple_bytes / b_seq + 2 * tuple_bytes / b_mix
@@ -99,6 +114,14 @@ class CpuCostModel:
         """Thread-scaled compute rate before the memory ceiling."""
         if threads < 1:
             raise ConfigurationError(f"threads must be >= 1, got {threads}")
+        if num_partitions < 1:
+            raise ConfigurationError(
+                f"num_partitions must be >= 1, got {num_partitions}"
+            )
+        if tuple_bytes < 1:
+            raise ConfigurationError(
+                f"tuple_bytes must be >= 1, got {tuple_bytes}"
+            )
         hash_kind = HashKind(hash_kind)
         distribution = KeyDistribution(distribution)
         if hash_kind is HashKind.MURMUR:

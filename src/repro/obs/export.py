@@ -150,6 +150,33 @@ def prometheus_from_snapshot(
                     labels=labels,
                 )
             )
+    optimizer = snapshot.get("optimizer") or {}
+    decisions = optimizer.get("decisions") or {}
+    if decisions:
+        name = f"{prefix}_decisions_total"
+        lines.append(
+            f"# HELP {name} Optimizer decisions by backend/pad-strategy."
+        )
+        lines.append(f"# TYPE {name} counter")
+        extra = _label_pairs(labels)
+        for decision, value in sorted(decisions.items()):
+            label = f'decision="{_escape_label(decision)}"'
+            if extra:
+                label = f"{extra},{label}"
+            lines.append(f"{name}{{{label}}} {_format_value(value)}")
+    rates = optimizer.get("rates") or {}
+    if rates:
+        name = f"{prefix}_optimizer_rate_tuples_per_second"
+        lines.append(
+            f"# HELP {name} Calibrated backend rates (observed EMA)."
+        )
+        lines.append(f"# TYPE {name} gauge")
+        extra = _label_pairs(labels)
+        for backend, value in sorted(rates.items()):
+            label = f'backend="{_escape_label(backend)}"'
+            if extra:
+                label = f"{extra},{label}"
+            lines.append(f"{name}{{{label}}} {_format_value(value)}")
     throughput = snapshot.get("throughput_rps")
     if throughput is not None:
         name = f"{prefix}_throughput_rps"

@@ -1,0 +1,28 @@
+"""Sketch-driven adaptive optimization (ROADMAP item 4).
+
+* :class:`~repro.optimize.profile.WorkloadProfile` — frozen sketch
+  summary decisions are pure functions of;
+* :class:`~repro.optimize.optimizer.AdaptiveOptimizer` — cost-model
+  driven backend/mode/isolation decisions with online recalibration;
+* :class:`~repro.optimize.optimizer.StaticOptimizer` — the escape
+  hatch (every knob stays at the static configuration);
+* :func:`~repro.optimize.isolation.partition_isolated` — skew-aware
+  execution giving sketch-hot keys dedicated exact-fit regions.
+"""
+
+from repro.optimize.isolation import hot_partitions, partition_isolated
+from repro.optimize.optimizer import (
+    AdaptiveOptimizer,
+    Decision,
+    StaticOptimizer,
+)
+from repro.optimize.profile import WorkloadProfile
+
+__all__ = [
+    "AdaptiveOptimizer",
+    "Decision",
+    "StaticOptimizer",
+    "WorkloadProfile",
+    "hot_partitions",
+    "partition_isolated",
+]

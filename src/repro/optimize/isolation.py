@@ -1,0 +1,154 @@
+"""Skew-aware execution: heavy hitters get dedicated exact-fit regions.
+
+Section 3.2's unavoidable fact is that every repeat of a key lands in
+one partition, so a single hot key defeats PAD mode's fixed-capacity
+regions: its partition overflows and the run aborts.  The classic
+answer is to give up on PAD and rerun in HIST — paying the failed pass
+*plus* the two-pass mode.  :func:`partition_isolated` does better when
+the hot keys are known in advance (from the ingest sketches): the
+partitions those keys hash into are carved out of the PAD grid and
+given **exact-fit regions appended after it** — sized from the same
+histogram pass PAD already runs — while every cold partition keeps its
+fixed-capacity slot.  The PAD overflow check then applies to cold
+partitions only, so a hot key cannot trigger the overflow path at all.
+
+The output is **byte-identical in contents and traffic** to what the
+static partitioner produces: partition contents and ``counts`` never
+depended on the output mode in the first place, and both PAD and
+isolated layouts write exactly the filled cache lines (padding is
+accounted per lane, not per region), so ``bytes_read``/
+``bytes_written``/``dummy_slots`` all agree.  Only ``base_lines`` —
+where each region *starts* — differs, which is precisely the knob the
+hardware's region allocator owns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro import kernels
+from repro.core.modes import OutputMode
+from repro.core.partitioner import (
+    FpgaPartitioner,
+    OverflowPolicy,
+    PartitionedOutput,
+)
+from repro.errors import PartitionOverflowError
+from repro.workloads.relations import Relation
+
+__all__ = ["hot_partitions", "partition_isolated"]
+
+
+def hot_partitions(
+    hot_keys: Sequence[int],
+    num_partitions: int,
+    uses_hash: bool,
+) -> np.ndarray:
+    """Partition ids the hot keys map to (sorted, unique)."""
+    if not len(hot_keys):
+        return np.empty(0, dtype=np.int64)
+    keys = np.asarray(list(hot_keys), dtype=np.uint32)
+    parts = kernels.hash_only(keys, num_partitions, uses_hash)
+    return np.unique(parts.astype(np.int64))
+
+
+def partition_isolated(
+    partitioner: FpgaPartitioner,
+    relation: Relation | np.ndarray,
+    payloads: Optional[np.ndarray] = None,
+    hot_keys: Sequence[int] = (),
+    on_overflow: OverflowPolicy = "hist",
+) -> PartitionedOutput:
+    """Partition with sketch-detected heavy hitters isolated.
+
+    Args:
+        partitioner: the configured :class:`FpgaPartitioner` whose
+            static output this run must match in contents.
+        relation: per the :meth:`FpgaPartitioner.partition` contract.
+        payloads: payload column when ``relation`` is a bare array.
+        hot_keys: keys to isolate; their partitions get exact-fit
+            regions and are exempt from the PAD capacity check.
+        on_overflow: policy if a *cold* partition still overflows —
+            the sketch can only vouch for the keys it retained.
+
+    Returns:
+        A :class:`PartitionedOutput` with ``produced_by`` set to
+        ``"fpga-isolated"`` and ``isolated_partitions`` counting the
+        carved-out regions.  In HIST mode (or with no hot keys) this
+        degenerates to the plain partitioner — HIST has no overflow
+        path to protect.
+    """
+    cfg = partitioner.config
+    if cfg.output_mode is not OutputMode.PAD or not len(hot_keys):
+        return partitioner.partition(relation, payloads, on_overflow)
+
+    keys, payloads = partitioner._extract_columns(relation, payloads)
+    n = int(keys.shape[0])
+    per_line = cfg.tuples_per_line
+
+    with partitioner.tracer.span(
+        "fpga.partition_isolated",
+        tuples=n,
+        partitions=cfg.num_partitions,
+        mode=cfg.mode_label,
+        hot_keys=len(hot_keys),
+    ) as span:
+        parts, counts, lane_counts = kernels.hash_histogram(
+            keys, cfg.num_partitions, cfg.uses_hash, lanes=cfg.num_lanes
+        )
+        lines_per_partition = (-(-lane_counts // per_line)).sum(axis=1)
+        hot = hot_partitions(hot_keys, cfg.num_partitions, cfg.uses_hash)
+
+        # PAD capacity check on cold partitions only — the isolated
+        # regions are exact-fit by construction and cannot overflow.
+        capacity_lines = cfg.partition_capacity(n) // per_line
+        cold_over = np.nonzero(lines_per_partition > capacity_lines)[0]
+        cold_over = np.setdiff1d(cold_over, hot, assume_unique=False)
+        if cold_over.size:
+            if on_overflow == "raise":
+                raise PartitionOverflowError(
+                    partition=int(cold_over[0]),
+                    capacity=capacity_lines * per_line,
+                    tuples_seen=n,
+                )
+            return partitioner._handle_overflow(
+                keys,
+                payloads,
+                int(cold_over[0]),
+                capacity_lines * per_line,
+                on_overflow,
+            )
+
+        partition_base = np.zeros(cfg.num_partitions, dtype=np.int64)
+        np.cumsum(counts[:-1], out=partition_base[1:])
+        sorted_keys = np.empty(n, dtype=np.uint32)
+        sorted_payloads = np.empty(n, dtype=np.uint32)
+        kernels.stable_scatter(
+            keys, payloads, parts, partition_base,
+            cfg.num_partitions, sorted_keys, sorted_payloads,
+        )
+
+        output = partitioner._finalize_output(
+            n, counts, lines_per_partition, sorted_keys, sorted_payloads
+        )
+        # Re-point the isolated regions: cold partitions keep their PAD
+        # grid slot, hot partitions move to exact-fit regions appended
+        # after the grid.  Contents, counts and traffic are untouched.
+        base_lines = output.base_lines.copy()
+        grid_end = cfg.num_partitions * capacity_lines
+        hot_lines = lines_per_partition[hot]
+        offsets = np.zeros(hot.size, dtype=np.int64)
+        np.cumsum(hot_lines[:-1], out=offsets[1:])
+        base_lines[hot] = grid_end + offsets
+        output.base_lines = base_lines
+        output.produced_by = "fpga-isolated"
+        output.isolated_partitions = int(hot.size)
+        partitioner._account_platform(output, None)
+        span.set_attributes(
+            isolated_partitions=output.isolated_partitions,
+            bytes_read=output.bytes_read,
+            bytes_written=output.bytes_written,
+        )
+        return output

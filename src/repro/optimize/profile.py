@@ -1,0 +1,172 @@
+"""The optimizer's view of a workload: one frozen, comparable summary.
+
+Decisions must be pure functions of *something*, or the optimizer can
+never be property-tested.  :class:`WorkloadProfile` is that something:
+the handful of numbers the ingest sketches (:mod:`repro.analysis`)
+already measure — tuple count, distinct-key estimate, heavy-hitter
+shares — flattened into a frozen dataclass.  Everything the
+:class:`~repro.optimize.optimizer.AdaptiveOptimizer` decides is a
+deterministic function of a profile plus its calibration state, so the
+monotonicity and determinism properties in ``tests/test_optimizer.py``
+can be stated exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.sketch import StreamSketch
+from repro.core.hashing import murmur3_finalizer
+from repro.errors import ConfigurationError
+
+__all__ = ["WorkloadProfile"]
+
+#: cap on how many keys one request feeds the heavy-hitter estimate;
+#: the same bound the placement policy uses.
+_PROFILE_SAMPLE = 1 << 12
+
+#: linear-counting bins for the distinct-key estimate (one bincount
+#: over the high hash bits).  The estimate saturates near the bin
+#: count, which is exactly acceptable: the decision rules only need
+#: cardinality resolution at the *low* end, where the cold-key spread
+#: factor matters.
+_DISTINCT_BINS = 1 << 16
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadProfile:
+    """What the sketches say about one request (or one shard's slice).
+
+    Attributes:
+        num_tuples: exact tuple count.
+        distinct_keys: HLL cardinality estimate (rounded).
+        hot_keys: retained heavy-hitter keys, largest share first.
+        hot_shares: input-share lower bounds aligned with ``hot_keys``.
+        tuple_bytes: tuple width the workload will be partitioned at.
+    """
+
+    num_tuples: int
+    distinct_keys: int
+    hot_keys: Tuple[int, ...] = ()
+    hot_shares: Tuple[float, ...] = ()
+    tuple_bytes: int = 8
+
+    def __post_init__(self):
+        if self.num_tuples < 0:
+            raise ConfigurationError(
+                f"num_tuples must be >= 0, got {self.num_tuples}"
+            )
+        if len(self.hot_keys) != len(self.hot_shares):
+            raise ConfigurationError(
+                "hot_keys and hot_shares must align "
+                f"({len(self.hot_keys)} vs {len(self.hot_shares)})"
+            )
+
+    @property
+    def max_key_share(self) -> float:
+        """Largest single-key share (lower bound); 0.0 when unknown."""
+        return self.hot_shares[0] if self.hot_shares else 0.0
+
+    def isolation_keys(
+        self, num_partitions: int, skew_factor: float = 2.0
+    ) -> Tuple[int, ...]:
+        """Keys whose share alone exceeds ``skew_factor`` fair shares.
+
+        This is the monotone core of skew-aware execution: the
+        threshold is a fixed fraction of the input, so raising any
+        key's share can only add it to (never remove it from) the
+        isolation set.
+        """
+        if num_partitions < 1:
+            raise ConfigurationError(
+                f"num_partitions must be >= 1, got {num_partitions}"
+            )
+        threshold = skew_factor / num_partitions
+        return tuple(
+            key
+            for key, share in zip(self.hot_keys, self.hot_shares)
+            if share > threshold
+        )
+
+    @classmethod
+    def from_sketch(
+        cls, sketch: StreamSketch, tuple_bytes: int = 8
+    ) -> "WorkloadProfile":
+        """Build from an ingest-pass :class:`StreamSketch` bundle."""
+        total = max(1, sketch.num_tuples)
+        ranked = sketch.heavy.top(k=len(sketch.heavy.counters) or 1)
+        pairs = [
+            (int(key), count / total) for key, count in ranked if count > 0
+        ]
+        return cls(
+            num_tuples=sketch.num_tuples,
+            distinct_keys=int(round(sketch.cardinality())),
+            hot_keys=tuple(k for k, _ in pairs),
+            hot_shares=tuple(s for _, s in pairs),
+            tuple_bytes=tuple_bytes,
+        )
+
+    @classmethod
+    def from_keys(
+        cls,
+        keys: np.ndarray,
+        tuple_bytes: int = 8,
+        rng: Optional[np.random.Generator] = None,
+        heavy_hitter_capacity: int = 64,
+    ) -> "WorkloadProfile":
+        """Profile a key column on the service's submit path.
+
+        This runs per request ahead of admission, so it must cost a
+        small fraction of the kernel pass it informs.  Cardinality
+        comes from linear counting over the high murmur bits (one hash
+        pass + one ``bincount`` — far cheaper than the streaming HLL's
+        register scatter, and saturation near the bin count is fine
+        because the decision rules only need resolution at low
+        cardinality).  Heavy hitters come from *exact* counts over a
+        bounded uniform sample (seeded via ``rng``) — strictly more
+        informative than a Misra–Gries pass over the same sample, and
+        fully vectorised.
+        """
+        keys = np.ascontiguousarray(keys, dtype=np.uint32)
+        n = int(keys.shape[0])
+        if n == 0:
+            return cls(
+                num_tuples=0, distinct_keys=0, tuple_bytes=tuple_bytes
+            )
+        occupied_bins = np.zeros(_DISTINCT_BINS, dtype=bool)
+        occupied_bins[murmur3_finalizer(keys) >> np.uint32(16)] = True
+        empty = _DISTINCT_BINS - int(np.count_nonzero(occupied_bins))
+        distinct = (
+            n
+            if empty == 0
+            else min(
+                n,
+                int(round(_DISTINCT_BINS * math.log(_DISTINCT_BINS / empty))),
+            )
+        )
+        sample = keys
+        if n > _PROFILE_SAMPLE:
+            rng = rng or np.random.default_rng(0)
+            sample = keys[rng.integers(0, n, size=_PROFILE_SAMPLE)]
+        total = int(sample.shape[0])
+        unique, counts = np.unique(sample, return_counts=True)
+        # a once-seen sample key carries no share information
+        seen = counts >= 2
+        unique, counts = unique[seen], counts[seen]
+        if unique.size > heavy_hitter_capacity:
+            top = np.argpartition(counts, -heavy_hitter_capacity)[
+                -heavy_hitter_capacity:
+            ]
+            unique, counts = unique[top], counts[top]
+        order = np.argsort(-counts, kind="stable")
+        return cls(
+            num_tuples=n,
+            distinct_keys=max(1, distinct),
+            hot_keys=tuple(int(k) for k in unique[order]),
+            hot_shares=tuple(float(c) / total for c in counts[order]),
+            tuple_bytes=tuple_bytes,
+        )

@@ -123,6 +123,11 @@ COUNTERS = (
     "spilled",
     "fpga_invocations",
     "cpu_invocations",
+    # optimizer decision outcomes (repro.optimize wiring)
+    "optimized",
+    "isolated",
+    "preempted_hist",
+    "routed_cpu",
 )
 
 #: per-request pipeline stages with a latency histogram each

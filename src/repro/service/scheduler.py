@@ -181,10 +181,12 @@ class BatchingScheduler:
         open_by_signature: Dict[Tuple, int] = {}
         for entry in entries:
             tuples = entry.tuples
-            if (
+            if getattr(entry, "force_spill", False) or (
                 self.spill_tuples is not None
                 and tuples >= self.spill_tuples
             ):
+                # an optimizer multi-pass routing forces the spill path
+                # even below the static threshold
                 self._tracer.add_event(
                     "scheduler.spill", tuples=tuples,
                     threshold=self.spill_tuples,

@@ -36,7 +36,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.modes import PartitionerConfig
+from repro.core.modes import OutputMode, PartitionerConfig
 from repro.core.partitioner import (
     FpgaPartitioner,
     OverflowPolicy,
@@ -172,6 +172,13 @@ class _Pending:
     deadline_at: Optional[float]
     #: root "request" span, opened at submit and ended at resolution
     span: Optional[object] = None
+    #: optimizer decision, computed ahead of admission (None = static)
+    decision: Optional[object] = None
+
+    @property
+    def force_spill(self) -> bool:
+        """True when the optimizer routed this request multi-pass."""
+        return self.decision is not None and self.decision.backend == "spill"
 
 
 class PartitionService:
@@ -221,6 +228,21 @@ class PartitionService:
             service's ``clock`` should be the tracer's clock (both
             default to ``time.monotonic``) so timestamps share one
             timeline.
+        optimizer: optional
+            :class:`~repro.optimize.optimizer.AdaptiveOptimizer` hook,
+            consulted *ahead of admission* for every request.  The
+            decision joins the batch signature (requests with
+            different execution plans never share a kernel pass) and
+            steers execution: sketch-hot keys are isolated into
+            dedicated PAD regions, doomed PAD runs go straight to
+            HIST, optimizer-routed requests run on the cpu or spill
+            path without counting as degradations, and observed
+            execute latencies flow back via ``optimizer.observe`` to
+            recalibrate its rates.  Response contents stay
+            byte-identical to the static path — only layout/base
+            addresses and the accounting differ.  ``None`` (default)
+            is the static escape hatch: every knob keeps the
+            request's configuration.
     """
 
     def __init__(
@@ -242,6 +264,7 @@ class PartitionService:
         cpu_threads: int = 1,
         clock=time.monotonic,
         tracer=None,
+        optimizer=None,
     ):
         if max_retries < 0:
             raise ReproError(f"max_retries must be >= 0, got {max_retries}")
@@ -270,6 +293,7 @@ class PartitionService:
         self.retry_backoff_cap_s = retry_backoff_cap_s
         self._engine_spec = engine
         self._cpu_threads = cpu_threads
+        self.optimizer = optimizer
         self._fpga: Dict[Tuple, FpgaPartitioner] = {}
         self._cpu: Dict[Tuple, CpuPartitioner] = {}
         self._sequence = 0
@@ -339,14 +363,21 @@ class PartitionService:
             self._sequence += 1
             request_id = self._sequence
         ticket = PartitionTicket(request_id)
+        decision = (
+            self._decide(request) if self.optimizer is not None else None
+        )
         now = self._clock()
         pending = _Pending(
             request=request,
             ticket=ticket,
             # overflow policy joins the signature: a coalesced kernel
-            # call applies one policy to the whole batch
+            # call applies one policy to the whole batch.  So does the
+            # optimizer decision — requests with different execution
+            # plans (backend, pad strategy, isolation set) must not
+            # share a kernel pass.
             signature=request_signature(request.config)
-            + (request.on_overflow,),
+            + (request.on_overflow,)
+            + ((decision.batch_token,) if decision is not None else ()),
             tuples=request.num_tuples,
             submitted_at=now,
             deadline_at=(
@@ -354,6 +385,7 @@ class PartitionService:
                 if request.deadline_s is not None
                 else None
             ),
+            decision=decision,
         )
         if self.tracer.enabled:
             span = self.tracer.start_span(
@@ -386,6 +418,46 @@ class PartitionService:
         self.metrics.increment("admitted")
         self.metrics.set_gauge("queue_depth", len(self.queue))
         return ticket
+
+    def _decide(self, request: PartitionRequest):
+        """Consult the optimizer for one request's execution plan.
+
+        Planning failures fall back to the static path rather than
+        failing the request — the optimizer is an accelerator, not a
+        gatekeeper.
+        """
+        try:
+            if isinstance(request.relation, Relation):
+                keys = request.relation.keys
+            else:
+                keys = np.ascontiguousarray(
+                    request.relation, dtype=np.uint32
+                )
+            # a reused stale "keep" on a raise-policy PAD request could
+            # surface an overflow raise the optimizer exists to prevent
+            # — force a fresh profile exactly there
+            reuse = not (
+                request.on_overflow == "raise"
+                and request.config.output_mode is OutputMode.PAD
+            )
+            decision = self.optimizer.decide(
+                keys, request.config, reuse=reuse
+            )
+        except Exception:  # noqa: BLE001 - static fallback by design
+            return None
+        self.metrics.increment("optimized")
+        if decision.pad_strategy == "isolate":
+            self.metrics.increment("isolated")
+        elif decision.pad_strategy == "hist":
+            self.metrics.increment("preempted_hist")
+        return decision
+
+    def snapshot(self) -> dict:
+        """Service metrics plus the optimizer's decision/rate state."""
+        snap = self.metrics.to_dict()
+        if self.optimizer is not None:
+            snap["optimizer"] = self.optimizer.snapshot()
+        return snap
 
     def partition(
         self,
@@ -461,20 +533,31 @@ class PartitionService:
         attempts = 0
         error: Optional[str] = None
         started = self._clock()
+        # all entries of a batch share one decision (it is part of the
+        # batch signature), so the head entry speaks for everyone
+        decision = live[0].decision
 
         with self.tracer.span("execute") as exec_span:
-            refusal = self.policy.admit_fpga(total_tuples)
-            if refusal is None:
-                outputs, attempts, error = self._try_fpga(live, batch)
-                if outputs is None:
-                    degrade_reason = error or "fpga-fault"
-            else:
-                degrade_reason = refusal
-            if outputs is None:
+            if decision is not None and decision.backend == "cpu":
+                # optimizer-routed, not a degradation: the plan says
+                # the CPU is the faster backend for this batch
                 backend = "cpu"
-                degraded = True
-                self.metrics.increment("degraded", len(live))
+                degrade_reason = "optimizer-routed"
+                self.metrics.increment("routed_cpu", len(live))
                 outputs, error = self._try_cpu(live)
+            else:
+                refusal = self.policy.admit_fpga(total_tuples)
+                if refusal is None:
+                    outputs, attempts, error = self._try_fpga(live, batch)
+                    if outputs is None:
+                        degrade_reason = error or "fpga-fault"
+                else:
+                    degrade_reason = refusal
+                if outputs is None:
+                    backend = "cpu"
+                    degraded = True
+                    self.metrics.increment("degraded", len(live))
+                    outputs, error = self._try_cpu(live)
             exec_span.set_attributes(
                 backend=backend,
                 attempts=attempts,
@@ -482,6 +565,8 @@ class PartitionService:
                 degrade_reason=degrade_reason,
             )
         execute_s = self._clock() - started
+        if self.optimizer is not None and outputs is not None:
+            self.optimizer.observe(backend, total_tuples, execute_s)
 
         with self.tracer.span("resolve", requests=len(live)):
             if outputs is None:
@@ -506,6 +591,12 @@ class PartitionService:
         """
         partitioner = self._fpga_for(live[0])
         on_overflow: OverflowPolicy = live[0].request.on_overflow
+        decision = live[0].decision
+        isolate = (
+            decision is not None
+            and decision.pad_strategy == "isolate"
+            and decision.isolate_keys
+        )
         attempts = 0
         error: Optional[str] = None
         deadline = min(
@@ -516,7 +607,27 @@ class PartitionService:
             attempts += 1
             try:
                 self.policy.before_fpga_call()
-                if len(live) == 1:
+                if isolate:
+                    from repro.optimize.isolation import partition_isolated
+
+                    # heavy hitters go to dedicated regions; should the
+                    # cold keys overflow anyway, degrade that entry to
+                    # HIST accounting rather than raising at the client
+                    outputs = [
+                        partition_isolated(
+                            partitioner,
+                            entry.request.relation,
+                            entry.request.payloads,
+                            hot_keys=decision.isolate_keys,
+                            on_overflow=(
+                                "hist"
+                                if entry.request.on_overflow == "raise"
+                                else entry.request.on_overflow
+                            ),
+                        )
+                        for entry in live
+                    ]
+                elif len(live) == 1:
                     outputs = [
                         partitioner.partition(
                             live[0].request.relation,
@@ -585,6 +696,8 @@ class PartitionService:
             )
             return
         execute_s = self._clock() - started
+        if self.optimizer is not None:
+            self.optimizer.observe("spill", entry.tuples, execute_s)
         self.metrics.increment("spilled")
         with self.tracer.span("resolve", requests=1):
             now = self._clock()
@@ -672,8 +785,22 @@ class PartitionService:
     def _fpga_for(self, entry: _Pending) -> FpgaPartitioner:
         partitioner = self._fpga.get(entry.signature)
         if partitioner is None:
+            config = entry.request.config
+            if (
+                entry.decision is not None
+                and entry.decision.pad_strategy == "hist"
+                and config.output_mode is OutputMode.PAD
+            ):
+                # the optimizer predicted this PAD run is doomed to
+                # overflow: go straight to HIST accounting instead of
+                # paying a failed PAD pass first.  Contents/counts are
+                # identical across modes; the decision is part of the
+                # signature, so the cache never mixes the two configs.
+                config = dataclasses.replace(
+                    config, output_mode=OutputMode.HIST
+                )
             partitioner = FpgaPartitioner(
-                config=entry.request.config,
+                config=config,
                 engine=self._engine_spec,
                 tracer=self.tracer,
             )

@@ -169,6 +169,48 @@ class TestPlacement:
         )
         assert placed.max() / placed.mean() <= plain.max() / plain.mean()
 
+    def test_clustered_zipf_keys_feed_sketch(self):
+        """Regression: the sketch sample must not alias with run-length-
+        clustered input.
+
+        The old strided sampler (``keys[::stride]``) drew only stream
+        positions congruent to 0 mod stride; with hot-key runs laid out
+        off that grid it never saw the dominant key at all.  A seeded
+        uniform sample sees it in proportion to its true share.
+        """
+        from repro.cluster.placement import _SKETCH_SAMPLE
+
+        rng = np.random.default_rng(11)
+        stride = 16  # what a strided sampler uses at this input size
+        n = _SKETCH_SAMPLE * stride
+        # One dominant key (~15/16 of the stream) in long runs, with
+        # run-length-clustered Zipf cold keys sitting exactly on the
+        # stride grid — the adversarial layout for strided sampling.
+        keys = np.full(n, 7, dtype=np.uint32)
+        cold = np.sort(
+            (rng.zipf(1.5, size=n // stride) % 50_000 + 1_000).astype(
+                np.uint32
+            )
+        )
+        keys[::stride] = cold
+        policy = PlacementPolicy(replicas=2, sketch_capacity=8)
+        policy.observe_keys(keys)
+        counters = policy.sketch.counters
+        assert counters, "sketch saw no keys"
+        top = max(counters, key=counters.get)
+        assert top == 7
+        assert counters[7] / _SKETCH_SAMPLE > 0.5
+
+    def test_sketch_sampling_is_seed_deterministic(self):
+        keys = np.random.default_rng(2).integers(
+            0, 1 << 20, size=200_000
+        ).astype(np.uint32)
+        a = PlacementPolicy(sample_seed=42)
+        b = PlacementPolicy(sample_seed=42)
+        a.observe_keys(keys)
+        b.observe_keys(keys)
+        assert a.sketch.counters == b.sketch.counters
+
 
 # ---------------------------------------------------------------------------
 # 3. Byte-identity property

@@ -121,3 +121,53 @@ class TestApi:
 
     def test_throughput_helper(self, model):
         assert model.throughput_mtuples(10) == pytest.approx(506, rel=0.03)
+
+
+class TestDegenerateInputs:
+    """Degenerate inputs the adaptive optimizer now leans on: raise
+    ConfigurationError or answer exactly, never divide by zero / NaN."""
+
+    def test_zero_and_negative_threads_raise(self, model):
+        for threads in (0, -1, -10):
+            with pytest.raises(ConfigurationError):
+                model.estimate(threads, HashKind.RADIX)
+            with pytest.raises(ConfigurationError):
+                model.compute_bound_rate(threads, HashKind.RADIX)
+
+    def test_zero_and_negative_fanout_raise(self, model):
+        for fanout in (0, -1, -256):
+            with pytest.raises(ConfigurationError):
+                model.estimate(2, HashKind.RADIX, num_partitions=fanout)
+            with pytest.raises(ConfigurationError):
+                model.compute_bound_rate(
+                    2, HashKind.RADIX, num_partitions=fanout
+                )
+
+    def test_invalid_tuple_bytes_raise(self, model):
+        with pytest.raises(ConfigurationError):
+            model.memory_bound_rate(0)
+        with pytest.raises(ConfigurationError):
+            model.estimate(2, HashKind.RADIX, tuple_bytes=-8)
+
+    def test_seconds_for_zero_tuples_is_zero(self, model):
+        estimate = model.estimate(4, HashKind.RADIX)
+        assert estimate.seconds_for(0) == 0.0
+
+    def test_seconds_for_zero_with_zero_rate_is_zero(self):
+        """A 0-rate estimate must not turn seconds_for(0) into NaN."""
+        import dataclasses
+
+        estimate = dataclasses.replace(
+            CpuCostModel().estimate(1, HashKind.RADIX),
+            tuples_per_second=0.0,
+        )
+        result = estimate.seconds_for(0)
+        assert result == 0.0 and result == result  # not NaN
+
+    def test_seconds_for_rejects_negative(self, model):
+        estimate = model.estimate(4, HashKind.RADIX)
+        with pytest.raises(ConfigurationError):
+            estimate.seconds_for(-1)
+
+    def test_partitioning_seconds_zero_tuples(self, model):
+        assert model.partitioning_seconds(0, 4) == 0.0

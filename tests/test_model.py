@@ -139,3 +139,41 @@ class TestCalibration:
         t1 = model.partitioning_seconds(128 * 10**6, config)
         t2 = model.partitioning_seconds(256 * 10**6, config)
         assert t2 == pytest.approx(2 * t1, rel=0.01)
+
+
+class TestDegenerateInputs:
+    """Degenerate inputs the adaptive optimizer now leans on: they must
+    raise :class:`ConfigurationError` or answer exactly, never divide
+    by zero or emit NaN."""
+
+    def test_predict_rejects_zero_and_negative_tuples(self, model):
+        config = PartitionerConfig()
+        with pytest.raises(ConfigurationError):
+            model.predict(config, 0)
+        with pytest.raises(ConfigurationError):
+            model.predict(config, -5)
+
+    def test_seconds_for_zero_tuples_is_zero(self, model):
+        prediction = model.predict(PartitionerConfig())
+        assert prediction.seconds_for(0) == 0.0
+
+    def test_seconds_for_zero_with_zero_rate_is_zero(self):
+        """A 0-rate prediction must not turn seconds_for(0) into NaN."""
+        import dataclasses
+
+        prediction = dataclasses.replace(
+            FpgaCostModel().predict(PartitionerConfig()),
+            tuples_per_second=0.0,
+        )
+        result = prediction.seconds_for(0)
+        assert result == 0.0 and result == result  # not NaN
+
+    def test_seconds_for_rejects_negative(self, model):
+        prediction = model.predict(PartitionerConfig())
+        with pytest.raises(ConfigurationError):
+            prediction.seconds_for(-1)
+
+    def test_partitioning_seconds_zero_tuples(self, model):
+        assert model.partitioning_seconds(0, PartitionerConfig()) == 0.0
+        with pytest.raises(ConfigurationError):
+            model.partitioning_seconds(-1, PartitionerConfig())

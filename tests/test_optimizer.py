@@ -1,0 +1,343 @@
+"""Adaptive-optimizer decision properties and byte-identity.
+
+Three invariants pinned here:
+
+* **Monotonicity** — more skew never shrinks the isolation set, and a
+  larger input never flips a multi-pass routing back to single-pass.
+* **Determinism** — two optimizers built with the same seed decide
+  identically on the same key columns.
+* **Byte-identity** — optimized responses carry exactly the partition
+  contents and counts of the static path, for every HIST/PAD ×
+  RID/VRID combination and for every pad strategy the optimizer picks.
+"""
+
+
+import numpy as np
+import pytest
+
+from repro.core.modes import LayoutMode, OutputMode, PartitionerConfig
+from repro.core.partitioner import FpgaPartitioner
+from repro.errors import ConfigurationError
+from repro.optimize import (
+    AdaptiveOptimizer,
+    Decision,
+    StaticOptimizer,
+    WorkloadProfile,
+    partition_isolated,
+)
+from repro.service.service import PartitionService
+from repro.workloads.relations import make_relation
+
+
+def pad_config(**overrides) -> PartitionerConfig:
+    defaults = dict(num_partitions=64, output_mode=OutputMode.PAD)
+    defaults.update(overrides)
+    return PartitionerConfig(**defaults)
+
+
+def skewed_profile(hot_share: float, extra=()) -> WorkloadProfile:
+    """One dominant key at ``hot_share`` plus optional (key, share)s."""
+    hot = [(7, hot_share)] + list(extra)
+    return WorkloadProfile(
+        num_tuples=1_000_000,
+        distinct_keys=50_000,
+        hot_keys=tuple(k for k, _ in hot),
+        hot_shares=tuple(s for _, s in hot),
+    )
+
+
+def assert_same_contents(a, b, num_partitions):
+    assert np.array_equal(a.counts, b.counts)
+    for p in range(num_partitions):
+        assert np.array_equal(a.partition_keys[p], b.partition_keys[p])
+        assert np.array_equal(
+            a.partition_payloads[p], b.partition_payloads[p]
+        )
+
+
+class TestDecision:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            Decision(
+                backend="gpu", pad_strategy="keep", isolate_keys=(),
+                multi_pass=False, est_seconds=0.0, reason="",
+            )
+
+    def test_rejects_unknown_pad_strategy(self):
+        with pytest.raises(ConfigurationError):
+            Decision(
+                backend="fpga", pad_strategy="avoid", isolate_keys=(),
+                multi_pass=False, est_seconds=0.0, reason="",
+            )
+
+    def test_batch_token_separates_plans(self):
+        keep = Decision("fpga", "keep", (), False, 0.0, "")
+        isolate = Decision("fpga", "isolate", (7,), False, 0.0, "")
+        assert keep.batch_token != isolate.batch_token
+
+
+class TestMonotonicity:
+    def test_more_skew_never_decreases_isolation(self):
+        opt = AdaptiveOptimizer(seed=0)
+        config = pad_config()
+        sizes = []
+        for share in np.linspace(0.005, 0.6, 40):
+            decision = opt.plan_for(skewed_profile(float(share)), config)
+            sizes.append(len(decision.isolate_keys))
+        assert sizes == sorted(sizes), sizes
+        assert sizes[-1] >= 1  # the 60% key is definitely isolated
+
+    def test_isolation_monotone_with_mid_weight_keys(self):
+        # several mid-weight keys sharing a partition must be isolated
+        # once their joint mass endangers it, and adding mass to any of
+        # them never shrinks the set
+        opt = AdaptiveOptimizer(seed=0)
+        config = pad_config()
+        extras = [(k, 0.02) for k in range(100, 110)]
+        base = opt.plan_for(skewed_profile(0.05, extras), config)
+        heavier = opt.plan_for(
+            skewed_profile(0.05, [(k, 0.04) for k, _ in extras]), config
+        )
+        assert set(base.isolate_keys) <= set(heavier.isolate_keys)
+
+    def test_larger_inputs_never_flip_to_single_pass(self):
+        opt = AdaptiveOptimizer(seed=0, memory_budget_bytes=64 << 20)
+        config = pad_config()
+        flags = []
+        for n in [10**4, 10**5, 10**6, 10**7, 10**8]:
+            profile = WorkloadProfile(
+                num_tuples=n, distinct_keys=min(n, 10_000),
+                hot_keys=(), hot_shares=(),
+            )
+            flags.append(opt.plan_for(profile, config).multi_pass)
+        # once multi-pass, always multi-pass as n grows
+        assert flags == sorted(flags)
+        assert flags[-1] is True
+        assert opt.plan_for(
+            WorkloadProfile(
+                num_tuples=10**8, distinct_keys=10_000,
+                hot_keys=(), hot_shares=(),
+            ),
+            config,
+        ).backend == "spill"
+
+    def test_uniform_profile_keeps_static_plan(self):
+        opt = AdaptiveOptimizer(seed=0)
+        profile = WorkloadProfile(
+            num_tuples=100_000, distinct_keys=90_000,
+            hot_keys=(), hot_shares=(),
+        )
+        decision = opt.plan_for(profile, pad_config())
+        assert decision.pad_strategy == "keep"
+        assert decision.isolate_keys == ()
+        assert decision.multi_pass is False
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        keys = make_relation(
+            200_000, "zipf", seed=3, zipf_factor=1.2
+        ).keys
+        config = pad_config()
+        a = AdaptiveOptimizer(seed=42)
+        b = AdaptiveOptimizer(seed=42)
+        for _ in range(3):
+            da, db = a.decide(keys, config), b.decide(keys, config)
+            assert da == db
+
+    def test_same_observations_same_decisions(self):
+        keys = make_relation(
+            150_000, "zipf", seed=5, zipf_factor=1.1
+        ).keys
+        config = pad_config()
+        a = AdaptiveOptimizer(seed=9)
+        b = AdaptiveOptimizer(seed=9)
+        for opt in (a, b):
+            opt.observe("fpga", 100_000, 0.01)
+            opt.observe("cpu", 100_000, 0.002)
+        assert a.decide(keys, config) == b.decide(keys, config)
+
+    def test_explain_is_deterministic(self):
+        profiles = {
+            "zipf": WorkloadProfile.from_keys(
+                make_relation(
+                    100_000, "zipf", seed=1, zipf_factor=1.2
+                ).keys
+            ),
+        }
+        rows_a = AdaptiveOptimizer(seed=4).explain(profiles)
+        rows_b = AdaptiveOptimizer(seed=4).explain(profiles)
+        assert rows_a == rows_b
+
+
+@pytest.mark.parametrize("output_mode", [OutputMode.PAD, OutputMode.HIST])
+@pytest.mark.parametrize("layout_mode", [LayoutMode.RID, LayoutMode.VRID])
+class TestByteIdentity:
+    def test_optimized_service_matches_static(
+        self, output_mode, layout_mode
+    ):
+        config = PartitionerConfig(
+            num_partitions=64,
+            output_mode=output_mode,
+            layout_mode=layout_mode,
+        )
+        relation = make_relation(
+            120_000, "zipf", seed=11, zipf_factor=1.2
+        )
+        with FpgaPartitioner(config=config) as static:
+            reference = static.partition(relation, on_overflow="hist")
+        with PartitionService(
+            optimizer=AdaptiveOptimizer(seed=1)
+        ) as service:
+            response = service.partition(
+                relation, config=config, on_overflow="hist"
+            )
+        assert response.ok
+        assert_same_contents(
+            response.output, reference, config.num_partitions
+        )
+
+    def test_isolated_partition_matches_static(
+        self, output_mode, layout_mode
+    ):
+        config = PartitionerConfig(
+            num_partitions=64,
+            output_mode=output_mode,
+            layout_mode=layout_mode,
+        )
+        relation = make_relation(
+            120_000, "zipf", seed=13, zipf_factor=1.2
+        )
+        opt = AdaptiveOptimizer(seed=2)
+        decision = opt.plan_for(
+            WorkloadProfile.from_keys(relation.keys), config
+        )
+        with FpgaPartitioner(config=config) as partitioner:
+            reference = partitioner.partition(relation, on_overflow="hist")
+            optimized = partition_isolated(
+                partitioner,
+                relation,
+                hot_keys=decision.isolate_keys,
+                on_overflow="hist",
+            )
+        assert_same_contents(
+            optimized, reference, config.num_partitions
+        )
+        if output_mode is OutputMode.PAD and decision.isolate_keys:
+            assert optimized.isolated_partitions > 0
+            assert optimized.produced_by == "fpga-isolated"
+
+
+class TestServiceWiring:
+    def test_skewed_pad_raise_path_never_raises(self):
+        # the bug this PR fixes: a hot key used to blow the PAD raise
+        # path; the optimizer isolates it instead
+        config = pad_config()
+        relation = make_relation(
+            150_000, "zipf", seed=17, zipf_factor=1.2
+        )
+        with FpgaPartitioner(config=config) as static:
+            with pytest.raises(Exception):
+                static.partition(relation, on_overflow="raise")
+            reference = static.partition(relation, on_overflow="hist")
+        with PartitionService(
+            optimizer=AdaptiveOptimizer(seed=3)
+        ) as service:
+            response = service.partition(
+                relation, config=config, on_overflow="raise"
+            )
+        assert response.ok
+        assert response.status.value == "ok"
+        assert_same_contents(
+            response.output, reference, config.num_partitions
+        )
+
+    def test_decision_counters_and_snapshot(self):
+        config = pad_config()
+        relation = make_relation(
+            100_000, "zipf", seed=19, zipf_factor=1.2
+        )
+        opt = AdaptiveOptimizer(seed=5)
+        with PartitionService(optimizer=opt) as service:
+            assert service.partition(
+                relation, config=config, on_overflow="hist"
+            ).ok
+            snap = service.snapshot()
+        assert snap["counters"]["optimized"] == 1
+        assert snap["optimizer"]["observations"] >= 1
+        assert sum(snap["optimizer"]["decisions"].values()) == 1
+
+    def test_decisions_split_batches(self):
+        # a skewed and a uniform request must not coalesce: their
+        # execution plans differ, so their signatures must too
+        config = pad_config()
+        zipf = make_relation(
+            100_000, "zipf", seed=23, zipf_factor=1.2
+        )
+        uniform = make_relation(100_000, "random", seed=23)
+        # reuse off: each request planned fresh (a *reused* plan may
+        # legitimately coalesce — same plan, same kernel semantics)
+        opt = AdaptiveOptimizer(seed=6, reprofile_interval=0)
+        d_zipf = opt.decide(zipf.keys, config)
+        d_uniform = opt.decide(uniform.keys, config)
+        assert d_zipf.batch_token != d_uniform.batch_token
+
+    def test_static_optimizer_is_identity(self):
+        config = pad_config()
+        relation = make_relation(100_000, "random", seed=29)
+        opt = StaticOptimizer()
+        decision = opt.decide(relation.keys, config)
+        assert decision.pad_strategy == "keep"
+        assert decision.backend == "fpga"
+        assert opt.snapshot() == {
+            "decisions": {}, "rates": {}, "observations": 0
+        }
+
+    def test_force_spill_routes_multi_pass(self, tmp_path):
+        config = PartitionerConfig(num_partitions=16)
+        relation = make_relation(50_000, "random", seed=31)
+        opt = AdaptiveOptimizer(seed=7, memory_budget_bytes=1 << 10)
+        with PartitionService(
+            optimizer=opt, spill_dir=tmp_path
+        ) as service:
+            response = service.partition(relation, config=config)
+        assert response.ok
+        assert response.backend == "spill"
+        assert response.spill is not None
+        response.spill.cleanup()
+
+
+class TestCalibration:
+    def test_observed_rates_reroute_to_cpu(self):
+        opt = AdaptiveOptimizer(seed=8)
+        config = pad_config()
+        # large enough that the fpga model's startup cost is amortised
+        # and the model-based choice is fpga
+        profile = WorkloadProfile(
+            num_tuples=1_000_000, distinct_keys=90_000,
+            hot_keys=(), hot_shares=(),
+        )
+        assert opt.plan_for(profile, config).backend == "fpga"
+        # cpu observed 10x faster than fpga: hysteresis margin cleared
+        opt.observe("fpga", 100_000, 1.0)
+        opt.observe("cpu", 1_000_000, 1.0)
+        assert opt.plan_for(profile, config).backend == "cpu"
+
+    def test_degenerate_observations_dropped(self):
+        opt = AdaptiveOptimizer(seed=8)
+        opt.observe("fpga", 0, 1.0)
+        opt.observe("fpga", 100, 0.0)
+        opt.observe("fpga", 100, -1.0)
+        assert opt.snapshot()["observations"] == 0
+
+    def test_margin_hysteresis_keeps_fpga(self):
+        opt = AdaptiveOptimizer(seed=8, cpu_margin=1.25)
+        config = pad_config()
+        profile = WorkloadProfile(
+            num_tuples=1_000_000, distinct_keys=90_000,
+            hot_keys=(), hot_shares=(),
+        )
+        # cpu barely faster: inside the margin, stay on fpga
+        opt.observe("fpga", 100_000, 1.0)
+        opt.observe("cpu", 110_000, 1.0)
+        assert opt.plan_for(profile, config).backend == "fpga"

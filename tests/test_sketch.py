@@ -71,6 +71,37 @@ class TestHyperLogLog:
         )
         assert restored.cardinality() == sketch.cardinality()
 
+    @pytest.mark.parametrize("exponent", [1, 2, 3, 4, 5, 6])
+    def test_error_bound_property_across_scales(self, exponent):
+        """Estimate error stays within ~5 sigma of the p=12 standard
+        error (1.04/sqrt(4096) ~= 1.6%) from 10^1 to 10^6 distinct
+        keys — the low end exercising the linear-counting path, the
+        high end the raw harmonic-mean estimator."""
+        n = 10**exponent
+        rng = np.random.default_rng(exponent)
+        keys = rng.choice(
+            np.iinfo(np.uint32).max, size=n, replace=False
+        ).astype(np.uint32)
+        sketch = HyperLogLogSketch(precision=12)
+        for chunk in np.array_split(keys, max(1, n // 100_000)):
+            sketch.add(chunk)
+        assert abs(sketch.cardinality() - n) / n < 0.08
+
+    @pytest.mark.parametrize("precision", [4, 5, 6])
+    def test_small_precision_bias_constants(self, precision):
+        """m = 16/32/64 use Flajolet's tabulated alpha, not the
+        asymptotic formula — without them the estimate runs several
+        percent hot at exactly the precisions the optimizer's cheap
+        per-shard sketches use."""
+        m = 1 << precision
+        n = 50 * m  # far above the small-range correction threshold
+        keys = np.random.default_rng(precision).choice(
+            np.iinfo(np.uint32).max, size=n, replace=False
+        ).astype(np.uint32)
+        sketch = HyperLogLogSketch(precision=precision).add(keys)
+        # standard error 1.04/sqrt(m) is ~26% at m=16; stay within 3x
+        assert abs(sketch.cardinality() - n) / n < 3 * 1.04 / m**0.5
+
 
 class TestHeavyHitters:
     def test_dominant_key_detected(self):
@@ -111,6 +142,41 @@ class TestHeavyHitters:
             json.loads(json.dumps(sketch.to_dict()))
         )
         assert restored.counters == sketch.counters
+
+    def test_merge_retains_heavy_key(self):
+        rng = np.random.default_rng(4)
+        left = rng.integers(0, 10_000, size=8_000).astype(np.uint32)
+        right = rng.integers(0, 10_000, size=8_000).astype(np.uint32)
+        left[:3_000] = 42
+        right[:3_000] = 42
+        merged = (
+            HeavyHitterSketch(capacity=32)
+            .add(left)
+            .merge(HeavyHitterSketch(capacity=32).add(right))
+        )
+        assert len(merged.counters) <= 32
+        top_key, count = merged.top(1)[0]
+        assert top_key == 42
+        # merged under-count is bounded by the sum of both inputs'
+        # n/capacity bounds
+        assert count >= 6_000 - 2 * (8_000 // 32)
+
+    def test_merge_rejects_capacity_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            HeavyHitterSketch(capacity=8).merge(
+                HeavyHitterSketch(capacity=16)
+            )
+
+    def test_stream_sketch_merge(self):
+        a = StreamSketch().add(np.zeros(900, dtype=np.uint32))
+        b = StreamSketch().add(np.arange(100, dtype=np.uint32))
+        a.merge(b)
+        assert a.num_tuples == 1_000
+        assert a.max_key_share() > 0.8
+        with pytest.raises(ConfigurationError):
+            a.merge(StreamSketch(precision=10))
+        with pytest.raises(ConfigurationError):
+            StreamSketch(heavy_hitter_capacity=4).merge(StreamSketch())
 
 
 class TestPartitionPlan:
