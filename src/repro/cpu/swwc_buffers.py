@@ -180,6 +180,9 @@ def swwc_partition(
     for t, (lo, hi) in enumerate(chunks):
         if hi <= lo:
             continue
+        # threads > 1 engages the native partition-parallel flush: the
+        # chunk's partitions are split across pthreads, each owning its
+        # cursors, so the bytes match the single-threaded flush.
         kernels.swwc_scatter(
             keys[lo:hi],
             payloads[lo:hi],
@@ -189,6 +192,7 @@ def swwc_partition(
             buffer_tuples,
             out_keys,
             out_payloads,
+            threads=threads,
         )
         # Buffer mechanics accounting (full flushes + final drain).
         chunk_counts = local_hist[t]

@@ -52,6 +52,10 @@ def build_probe_partition(
     chain_hops)``; the payload arrays are None when
     ``collect_payloads=False`` (count-only joins, as used by the
     benchmarks to avoid materialisation costs the paper doesn't time).
+
+    Key hashing inside the table goes through the ``kernels`` dispatch
+    (GIL-free native murmur when the compiled backend is loaded), so
+    concurrent per-partition build/probe tasks scale on threads.
     """
     if r_keys.shape[0] == 0 or s_keys.shape[0] == 0:
         return 0, (np.empty(0, np.uint32) if collect_payloads else None), (

@@ -27,8 +27,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.hashing import murmur3_finalizer
+from repro import kernels
 from repro.errors import ConfigurationError
+from repro.kernels import numpy_impl
 
 _EMPTY = np.int64(-1)
 
@@ -57,39 +58,35 @@ class BucketChainingHashTable:
         self._build()
 
     def _bucket_of(self, keys: np.ndarray) -> np.ndarray:
-        """In-table hash: murmur over the key, masked to buckets.
+        """In-table hash: the HIGH bits of the murmur hash.
 
-        The radix join already consumed the low key/hash bits for
-        partitioning, so the in-table hash must mix the remaining
-        entropy — the same reason the C implementations re-hash here.
+        The radix join already consumed the LOW hash bits for
+        partitioning; indexing the table with the same masked hash
+        would collapse every key of a partition into a handful of
+        buckets (``num_buckets / fan_out``) and degenerate the chains.
+        The top murmur bits are independent of the partition index.
+        Must match the bucket computation inside both kernel backends —
+        only the diagnostics (``probe_scalar``, ``max_chain_length``)
+        call this Python path.
         """
-        return (murmur3_finalizer(keys) & self.mask).astype(np.int64)
+        return numpy_impl._join_buckets(
+            np.ascontiguousarray(keys, dtype=np.uint32), self.num_buckets
+        )
 
     def _build(self) -> None:
-        n = self.keys.shape[0]
-        buckets = self._bucket_of(self.keys)
-        heads = np.full(self.num_buckets, _EMPTY, dtype=np.int64)
-        nxt = np.full(n, _EMPTY, dtype=np.int64)
-        # Chain construction, vectorised: within each bucket, tuple i's
-        # `next` is the previous (lower-index) tuple of that bucket and
-        # the head is the bucket's last tuple — identical chains to the
-        # scalar front-insertion loop.
-        order = np.argsort(buckets, kind="stable")
-        sorted_buckets = buckets[order]
-        same_as_prev = np.zeros(n, dtype=bool)
-        same_as_prev[1:] = sorted_buckets[1:] == sorted_buckets[:-1]
-        # element order[k]'s predecessor in its chain is order[k-1]
-        # when both share a bucket, else it terminates the chain
-        prev = np.full(n, _EMPTY, dtype=np.int64)
-        prev[1:] = np.where(same_as_prev[1:], order[:-1], _EMPTY)
-        nxt[order] = prev
-        # head of each bucket = its last element in sorted order
-        is_last = np.ones(n, dtype=bool)
-        is_last[:-1] = sorted_buckets[:-1] != sorted_buckets[1:]
-        heads[sorted_buckets[is_last]] = order[is_last]
-        self.heads = heads
-        self.next = nxt
-        self.buckets = buckets
+        # Chain construction through the kernels dispatch: the native
+        # backend runs the scalar front-insertion loop in C, the NumPy
+        # fallback builds the same chains vectorised (within each
+        # bucket, tuple i's `next` is the previous lower-index tuple
+        # and the head is the bucket's last tuple).
+        self.heads, self.next = kernels.bucket_build(
+            self.keys, self.num_buckets
+        )
+
+    @property
+    def buckets(self) -> np.ndarray:
+        """Per-build-tuple bucket index (computed on demand)."""
+        return self._bucket_of(self.keys)
 
     # ------------------------------------------------------------------
 
@@ -108,31 +105,13 @@ class BucketChainingHashTable:
         if m == 0:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty.copy(), 0
-
-        current = self.heads[self._bucket_of(probe_keys)]
-        probe_idx_parts = []
-        build_idx_parts = []
-        hops = 0
-        active = np.nonzero(current != _EMPTY)[0]
-        cursor = current[active]
-        while active.size:
-            hops += int(active.size)
-            matched = self.keys[cursor] == probe_keys[active]
-            if matched.any():
-                probe_idx_parts.append(active[matched])
-                build_idx_parts.append(cursor[matched])
-            cursor = self.next[cursor]
-            alive = cursor != _EMPTY
-            active = active[alive]
-            cursor = cursor[alive]
-
-        if probe_idx_parts:
-            probe_idx = np.concatenate(probe_idx_parts)
-            build_idx = np.concatenate(build_idx_parts)
-        else:
-            probe_idx = np.empty(0, dtype=np.int64)
-            build_idx = np.empty(0, dtype=np.int64)
-        return probe_idx, build_idx, hops
+        # One kernels call for the whole walk: the native backend runs
+        # it GIL-free in C; both backends emit matches probe-major
+        # (each probe's matches in chain order, probes in input order),
+        # so the match ordering is backend-invariant.
+        return kernels.bucket_probe(
+            self.keys, self.heads, self.next, self.num_buckets, probe_keys
+        )
 
     def probe_scalar(self, key: int) -> list:
         """Scalar chain walk (reference implementation for tests)."""

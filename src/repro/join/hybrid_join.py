@@ -29,6 +29,59 @@ from repro.platform.machine import XeonFpgaPlatform
 from repro.workloads.relations import Workload
 
 
+def _partition_timing(
+    config: PartitionerConfig,
+    pairs,
+    fpga_cost_model: FpgaCostModel,
+    threads: int,
+    calibrated: bool,
+):
+    """Partitioning seconds + effective mode labels for a join's inputs.
+
+    ``pairs`` is ``(tuple_bytes, output, n_timing)`` triples where
+    ``output`` exposes ``fell_back_to_cpu`` and ``config`` — either a
+    full :class:`~repro.core.partitioner.PartitionedOutput` or the
+    fused executor's :class:`~repro.plan.executor.InputSummary`.  Each
+    relation is timed by the mode that actually ran for it — overflow
+    may have forced one (usually the skewed S) into HIST or onto the
+    CPU, with the aborted PAD pass still charged (worst case of
+    Section 5.4: detection at the very end of the run).
+    """
+    partition_seconds = 0.0
+    effective_labels = []
+    for tuple_bytes, output, n_timing in pairs:
+        if output.fell_back_to_cpu:
+            from repro.cpu.cost_model import CpuCostModel
+
+            cpu_seconds = CpuCostModel().partitioning_seconds(
+                n_timing,
+                threads,
+                hash_kind=config.hash_kind,
+                num_partitions=config.num_partitions,
+                tuple_bytes=tuple_bytes,
+            )
+            aborted = fpga_cost_model.partitioning_seconds(
+                n_timing, config, calibrated=calibrated
+            )
+            partition_seconds += cpu_seconds + aborted
+            effective_labels.append("cpu-fallback")
+            continue
+        partition_seconds += fpga_cost_model.partitioning_seconds(
+            n_timing, output.config, calibrated=calibrated
+        )
+        if (
+            config.output_mode is OutputMode.PAD
+            and output.config.output_mode is OutputMode.HIST
+        ):
+            partition_seconds += fpga_cost_model.partitioning_seconds(
+                n_timing, config, calibrated=calibrated
+            )
+            effective_labels.append(output.config.mode_label + "(retry)")
+        else:
+            effective_labels.append(output.config.mode_label)
+    return partition_seconds, effective_labels
+
+
 def hybrid_join(
     workload: Workload,
     config: Optional[PartitionerConfig] = None,
@@ -42,6 +95,7 @@ def hybrid_join(
     timing_r_tuples: Optional[int] = None,
     timing_s_tuples: Optional[int] = None,
     engine=None,
+    fused: bool = False,
 ) -> JoinResult:
     """Execute and time a hybrid FPGA/CPU radix hash join.
 
@@ -68,6 +122,13 @@ def hybrid_join(
             :class:`~repro.exec.engine.ExecutionEngine`); parallelises
             the partitioning phases and the per-partition build+probe
             without changing the functional result.
+        fused: run through the plan layer's fused one-pass executor
+            (:func:`repro.plan.execute_plan`) — build+probe starts per
+            partition as soon as the scatter lands, with no
+            materialized ``PartitionedOutput`` between the stages.
+            Row-identical to the staged path; when fusion is declined
+            (e.g. a ``platform`` is attached), the staged operators run
+            with the reason recorded.
 
     Returns:
         A :class:`JoinResult`; ``timing.partitioner`` records the FPGA
@@ -87,13 +148,35 @@ def hybrid_join(
     from repro.exec.engine import resolve_engine
 
     engine = resolve_engine(engine, threads)
-    partitioner = FpgaPartitioner(config, platform=platform, engine=engine)
-    r_out = partitioner.partition(r, on_overflow=on_overflow)
-    s_out = partitioner.partition(s, on_overflow=on_overflow)
 
-    matches, r_pay, s_pay = _join_partitions(
-        r_out, s_out, collect_payloads, engine=engine
-    )
+    if fused:
+        from repro.plan import execute_plan, join_query
+
+        result = execute_plan(
+            join_query(
+                r,
+                s,
+                config=config,
+                on_overflow=on_overflow,
+                collect_payloads=collect_payloads,
+            ),
+            engine=engine,
+            platform=platform,
+        )
+        r_out, s_out = result.inputs
+        matches, r_pay, s_pay = (
+            result.matches, result.r_payloads, result.s_payloads
+        )
+    else:
+        partitioner = FpgaPartitioner(
+            config, platform=platform, engine=engine
+        )
+        r_out = partitioner.partition(r, on_overflow=on_overflow)
+        s_out = partitioner.partition(s, on_overflow=on_overflow)
+
+        matches, r_pay, s_pay = _join_partitions(
+            r_out, s_out, collect_payloads, engine=engine
+        )
 
     fell_back = r_out.fell_back_to_cpu or s_out.fell_back_to_cpu
 
@@ -102,44 +185,15 @@ def hybrid_join(
     )
     bp_cost_model = bp_cost_model or BuildProbeCostModel()
 
-    # Each relation is timed by the mode that actually ran for it —
-    # overflow may have forced one (usually the skewed S) into HIST or
-    # onto the CPU, with the aborted PAD pass still charged (worst
-    # case of Section 5.4: detection at the very end of the run).
     n_r = timing_r_tuples if timing_r_tuples is not None else len(r)
     n_s = timing_s_tuples if timing_s_tuples is not None else len(s)
-    partition_seconds = 0.0
-    effective_labels = []
-    for relation, output, n_timing in ((r, r_out, n_r), (s, s_out, n_s)):
-        if output.fell_back_to_cpu:
-            from repro.cpu.cost_model import CpuCostModel
-
-            cpu_seconds = CpuCostModel().partitioning_seconds(
-                n_timing,
-                threads,
-                hash_kind=config.hash_kind,
-                num_partitions=config.num_partitions,
-                tuple_bytes=relation.tuple_bytes,
-            )
-            aborted = fpga_cost_model.partitioning_seconds(
-                n_timing, config, calibrated=calibrated
-            )
-            partition_seconds += cpu_seconds + aborted
-            effective_labels.append("cpu-fallback")
-            continue
-        partition_seconds += fpga_cost_model.partitioning_seconds(
-            n_timing, output.config, calibrated=calibrated
-        )
-        if (
-            config.output_mode is OutputMode.PAD
-            and output.config.output_mode is OutputMode.HIST
-        ):
-            partition_seconds += fpga_cost_model.partitioning_seconds(
-                n_timing, config, calibrated=calibrated
-            )
-            effective_labels.append(output.config.mode_label + "(retry)")
-        else:
-            effective_labels.append(output.config.mode_label)
+    partition_seconds, effective_labels = _partition_timing(
+        config,
+        ((r.tuple_bytes, r_out, n_r), (s.tuple_bytes, s_out, n_s)),
+        fpga_cost_model,
+        threads,
+        calibrated,
+    )
 
     max_share = max(
         r_out.max_partition_tuples() / max(1, len(r)),
@@ -159,6 +213,8 @@ def hybrid_join(
     label = (
         "cpu-fallback" if fell_back else f"fpga {'+'.join(effective_labels)}"
     )
+    if fused:
+        label += " fused"
     timing = JoinTiming(
         partition_seconds=partition_seconds,
         build_probe_seconds=bp.total_seconds,

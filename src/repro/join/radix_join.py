@@ -37,6 +37,7 @@ def cpu_radix_join(
     timing_r_tuples: Optional[int] = None,
     timing_s_tuples: Optional[int] = None,
     engine=None,
+    fused: bool = False,
 ) -> JoinResult:
     """Execute and time a CPU-only partitioned hash join.
 
@@ -53,6 +54,11 @@ def cpu_radix_join(
     ``engine`` (spec or :class:`~repro.exec.engine.ExecutionEngine`)
     runs the partitioning phases and the per-partition build+probe on
     a worker pool; the functional result is unchanged.
+
+    ``fused`` routes the partition → build+probe chain through the
+    plan layer's one-pass executor (:func:`repro.plan.execute_plan`):
+    no materialized ``PartitionedOutput``, same rows (partition
+    contents are backend-invariant, pinned by the kernel tests).
     """
     r, s = workload.r, workload.s
     if r.tuple_bytes != s.tuple_bytes:
@@ -64,19 +70,39 @@ def cpu_radix_join(
     from repro.exec.engine import resolve_engine
 
     engine = resolve_engine(engine, threads)
-    partitioner = CpuPartitioner(
-        num_partitions=num_partitions,
-        hash_kind=hash_kind,
-        threads=threads,
-        tuple_bytes=r.tuple_bytes,
-        engine=engine,
-    )
-    r_out = partitioner.partition(r)
-    s_out = partitioner.partition(s)
+    if fused:
+        from repro.core.modes import PartitionerConfig
+        from repro.plan import execute_plan, join_query
 
-    matches, r_pay, s_pay = _join_partitions(
-        r_out, s_out, collect_payloads, engine=engine
-    )
+        config = PartitionerConfig(
+            num_partitions=num_partitions,
+            hash_kind=hash_kind,
+            tuple_bytes=r.tuple_bytes,
+        )
+        result = execute_plan(
+            join_query(
+                r, s, config=config, collect_payloads=collect_payloads
+            ),
+            engine=engine,
+        )
+        r_out, s_out = result.inputs
+        matches, r_pay, s_pay = (
+            result.matches, result.r_payloads, result.s_payloads
+        )
+    else:
+        partitioner = CpuPartitioner(
+            num_partitions=num_partitions,
+            hash_kind=hash_kind,
+            threads=threads,
+            tuple_bytes=r.tuple_bytes,
+            engine=engine,
+        )
+        r_out = partitioner.partition(r)
+        s_out = partitioner.partition(s)
+
+        matches, r_pay, s_pay = _join_partitions(
+            r_out, s_out, collect_payloads, engine=engine
+        )
 
     cpu_cost_model = cpu_cost_model or CpuCostModel()
     bp_cost_model = bp_cost_model or BuildProbeCostModel()
@@ -113,7 +139,7 @@ def cpu_radix_join(
         r_tuples=n_r,
         s_tuples=n_s,
         threads=threads,
-        partitioner=f"cpu/{hash_kind.value}",
+        partitioner=f"cpu/{hash_kind.value}" + (" fused" if fused else ""),
         num_partitions=num_partitions,
     )
     return JoinResult(

@@ -53,6 +53,8 @@ from repro.kernels.build import (  # noqa: F401  (re-exported)
 __all__ = [
     "KernelBuildError",
     "backend_name",
+    "bucket_build",
+    "bucket_probe",
     "build_native",
     "hash_histogram",
     "hash_only",
@@ -268,10 +270,17 @@ def swwc_scatter(
     buffer_tuples: int,
     out_keys: np.ndarray,
     out_payloads: np.ndarray,
+    threads: int = 1,
 ) -> None:
     """Primitive 4: the scatter driven through software write-combine
     buffers (Code 2) — cache-line batched writes, byte-identical output
-    to :func:`stable_scatter`."""
+    to :func:`stable_scatter`.
+
+    ``threads > 1`` (native backend only) splits the fan-out into one
+    contiguous partition range per thread and flushes the ranges in
+    parallel; each cursor has a single owner, so the result stays
+    byte-identical.  The NumPy fallback ignores ``threads``.
+    """
     from repro.kernels.native import SWWC_MAX_PARTITIONS
 
     cursor = np.ascontiguousarray(dest_base, dtype=np.int64).copy()
@@ -285,7 +294,7 @@ def swwc_scatter(
         if num_partitions <= SWWC_MAX_PARTITIONS and buffer_tuples >= 1:
             _native.swwc_scatter(
                 keys, payloads, parts, num_partitions, buffer_tuples,
-                cursor, out_keys, out_payloads,
+                cursor, out_keys, out_payloads, threads=max(1, int(threads)),
             )
         else:
             _native.scatter(
@@ -295,4 +304,51 @@ def swwc_scatter(
     numpy_impl.swwc_scatter(
         keys, payloads, parts, num_partitions, buffer_tuples, cursor,
         out_keys, out_payloads,
+    )
+
+
+def bucket_build(
+    keys: np.ndarray, num_buckets: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Primitive 5: bucket-chaining join build → ``(heads, next)``.
+
+    Chains are identical across backends: head = the bucket's last
+    tuple, ``next`` pointing to earlier ones (scalar front-insertion
+    order).  Buckets come from the murmur in-table hash.
+    """
+    if _native_eligible(keys):
+        heads = np.empty(num_buckets, dtype=np.int64)
+        nxt = np.empty(keys.shape[0], dtype=np.int64)
+        _native.bucket_build(keys, num_buckets, heads, nxt)
+        return heads, nxt
+    return numpy_impl.bucket_build(keys, num_buckets)
+
+
+def bucket_probe(
+    build_keys: np.ndarray,
+    heads: np.ndarray,
+    nxt: np.ndarray,
+    num_buckets: int,
+    probe_keys: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Primitive 6: chain-walk probe → ``(probe_idx, build_idx, hops)``.
+
+    Emission is probe-major on both backends — for each probe tuple in
+    input order, its matches follow the chain — so the match ordering
+    (and everything derived from it: payload pairs, aggregation input
+    order) is backend-invariant.  The native walk runs the whole probe
+    in one GIL-free call.
+    """
+    if (
+        _native_eligible(build_keys, heads, nxt)
+        and probe_keys.dtype == np.uint32
+        and probe_keys.flags.c_contiguous
+        and heads.dtype == np.int64
+        and nxt.dtype == np.int64
+    ):
+        return _native.bucket_probe(
+            build_keys, heads, nxt, num_buckets, probe_keys
+        )
+    return numpy_impl.bucket_probe(
+        build_keys, heads, nxt, num_buckets, probe_keys
     )

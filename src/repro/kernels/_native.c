@@ -29,6 +29,7 @@
 #include <stdint.h>
 #include <string.h>
 #include <stdlib.h>
+#include <pthread.h>
 
 #if defined(__GNUC__) || defined(__clang__)
 #define REPRO_PREFETCH_W(addr) __builtin_prefetch((addr), 1, 0)
@@ -234,5 +235,222 @@ DEFINE_SWWC_SCATTER(u8, uint8_t)
 DEFINE_SWWC_SCATTER(u16, uint16_t)
 DEFINE_SWWC_SCATTER(i64, int64_t)
 
+/* ------------------------------------------------------------------ */
+/* 4b: multi-threaded SWWC scatter                                     */
+/*                                                                     */
+/* Partition-parallel flush: the fan-out is split into one contiguous  */
+/* partition range per thread; every thread scans the whole input but  */
+/* buffers and flushes only the partitions it owns.  Each cursor slot  */
+/* therefore has exactly one writer and the per-partition visit order  */
+/* is the input order — byte-identical to the serial SWWC scatter (and */
+/* hence to the plain stable scatter).  The scan is the cheap          */
+/* sequential part; the random cache-line flushes, which are the SWWC  */
+/* bottleneck, are what actually parallelise.                          */
+/*                                                                     */
+/* Failure handling keeps the entry point infallible: a worker whose   */
+/* buffer pool allocation fails degrades itself to a plain cursor      */
+/* scatter over its range, and a failed pthread_create runs that job   */
+/* inline on the calling thread.  Always returns 0.                    */
+/* ------------------------------------------------------------------ */
+
+#define DEFINE_SWWC_MT(SUFFIX, PART_T)                                     \
+    typedef struct {                                                       \
+        const uint32_t *keys;                                              \
+        const uint32_t *payloads;                                          \
+        const PART_T *parts;                                               \
+        int64_t n;                                                         \
+        int64_t buffer_tuples;                                             \
+        int64_t p_lo;                                                      \
+        int64_t p_hi;                                                      \
+        int64_t *cursor;                                                   \
+        uint32_t *out_keys;                                                \
+        uint32_t *out_payloads;                                            \
+    } repro_swwc_job_##SUFFIX;                                             \
+                                                                           \
+    static void repro_swwc_range_plain_##SUFFIX(                           \
+        const repro_swwc_job_##SUFFIX *job)                                \
+    {                                                                      \
+        int64_t i;                                                         \
+        for (i = 0; i < job->n; i++) {                                     \
+            const int64_t part = (int64_t)job->parts[i];                   \
+            if (part < job->p_lo || part >= job->p_hi) continue;           \
+            const int64_t d = job->cursor[part]++;                         \
+            job->out_keys[d] = job->keys[i];                               \
+            job->out_payloads[d] = job->payloads[i];                       \
+        }                                                                  \
+    }                                                                      \
+                                                                           \
+    static void *repro_swwc_worker_##SUFFIX(void *arg)                     \
+    {                                                                      \
+        repro_swwc_job_##SUFFIX *job = (repro_swwc_job_##SUFFIX *)arg;     \
+        const int64_t span = job->p_hi - job->p_lo;                        \
+        const int64_t bt = job->buffer_tuples;                             \
+        uint32_t *buf_keys, *buf_pays;                                     \
+        int64_t *fill;                                                     \
+        int64_t i, p;                                                      \
+        if (span <= 0) return NULL;                                        \
+        buf_keys = (uint32_t *)malloc((size_t)span * (size_t)bt * 4);      \
+        buf_pays = (uint32_t *)malloc((size_t)span * (size_t)bt * 4);      \
+        fill = (int64_t *)calloc((size_t)span, 8);                         \
+        if (!buf_keys || !buf_pays || !fill) {                             \
+            free(buf_keys); free(buf_pays); free(fill);                    \
+            repro_swwc_range_plain_##SUFFIX(job);                          \
+            return NULL;                                                   \
+        }                                                                  \
+        for (i = 0; i < job->n; i++) {                                     \
+            const int64_t part = (int64_t)job->parts[i];                   \
+            int64_t local, base, f;                                        \
+            if (part < job->p_lo || part >= job->p_hi) continue;           \
+            local = part - job->p_lo;                                      \
+            base = local * bt;                                             \
+            f = fill[local];                                               \
+            buf_keys[base + f] = job->keys[i];                             \
+            buf_pays[base + f] = job->payloads[i];                         \
+            if (++f == bt) {                                               \
+                const int64_t d = job->cursor[part];                       \
+                memcpy(job->out_keys + d, buf_keys + base, (size_t)bt * 4);\
+                memcpy(job->out_payloads + d, buf_pays + base,             \
+                       (size_t)bt * 4);                                    \
+                job->cursor[part] = d + bt;                                \
+                f = 0;                                                     \
+            }                                                              \
+            fill[local] = f;                                               \
+        }                                                                  \
+        for (p = 0; p < span; p++) {                                       \
+            const int64_t f = fill[p];                                     \
+            if (f > 0) {                                                   \
+                const int64_t part = job->p_lo + p;                        \
+                const int64_t d = job->cursor[part];                       \
+                memcpy(job->out_keys + d, buf_keys + p * bt,               \
+                       (size_t)f * 4);                                     \
+                memcpy(job->out_payloads + d, buf_pays + p * bt,           \
+                       (size_t)f * 4);                                     \
+                job->cursor[part] = d + f;                                 \
+            }                                                              \
+        }                                                                  \
+        free(buf_keys); free(buf_pays); free(fill);                        \
+        return NULL;                                                       \
+    }                                                                      \
+                                                                           \
+    int repro_swwc_scatter_mt_##SUFFIX(                                    \
+        const uint32_t *keys, const uint32_t *payloads,                    \
+        const PART_T *parts, int64_t n, int64_t num_partitions,            \
+        int64_t buffer_tuples, int64_t threads, int64_t *cursor,           \
+        uint32_t *out_keys, uint32_t *out_payloads)                        \
+    {                                                                      \
+        repro_swwc_job_##SUFFIX jobs[64];                                  \
+        pthread_t tids[64];                                                \
+        int started[64];                                                   \
+        int64_t t, lo;                                                     \
+        if (buffer_tuples < 1) return -1;                                  \
+        if (threads > num_partitions) threads = num_partitions;            \
+        if (threads > 64) threads = 64;                                    \
+        if (threads <= 1)                                                  \
+            return repro_swwc_scatter_##SUFFIX(                            \
+                keys, payloads, parts, n, num_partitions, buffer_tuples,   \
+                cursor, out_keys, out_payloads);                           \
+        lo = 0;                                                            \
+        for (t = 0; t < threads; t++) {                                    \
+            const int64_t span = num_partitions / threads +                \
+                                 (t < num_partitions % threads ? 1 : 0);   \
+            jobs[t].keys = keys;                                           \
+            jobs[t].payloads = payloads;                                   \
+            jobs[t].parts = parts;                                         \
+            jobs[t].n = n;                                                 \
+            jobs[t].buffer_tuples = buffer_tuples;                         \
+            jobs[t].p_lo = lo;                                             \
+            jobs[t].p_hi = lo + span;                                      \
+            jobs[t].cursor = cursor;                                       \
+            jobs[t].out_keys = out_keys;                                   \
+            jobs[t].out_payloads = out_payloads;                           \
+            lo += span;                                                    \
+        }                                                                  \
+        for (t = 0; t < threads; t++) {                                    \
+            started[t] = pthread_create(&tids[t], NULL,                    \
+                                        repro_swwc_worker_##SUFFIX,        \
+                                        &jobs[t]) == 0;                    \
+            if (!started[t])                                               \
+                (void)repro_swwc_worker_##SUFFIX(&jobs[t]);                \
+        }                                                                  \
+        for (t = 0; t < threads; t++)                                      \
+            if (started[t]) pthread_join(tids[t], NULL);                   \
+        return 0;                                                          \
+    }
+
+DEFINE_SWWC_MT(u8, uint8_t)
+DEFINE_SWWC_MT(u16, uint16_t)
+DEFINE_SWWC_MT(i64, int64_t)
+
+/* ------------------------------------------------------------------ */
+/* 6. bucket-chaining hash join: build + probe (Section 3.3)          */
+/* ------------------------------------------------------------------ */
+
+/* In-table bucket: the HIGH bits of the murmur hash.  The radix join
+ * already consumed the LOW hash bits for partitioning, so masking the
+ * same hash again would collapse every key of a partition into
+ * num_buckets/fan-out buckets and turn the chains into long lists —
+ * the top bits are independent of the partition index.  Clamped to a
+ * 31-bit shift so num_buckets == 1 stays defined (mask then zeroes
+ * the bucket anyway).                                                */
+static inline uint32_t repro_bucket_shift(int64_t num_buckets)
+{
+    uint32_t shift = 32;
+    while (num_buckets > 1) { num_buckets >>= 1; shift--; }
+    return shift > 31 ? 31 : shift;
+}
+
+/* Front-insertion chain build: head = the bucket's last tuple, next
+ * pointing to earlier ones — the exact chains the scalar algorithm
+ * (and the vectorised NumPy construction) produces.                  */
+void repro_bucket_build(const uint32_t *keys, int64_t n,
+                        int64_t num_buckets,
+                        int64_t *heads, int64_t *nxt)
+{
+    const uint32_t mask = (uint32_t)(num_buckets - 1);
+    const uint32_t shift = repro_bucket_shift(num_buckets);
+    int64_t i;
+    for (i = 0; i < num_buckets; i++) heads[i] = -1;
+    for (i = 0; i < n; i++) {
+        const uint32_t b = (murmur32(keys[i]) >> shift) & mask;
+        nxt[i] = heads[b];
+        heads[b] = i;
+    }
+}
+
+/* Chain-walk probe, emitting matches probe-major: for each probe
+ * tuple in input order, its matches follow the chain (front-insertion
+ * order) — the same order the NumPy fallback produces.  Returns the
+ * total match count, which may exceed `capacity`; in that case only
+ * the first `capacity` pairs were written and the caller re-calls
+ * with larger buffers.                                               */
+int64_t repro_bucket_probe(const uint32_t *build_keys,
+                           const int64_t *heads, const int64_t *nxt,
+                           int64_t num_buckets,
+                           const uint32_t *probe_keys, int64_t m,
+                           int64_t *out_probe, int64_t *out_build,
+                           int64_t capacity, int64_t *hops_out)
+{
+    const uint32_t mask = (uint32_t)(num_buckets - 1);
+    const uint32_t shift = repro_bucket_shift(num_buckets);
+    int64_t count = 0, hops = 0, i;
+    for (i = 0; i < m; i++) {
+        const uint32_t key = probe_keys[i];
+        int64_t c = heads[(murmur32(key) >> shift) & mask];
+        while (c >= 0) {
+            hops++;
+            if (build_keys[c] == key) {
+                if (count < capacity) {
+                    out_probe[count] = i;
+                    out_build[count] = c;
+                }
+                count++;
+            }
+            c = nxt[c];
+        }
+    }
+    *hops_out = hops;
+    return count;
+}
+
 /* ABI version stamp so a stale cached .so is never silently reused. */
-int repro_kernels_abi(void) { return 1; }
+int repro_kernels_abi(void) { return 3; }

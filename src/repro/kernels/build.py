@@ -41,7 +41,10 @@ _SOURCE = pathlib.Path(__file__).with_name("_native.c")
 #: flags tried in order; the first compiler invocation that succeeds
 #: wins.  -O3 + -fPIC is the baseline; march=native is attempted first
 #: for the vectorised hash loop and dropped if the compiler rejects it.
-_BASE_FLAGS = ["-O3", "-fPIC", "-shared", "-std=c99", "-fvisibility=default"]
+_BASE_FLAGS = [
+    "-O3", "-fPIC", "-shared", "-std=c99", "-fvisibility=default",
+    "-pthread",
+]
 _ARCH_FLAGS: List[List[str]] = [["-march=native"], []]
 
 

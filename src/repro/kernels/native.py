@@ -23,19 +23,27 @@ from repro.kernels.build import KernelBuildError, build_native
 
 _i64 = ctypes.c_int64
 _int = ctypes.c_int
-_p_u32 = ctypes.POINTER(ctypes.c_uint32)
-_p_i64 = ctypes.POINTER(ctypes.c_int64)
+#: all array arguments pass as raw addresses (``ndarray.ctypes.data``):
+#: cheaper per call than ``data_as`` pointer casts, which matters for
+#: the per-partition build/probe kernels called hundreds of times per
+#: query.  The dispatch layer already guarantees dtype and contiguity.
+_ptr_t = ctypes.c_void_p
 
-#: kernel suffix + ctypes pointer type per partition-index dtype
+#: kernel suffix per partition-index dtype
 _PART_VARIANTS = {
-    np.dtype(np.uint8): ("u8", ctypes.POINTER(ctypes.c_uint8)),
-    np.dtype(np.uint16): ("u16", ctypes.POINTER(ctypes.c_uint16)),
-    np.dtype(np.int64): ("i64", ctypes.POINTER(ctypes.c_int64)),
+    np.dtype(np.uint8): "u8",
+    np.dtype(np.uint16): "u16",
+    np.dtype(np.int64): "i64",
 }
 
 #: SWWC buffering pays off while the buffer pool stays cache resident;
 #: past this fan-out the plain cursor scatter wins (pool > L2).
 SWWC_MAX_PARTITIONS = 1 << 13
+
+
+def _addr(array: np.ndarray) -> int:
+    """Raw data address of a contiguous ndarray (for ``c_void_p``)."""
+    return array.ctypes.data
 
 
 class NativeKernels:
@@ -46,43 +54,53 @@ class NativeKernels:
         self._hash_hist = {}
         self._scatter = {}
         self._swwc = {}
-        for dtype, (suffix, part_ptr) in _PART_VARIANTS.items():
+        self._swwc_mt = {}
+        for dtype, suffix in _PART_VARIANTS.items():
             fn = getattr(lib, f"repro_hash_hist_{suffix}")
             fn.argtypes = [
-                _p_u32, _i64, _i64, _int, _i64, _i64,
-                part_ptr, _p_i64, _p_i64,
+                _ptr_t, _i64, _i64, _int, _i64, _i64,
+                _ptr_t, _ptr_t, _ptr_t,
             ]
             fn.restype = None
-            self._hash_hist[dtype] = (fn, part_ptr)
+            self._hash_hist[dtype] = fn
 
             fn = getattr(lib, f"repro_scatter_{suffix}")
-            fn.argtypes = [_p_u32, _p_u32, part_ptr, _i64, _p_i64,
-                           _p_u32, _p_u32]
+            fn.argtypes = [_ptr_t, _ptr_t, _ptr_t, _i64, _ptr_t,
+                           _ptr_t, _ptr_t]
             fn.restype = None
-            self._scatter[dtype] = (fn, part_ptr)
+            self._scatter[dtype] = fn
 
             fn = getattr(lib, f"repro_swwc_scatter_{suffix}")
-            fn.argtypes = [_p_u32, _p_u32, part_ptr, _i64, _i64, _i64,
-                           _p_i64, _p_u32, _p_u32]
+            fn.argtypes = [_ptr_t, _ptr_t, _ptr_t, _i64, _i64, _i64,
+                           _ptr_t, _ptr_t, _ptr_t]
             fn.restype = _int
-            self._swwc[dtype] = (fn, part_ptr)
+            self._swwc[dtype] = fn
+
+            fn = getattr(lib, f"repro_swwc_scatter_mt_{suffix}")
+            fn.argtypes = [_ptr_t, _ptr_t, _ptr_t, _i64, _i64, _i64,
+                           _i64, _ptr_t, _ptr_t, _ptr_t]
+            fn.restype = _int
+            self._swwc_mt[dtype] = fn
 
         self._hash_only = {}
-        for dtype, suffix in (
-            (np.dtype(np.uint16), "u16"),
-            (np.dtype(np.int64), "i64"),
-        ):
-            fn = getattr(lib, f"repro_hash_only_{suffix}")
-            fn.argtypes = [_p_u32, _i64, _i64, _int,
-                           _PART_VARIANTS[dtype][1]]
+        for dtype in (np.dtype(np.uint16), np.dtype(np.int64)):
+            fn = getattr(lib, f"repro_hash_only_{_PART_VARIANTS[dtype]}")
+            fn.argtypes = [_ptr_t, _i64, _i64, _int, _ptr_t]
             fn.restype = None
             self._hash_only[dtype] = fn
 
-    # -- wrappers -------------------------------------------------------
+        fn = lib.repro_bucket_build
+        fn.argtypes = [_ptr_t, _i64, _i64, _ptr_t, _ptr_t]
+        fn.restype = None
+        self._bucket_build = fn
 
-    @staticmethod
-    def _ptr(array: np.ndarray, pointer_type):
-        return array.ctypes.data_as(pointer_type)
+        fn = lib.repro_bucket_probe
+        fn.argtypes = [_ptr_t, _ptr_t, _ptr_t, _i64, _ptr_t, _i64,
+                       _ptr_t, _ptr_t, _i64, _ptr_t]
+        fn.restype = _i64
+        self._bucket_probe = fn
+
+    # -- wrappers -------------------------------------------------------
 
     def hash_histogram(
         self,
@@ -94,25 +112,25 @@ class NativeKernels:
         parts_out: np.ndarray,
     ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
         """Fused hash + histogram (+ lane histogram) over one morsel."""
-        fn, part_ptr = self._hash_hist[parts_out.dtype]
+        fn = self._hash_hist[parts_out.dtype]
         hist = np.zeros(num_partitions, dtype=np.int64)
         if lanes is not None:
             lane_hist = np.zeros((num_partitions, lanes), dtype=np.int64)
-            lane_ptr = self._ptr(lane_hist, _p_i64)
+            lane_ptr = _addr(lane_hist)
             lane_count = lanes
         else:
             lane_hist = None
-            lane_ptr = _p_i64()
+            lane_ptr = None
             lane_count = 0
         fn(
-            self._ptr(keys, _p_u32),
+            _addr(keys),
             keys.shape[0],
             num_partitions,
             1 if use_hash else 0,
             lane_count,
             global_offset,
-            self._ptr(parts_out, part_ptr),
-            self._ptr(hist, _p_i64),
+            _addr(parts_out),
+            _addr(hist),
             lane_ptr,
         )
         return parts_out, hist, lane_hist
@@ -127,11 +145,11 @@ class NativeKernels:
         """Partition indices only (no counting)."""
         fn = self._hash_only[parts_out.dtype]
         fn(
-            self._ptr(keys, _p_u32),
+            _addr(keys),
             keys.shape[0],
             num_partitions,
             1 if use_hash else 0,
-            parts_out.ctypes.data_as(_PART_VARIANTS[parts_out.dtype][1]),
+            _addr(parts_out),
         )
         return parts_out
 
@@ -145,15 +163,15 @@ class NativeKernels:
         out_payloads: np.ndarray,
     ) -> None:
         """Stable cursor scatter; ``cursor`` is advanced in place."""
-        fn, part_ptr = self._scatter[parts.dtype]
+        fn = self._scatter[parts.dtype]
         fn(
-            self._ptr(keys, _p_u32),
-            self._ptr(payloads, _p_u32),
-            self._ptr(parts, part_ptr),
+            _addr(keys),
+            _addr(payloads),
+            _addr(parts),
             keys.shape[0],
-            self._ptr(cursor, _p_i64),
-            self._ptr(out_keys, _p_u32),
-            self._ptr(out_payloads, _p_u32),
+            _addr(cursor),
+            _addr(out_keys),
+            _addr(out_payloads),
         )
 
     def swwc_scatter(
@@ -166,23 +184,100 @@ class NativeKernels:
         cursor: np.ndarray,
         out_keys: np.ndarray,
         out_payloads: np.ndarray,
+        threads: int = 1,
     ) -> None:
-        """Buffered (write-combine) scatter; same bytes as scatter()."""
-        fn, part_ptr = self._swwc[parts.dtype]
-        status = fn(
-            self._ptr(keys, _p_u32),
-            self._ptr(payloads, _p_u32),
-            self._ptr(parts, part_ptr),
-            keys.shape[0],
-            num_partitions,
-            buffer_tuples,
-            self._ptr(cursor, _p_i64),
-            self._ptr(out_keys, _p_u32),
-            self._ptr(out_payloads, _p_u32),
-        )
+        """Buffered (write-combine) scatter; same bytes as scatter().
+
+        ``threads > 1`` flushes partition ranges in parallel (each
+        thread owns a contiguous range of cursors, so the output stays
+        byte-identical to the serial scatter).
+        """
+        if threads > 1:
+            fn = self._swwc_mt[parts.dtype]
+            status = fn(
+                _addr(keys),
+                _addr(payloads),
+                _addr(parts),
+                keys.shape[0],
+                num_partitions,
+                buffer_tuples,
+                threads,
+                _addr(cursor),
+                _addr(out_keys),
+                _addr(out_payloads),
+            )
+        else:
+            fn = self._swwc[parts.dtype]
+            status = fn(
+                _addr(keys),
+                _addr(payloads),
+                _addr(parts),
+                keys.shape[0],
+                num_partitions,
+                buffer_tuples,
+                _addr(cursor),
+                _addr(out_keys),
+                _addr(out_payloads),
+            )
         if status != 0:  # pragma: no cover - malloc failure path
             self.scatter(keys, payloads, parts, cursor, out_keys,
                          out_payloads)
+
+    def bucket_build(
+        self,
+        keys: np.ndarray,
+        num_buckets: int,
+        heads: np.ndarray,
+        nxt: np.ndarray,
+    ) -> None:
+        """Front-insertion chain build over a build-side key array."""
+        self._bucket_build(
+            _addr(keys),
+            keys.shape[0],
+            num_buckets,
+            _addr(heads),
+            _addr(nxt),
+        )
+
+    def bucket_probe(
+        self,
+        build_keys: np.ndarray,
+        heads: np.ndarray,
+        nxt: np.ndarray,
+        num_buckets: int,
+        probe_keys: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Chain-walk probe (probe-major emission, like the NumPy walk).
+
+        Returns ``(probe_idx, build_idx, hops)``.  The initial output
+        capacity carries 25% headroom over the probe count so near-1:1
+        joins finish in one walk; if the true match count still exceeds
+        it, the kernel reports the count and the walk re-runs once with
+        exact-size buffers.
+        """
+        m = int(probe_keys.shape[0])
+        capacity = m + m // 4 + 64
+        hops = np.zeros(1, dtype=np.int64)
+        while True:
+            out_probe = np.empty(capacity, dtype=np.int64)
+            out_build = np.empty(capacity, dtype=np.int64)
+            count = int(
+                self._bucket_probe(
+                    _addr(build_keys),
+                    _addr(heads),
+                    _addr(nxt),
+                    num_buckets,
+                    _addr(probe_keys),
+                    m,
+                    _addr(out_probe),
+                    _addr(out_build),
+                    capacity,
+                    _addr(hops),
+                )
+            )
+            if count <= capacity:
+                return out_probe[:count], out_build[:count], int(hops[0])
+            capacity = count
 
 
 def load() -> NativeKernels:
@@ -206,8 +301,8 @@ def load() -> NativeKernels:
         raise KernelBuildError(
             f"kernel library {path} has no ABI stamp"
         ) from error
-    if version != 1:
+    if version != 3:
         raise KernelBuildError(
-            f"kernel library ABI {version} != expected 1 (stale cache?)"
+            f"kernel library ABI {version} != expected 3 (stale cache?)"
         )
     return NativeKernels(lib)

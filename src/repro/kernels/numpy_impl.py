@@ -14,7 +14,24 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.hashing import partition_function
+from repro.core.hashing import murmur3_finalizer, partition_function
+
+
+def _join_buckets(keys: np.ndarray, num_buckets: int) -> np.ndarray:
+    """In-table bucket indices: the HIGH bits of the murmur hash.
+
+    The radix join already consumed the LOW hash bits for partitioning,
+    so masking the same hash again would collapse every key of a
+    partition into ``num_buckets / fan_out`` buckets and degenerate the
+    chains into long lists; the top bits are independent of the
+    partition index.  Bit-identical to the native kernels' bucket
+    computation (31-bit shift clamp included, so ``num_buckets == 1``
+    stays defined).
+    """
+    bits = int(num_buckets).bit_length() - 1
+    shift = np.uint32(min(31, 32 - bits))
+    hashed = murmur3_finalizer(np.ascontiguousarray(keys, dtype=np.uint32))
+    return ((hashed >> shift) & np.uint32(num_buckets - 1)).astype(np.int64)
 
 
 def hash_histogram(
@@ -102,3 +119,75 @@ def swwc_scatter(
     schedule, never the destination slots, so the vectorised fallback
     is the plain stable scatter."""
     scatter(keys, payloads, parts, cursor, out_keys, out_payloads)
+
+
+def bucket_build(
+    keys: np.ndarray, num_buckets: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Bucket-chaining build: ``(heads, next)`` index arrays.
+
+    Vectorised equivalent of the scalar front-insertion loop: within a
+    bucket, tuple i's ``next`` is the previous (lower-index) tuple and
+    the head is the bucket's last tuple — identical chains to the
+    native kernel's sequential build.
+    """
+    n = int(keys.shape[0])
+    buckets = _join_buckets(keys, num_buckets)
+    heads = np.full(num_buckets, -1, dtype=np.int64)
+    nxt = np.full(n, -1, dtype=np.int64)
+    order = np.argsort(buckets, kind="stable")
+    sorted_buckets = buckets[order]
+    same_as_prev = np.zeros(n, dtype=bool)
+    same_as_prev[1:] = sorted_buckets[1:] == sorted_buckets[:-1]
+    prev = np.full(n, -1, dtype=np.int64)
+    prev[1:] = np.where(same_as_prev[1:], order[:-1], -1)
+    nxt[order] = prev
+    is_last = np.ones(n, dtype=bool)
+    is_last[:-1] = sorted_buckets[:-1] != sorted_buckets[1:]
+    heads[sorted_buckets[is_last]] = order[is_last]
+    return heads, nxt
+
+
+def bucket_probe(
+    build_keys: np.ndarray,
+    heads: np.ndarray,
+    nxt: np.ndarray,
+    num_buckets: int,
+    probe_keys: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Chain-walk probe in probe-major order.
+
+    The walk itself is vectorised hop by hop (all active probes advance
+    one chain hop per iteration); a final stable sort by probe index
+    re-orders the matches probe-major — for each probe tuple in input
+    order, its matches follow the chain — which is exactly the order
+    the native scalar walk emits.
+    """
+    m = int(probe_keys.shape[0])
+    buckets = _join_buckets(probe_keys, num_buckets)
+    current = heads[buckets]
+    probe_idx_parts = []
+    build_idx_parts = []
+    hops = 0
+    active = np.nonzero(current != -1)[0]
+    cursor = current[active]
+    while active.size:
+        hops += int(active.size)
+        matched = build_keys[cursor] == probe_keys[active]
+        if matched.any():
+            probe_idx_parts.append(active[matched])
+            build_idx_parts.append(cursor[matched])
+        cursor = nxt[cursor]
+        alive = cursor != -1
+        active = active[alive]
+        cursor = cursor[alive]
+    if probe_idx_parts:
+        probe_idx = np.concatenate(probe_idx_parts)
+        build_idx = np.concatenate(build_idx_parts)
+        # Hop-major → probe-major: within a probe, matches appear in
+        # ascending hop (= chain) order across the per-hop chunks, so a
+        # stable sort by probe index yields exact chain-walk order.
+        order = np.argsort(probe_idx, kind="stable")
+        return probe_idx[order], build_idx[order], hops
+    empty = np.empty(0, dtype=np.int64)
+    return empty, empty.copy(), hops

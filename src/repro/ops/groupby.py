@@ -57,6 +57,9 @@ def partitioned_groupby(
     aggregate: str = "sum",
     num_partitions: int = 256,
     partitioner: Optional[FpgaPartitioner] = None,
+    engine=None,
+    threads: Optional[int] = None,
+    fused: bool = False,
 ) -> GroupByResult:
     """Group-by aggregation via hash partitioning.
 
@@ -71,6 +74,19 @@ def partitioned_groupby(
             FPGA partitioner in HIST mode with murmur hashing (the
             robust choice — grouped keys are exactly the structured
             inputs radix bits mishandle).
+        engine: execution-engine spec, as the joins accept it — ``None``
+            (sequential), ``"serial"``/``"parallel"``/``"thread"``/
+            ``"process"``, or a shared
+            :class:`~repro.exec.engine.ExecutionEngine`.  Drives both
+            the partitioning morsels and the per-partition aggregation
+            fan-out.  Ignored when ``partitioner`` is given (a supplied
+            partitioner keeps its own engine) except for the
+            aggregation fan-out.
+        threads: worker count for string engine specs.
+        fused: route through the plan layer's fused one-pass executor
+            (:func:`repro.plan.execute_plan`) — partition and aggregate
+            in a single morsel pass with no materialized
+            ``PartitionedOutput``.  Identical rows either way.
 
     Returns:
         A :class:`GroupByResult` with one entry per distinct key,
@@ -92,9 +108,33 @@ def partitioned_groupby(
     if values.shape != keys.shape:
         raise ConfigurationError("values must align with keys")
 
+    from repro.exec.engine import resolve_engine
+
+    engine = resolve_engine(engine, threads)
+
+    if fused:
+        from repro.plan import execute_plan, groupby_query
+
+        config = (
+            partitioner.config
+            if partitioner is not None
+            else PartitionerConfig(num_partitions=num_partitions)
+        )
+        result = execute_plan(
+            groupby_query(keys, values=values, aggregate=aggregate,
+                          config=config),
+            engine=engine,
+        )
+        return GroupByResult(
+            keys=result.group_keys,
+            values=result.group_values,
+            aggregate=aggregate,
+            num_partitions_used=result.num_partitions,
+        )
+
     if partitioner is None:
         partitioner = FpgaPartitioner(
-            PartitionerConfig(num_partitions=num_partitions)
+            PartitionerConfig(num_partitions=num_partitions), engine=engine
         )
     else:
         num_partitions = partitioner.config.num_partitions
@@ -104,18 +144,22 @@ def partitioned_groupby(
     row_ids = np.arange(keys.shape[0], dtype=np.uint32)
     out = partitioner.partition(keys, row_ids)
 
-    group_keys: List[np.ndarray] = []
-    group_values: List[np.ndarray] = []
-    for p in range(out.num_partitions):
+    def _one(p: int):
         p_keys, p_rows = out.partition(p)
         if p_keys.shape[0] == 0:
-            continue
+            return None
         p_values = values[p_rows]
         uniques, starts = _group_starts(p_keys, p_values)
-        group_keys.append(uniques)
-        group_values.append(
-            _aggregate_runs(aggregate, starts["values"], starts["bounds"])
+        return uniques, _aggregate_runs(
+            aggregate, starts["values"], starts["bounds"]
         )
+
+    if engine is not None:
+        outcomes = engine.map_tasks(_one, range(out.num_partitions))
+    else:
+        outcomes = [_one(p) for p in range(out.num_partitions)]
+    group_keys: List[np.ndarray] = [o[0] for o in outcomes if o is not None]
+    group_values: List[np.ndarray] = [o[1] for o in outcomes if o is not None]
 
     if group_keys:
         all_keys = np.concatenate(group_keys)

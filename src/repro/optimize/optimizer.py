@@ -49,7 +49,43 @@ from repro.cpu.cost_model import CpuCostModel
 from repro.errors import ConfigurationError
 from repro.optimize.profile import WorkloadProfile
 
-__all__ = ["AdaptiveOptimizer", "Decision", "StaticOptimizer"]
+__all__ = [
+    "AdaptiveOptimizer",
+    "Decision",
+    "StaticOptimizer",
+    "plan_fused_fanout",
+]
+
+
+def plan_fused_fanout(
+    build_tuples: int,
+    tuple_bytes: int = 8,
+    cache_budget_bytes: Optional[int] = None,
+    min_partitions: int = 16,
+    max_partitions: int = 8192,
+) -> int:
+    """Fan-out for a fused partition→join→aggregate chain.
+
+    The fused executor runs build, probe and reduceat per partition
+    while the scattered data is still hot, so the fan-out must make the
+    per-partition *build table* (keys + payloads + chain index) fit the
+    cache budget the build+probe cost model charges against
+    (``BP_CACHE_BUDGET_BYTES``).  Returns the smallest power of two
+    whose fair build share fits, clamped to
+    ``[min_partitions, max_partitions]``.
+    """
+    if cache_budget_bytes is None:
+        from repro.constants import BP_CACHE_BUDGET_BYTES
+
+        cache_budget_bytes = BP_CACHE_BUDGET_BYTES
+    if cache_budget_bytes < 1:
+        raise ConfigurationError(
+            f"cache_budget_bytes must be >= 1, got {cache_budget_bytes}"
+        )
+    n = max(1, int(build_tuples))
+    want = max(1, -(-(n * tuple_bytes) // cache_budget_bytes))
+    fanout = 1 << max(0, (want - 1).bit_length())
+    return max(min_partitions, min(max_partitions, fanout))
 
 #: PAD rescue strategies a decision may pick for a PAD-mode request.
 #: ``keep``: run PAD as configured; ``isolate``: carve exact-fit
@@ -470,6 +506,34 @@ class AdaptiveOptimizer:
                 config, output_mode=OutputMode.HIST
             )
         return config
+
+    def plan_chain_config(
+        self,
+        build_tuples: int,
+        tuple_bytes: int = 8,
+        layout_mode: LayoutMode = LayoutMode.RID,
+        max_partitions: int = 8192,
+    ) -> PartitionerConfig:
+        """Config for a fused partition→join→aggregate chain.
+
+        Unlike :meth:`plan_config` (which sizes partitions for a
+        *staged* downstream join), the fused chain consumes each
+        partition immediately, so the binding constraint is the build
+        table fitting the build+probe cache budget — delegated to
+        :func:`plan_fused_fanout`.  HIST mode: the fused executor keeps
+        partitions as lazy slices, so PAD's single-pass layout buys
+        nothing while its overflow risk would still apply.
+        """
+        return PartitionerConfig(
+            num_partitions=plan_fused_fanout(
+                build_tuples,
+                tuple_bytes=tuple_bytes,
+                max_partitions=max_partitions,
+            ),
+            output_mode=OutputMode.HIST,
+            layout_mode=layout_mode,
+            tuple_bytes=tuple_bytes,
+        )
 
     def explain(
         self,

@@ -1,0 +1,46 @@
+"""Logical plans and the fused dataflow pipeline compiler.
+
+Build a plan with the query builders (:func:`join_query`,
+:func:`join_groupby_query`, :func:`groupby_query`,
+:func:`partition_query`), then run it with :func:`execute_plan` — the
+compiler fuses ``partition → build/probe → aggregate`` into one
+morsel-driven pass with no materialized intermediates, falling back to
+the staged operators (with the reason recorded) when fusion is
+declined.  See ``docs/PIPELINE.md``.
+"""
+
+from repro.plan.compiler import CompiledSchedule, FusionDeclined, compile_plan
+from repro.plan.executor import InputSummary, QueryResult, execute_plan
+from repro.plan.nodes import (
+    AGGREGATES,
+    AggregateNode,
+    CollectNode,
+    JoinNode,
+    LogicalPlan,
+    PartitionNode,
+    ScanNode,
+    groupby_query,
+    join_groupby_query,
+    join_query,
+    partition_query,
+)
+
+__all__ = [
+    "AGGREGATES",
+    "AggregateNode",
+    "CollectNode",
+    "CompiledSchedule",
+    "FusionDeclined",
+    "InputSummary",
+    "JoinNode",
+    "LogicalPlan",
+    "PartitionNode",
+    "QueryResult",
+    "ScanNode",
+    "compile_plan",
+    "execute_plan",
+    "groupby_query",
+    "join_groupby_query",
+    "join_query",
+    "partition_query",
+]

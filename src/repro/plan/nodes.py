@@ -1,0 +1,275 @@
+"""Logical plan nodes: ``scan → partition → build/probe → aggregate``.
+
+A :class:`LogicalPlan` describes one query over one or two inputs as a
+small chain of declarative nodes.  The plan says *what* runs — which
+relations, which partitioning config, whether a join and/or a group-by
+aggregation follows — and the compiler (:mod:`repro.plan.compiler`)
+decides *how*: fused into one morsel-driven pass, or staged through the
+classic materializing operators when fusion is declined.
+
+Supported chain shapes (the four the repo's operators cover):
+
+* ``scan → partition → collect`` — plain partitioning;
+* ``scan → partition → aggregate`` — partitioned group-by;
+* ``scan ×2 → partition ×2 → join`` — radix/hybrid hash join;
+* ``scan ×2 → partition ×2 → join → aggregate`` — join then group-by
+  on the join key.
+
+A scan's source may be an in-memory :class:`~repro.workloads.relations.
+Relation` (or bare key array), or an on-disk
+:class:`~repro.storage.spill.PartitionSpill` — spilled inputs arrive
+pre-partitioned and stream partition-by-partition through the plan.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.modes import PartitionerConfig
+from repro.core.partitioner import OverflowPolicy
+from repro.errors import ConfigurationError
+from repro.workloads.relations import Relation
+
+__all__ = [
+    "AggregateNode",
+    "CollectNode",
+    "JoinNode",
+    "LogicalPlan",
+    "PartitionNode",
+    "ScanNode",
+    "groupby_query",
+    "join_groupby_query",
+    "join_query",
+    "partition_query",
+]
+
+#: aggregates the plan layer accepts (same set as partitioned_groupby)
+AGGREGATES = ("sum", "count", "min", "max", "mean")
+
+
+def _is_spill(source) -> bool:
+    """Duck-typed spill detection (PartitionSpill-shaped handles)."""
+    return hasattr(source, "counts") and hasattr(source, "to_output")
+
+
+@dataclasses.dataclass(frozen=True)
+class ScanNode:
+    """Leaf input: an in-memory relation/array or a partition spill.
+
+    Args:
+        source: a :class:`Relation`, a ``uint32`` key array, or a
+            :class:`~repro.storage.spill.PartitionSpill` handle (the
+            input then arrives pre-partitioned on disk).
+        payloads: payload column when ``source`` is a bare key array
+            (``None`` means positional record ids, as everywhere else).
+        name: label used in summaries and spans.
+    """
+
+    source: object
+    payloads: Optional[np.ndarray] = None
+    name: str = "scan"
+
+    @property
+    def is_spilled(self) -> bool:
+        return _is_spill(self.source)
+
+    @property
+    def num_tuples(self) -> int:
+        if self.is_spilled:
+            return int(self.source.num_tuples)
+        if isinstance(self.source, Relation):
+            return len(self.source)
+        return int(np.asarray(self.source).shape[0])
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionNode:
+    """Hash-partition one scan.
+
+    ``config=None`` lets the compiler plan the fan-out (per-partition
+    build tables sized to the build+probe cache budget); a spilled scan
+    ignores this node's config — its partitioning already happened.
+    """
+
+    config: Optional[PartitionerConfig] = None
+    on_overflow: OverflowPolicy = "raise"
+
+
+@dataclasses.dataclass(frozen=True)
+class JoinNode:
+    """Per-partition build (R side) + probe (S side).
+
+    ``collect_payloads`` materializes the matching payload pairs, as in
+    the staged joins.
+    """
+
+    collect_payloads: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class AggregateNode:
+    """Group-by aggregation keyed on the (join) key.
+
+    After a join, ``value_side`` picks which relation's payload column
+    feeds the aggregate (``"s"`` — the probe side — or ``"r"``).  For a
+    plain group-by the values come from the scan (payloads for spilled
+    inputs, an explicit column or all-ones otherwise).
+    """
+
+    aggregate: str = "sum"
+    value_side: str = "s"
+
+    def __post_init__(self):
+        if self.aggregate not in AGGREGATES:
+            raise ConfigurationError(
+                f"unknown aggregate {self.aggregate!r}; "
+                f"expected one of {sorted(AGGREGATES)}"
+            )
+        if self.value_side not in ("r", "s"):
+            raise ConfigurationError(
+                f"value_side must be 'r' or 's', got {self.value_side!r}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class CollectNode:
+    """Terminal: materialize the chain's result for the caller."""
+
+
+@dataclasses.dataclass(frozen=True)
+class LogicalPlan:
+    """One query: scans, their partition nodes, optional join/aggregate.
+
+    ``scans`` and ``partitions`` align (one partition node per scan);
+    a two-scan plan must carry a :class:`JoinNode`.  ``values`` is the
+    explicit aggregation column for single-input group-by plans.
+    """
+
+    scans: Tuple[ScanNode, ...]
+    partitions: Tuple[PartitionNode, ...]
+    join: Optional[JoinNode] = None
+    aggregate: Optional[AggregateNode] = None
+    collect: CollectNode = dataclasses.field(default_factory=CollectNode)
+    values: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        if len(self.scans) not in (1, 2):
+            raise ConfigurationError(
+                f"a plan takes 1 or 2 scans, got {len(self.scans)}"
+            )
+        if len(self.partitions) != len(self.scans):
+            raise ConfigurationError(
+                "each scan needs exactly one partition node"
+            )
+        if (len(self.scans) == 2) != (self.join is not None):
+            raise ConfigurationError(
+                "two-scan plans need a JoinNode and vice versa"
+            )
+        if self.values is not None and self.join is not None:
+            raise ConfigurationError(
+                "explicit values apply to group-by plans only; a join "
+                "aggregates a payload side (AggregateNode.value_side)"
+            )
+
+    def describe(self) -> str:
+        """Human-readable chain, e.g. ``scan×2 → partition → join →
+        aggregate(sum) → collect``."""
+        stages = [
+            f"scan×{len(self.scans)}",
+            "partition",
+        ]
+        if self.join is not None:
+            stages.append("join")
+        if self.aggregate is not None:
+            stages.append(f"aggregate({self.aggregate.aggregate})")
+        stages.append("collect")
+        return " → ".join(stages)
+
+
+# ----------------------------------------------------------------------
+# Plan builders (the shapes the operators wire to)
+# ----------------------------------------------------------------------
+
+def partition_query(
+    source,
+    payloads: Optional[np.ndarray] = None,
+    config: Optional[PartitionerConfig] = None,
+    on_overflow: OverflowPolicy = "raise",
+) -> LogicalPlan:
+    """``scan → partition → collect``."""
+    return LogicalPlan(
+        scans=(ScanNode(source, payloads, name="input"),),
+        partitions=(PartitionNode(config, on_overflow),),
+    )
+
+
+def groupby_query(
+    source,
+    values: Optional[np.ndarray] = None,
+    aggregate: str = "sum",
+    config: Optional[PartitionerConfig] = None,
+    on_overflow: OverflowPolicy = "raise",
+) -> LogicalPlan:
+    """``scan → partition → aggregate → collect``.
+
+    A :class:`Relation` source aggregates its payload column (unless
+    ``values`` overrides it); the scan partitions ``<key, row-id>`` so
+    the executor gathers values per partition.
+    """
+    if isinstance(source, Relation):
+        if values is None:
+            values = source.payloads
+        source = source.keys
+    return LogicalPlan(
+        scans=(ScanNode(source, name="input"),),
+        partitions=(PartitionNode(config, on_overflow),),
+        aggregate=AggregateNode(aggregate),
+        values=values,
+    )
+
+
+def join_query(
+    r,
+    s,
+    config: Optional[PartitionerConfig] = None,
+    on_overflow: OverflowPolicy = "hist",
+    collect_payloads: bool = False,
+    r_payloads: Optional[np.ndarray] = None,
+    s_payloads: Optional[np.ndarray] = None,
+) -> LogicalPlan:
+    """``scan ×2 → partition ×2 → join → collect``."""
+    return LogicalPlan(
+        scans=(
+            ScanNode(r, r_payloads, name="r"),
+            ScanNode(s, s_payloads, name="s"),
+        ),
+        partitions=(
+            PartitionNode(config, on_overflow),
+            PartitionNode(config, on_overflow),
+        ),
+        join=JoinNode(collect_payloads),
+    )
+
+
+def join_groupby_query(
+    r,
+    s,
+    aggregate: str = "sum",
+    value_side: str = "s",
+    config: Optional[PartitionerConfig] = None,
+    on_overflow: OverflowPolicy = "hist",
+    collect_payloads: bool = False,
+) -> LogicalPlan:
+    """``scan ×2 → partition ×2 → join → aggregate → collect``."""
+    return LogicalPlan(
+        scans=(ScanNode(r, name="r"), ScanNode(s, name="s")),
+        partitions=(
+            PartitionNode(config, on_overflow),
+            PartitionNode(config, on_overflow),
+        ),
+        join=JoinNode(collect_payloads),
+        aggregate=AggregateNode(aggregate, value_side),
+    )

@@ -128,6 +128,11 @@ COUNTERS = (
     "isolated",
     "preempted_hist",
     "routed_cpu",
+    # fused-pipeline plan requests (repro.plan wiring)
+    "plans_submitted",
+    "plans_completed",
+    "plans_fused",
+    "plans_staged",
 )
 
 #: per-request pipeline stages with a latency histogram each

@@ -103,6 +103,37 @@ class PartitionRequest:
 
 
 @dataclasses.dataclass
+class PlanRequest:
+    """A whole-query request: a logical plan instead of one relation.
+
+    The service executes the plan through the fused pipeline compiler
+    (:func:`repro.plan.execute_plan`) — partition → build/probe →
+    aggregate in one morsel pass — falling back to the staged operators
+    (and marking the response degraded) if the fused pass errors.
+    Admission control, priorities and deadlines apply to the *whole
+    query*: ``num_tuples`` counts every scan, so a two-relation join
+    plan is admitted against the same queue bounds as two partition
+    requests of the same size.
+
+    Args:
+        plan: a :class:`repro.plan.LogicalPlan` (see the builders in
+            :mod:`repro.plan.nodes`).
+        priority / deadline_s: as on :class:`PartitionRequest`.
+        fused: request the one-pass executor (default); ``False`` runs
+            the staged reference pipeline.
+    """
+
+    plan: object
+    priority: int = Priority.NORMAL
+    deadline_s: Optional[float] = None
+    fused: bool = True
+
+    @property
+    def num_tuples(self) -> int:
+        return int(sum(scan.num_tuples for scan in self.plan.scans))
+
+
+@dataclasses.dataclass
 class PartitionResponse:
     """Terminal result delivered through a :class:`PartitionTicket`.
 
@@ -116,8 +147,9 @@ class PartitionResponse:
     request_id: int
     status: RequestStatus
     output: Optional[PartitionedOutput] = None
-    backend: Optional[str] = None  # "fpga" | "cpu" | "spill" | None
+    backend: Optional[str] = None  # "fpga"|"cpu"|"spill"|"fused"|"staged"
     spill: Optional[object] = None  # PartitionSpill when backend=="spill"
+    result: Optional[object] = None  # QueryResult for PlanRequests
     degraded: bool = False
     degrade_reason: Optional[str] = None
     retry_after: Optional[float] = None  # set on REJECTED
@@ -419,6 +451,72 @@ class PartitionService:
         self.metrics.set_gauge("queue_depth", len(self.queue))
         return ticket
 
+    def submit_plan(
+        self, request: "PlanRequest | object", raise_on_reject: bool = False
+    ) -> PartitionTicket:
+        """Admit a whole-query :class:`PlanRequest`; ticket immediately.
+
+        A bare :class:`repro.plan.LogicalPlan` is accepted and wrapped
+        with default priority/deadline.  Plan requests ride the same
+        admission queue and dispatcher as partition requests but never
+        coalesce (each carries a unique batch signature): batching,
+        deadline enforcement and degradation accounting apply to the
+        query as a unit.
+        """
+        if not isinstance(request, PlanRequest):
+            request = PlanRequest(plan=request)
+        if not self._started or self._stopped:
+            raise ReproError("service is not running (use start() or `with`)")
+        with self._sequence_lock:
+            self._sequence += 1
+            request_id = self._sequence
+        ticket = PartitionTicket(request_id)
+        now = self._clock()
+        pending = _Pending(
+            request=request,
+            ticket=ticket,
+            # unique per request: plan batches are solo by construction
+            signature=("plan", request_id),
+            tuples=request.num_tuples,
+            submitted_at=now,
+            deadline_at=(
+                now + request.deadline_s
+                if request.deadline_s is not None
+                else None
+            ),
+        )
+        if self.tracer.enabled:
+            span = self.tracer.start_span(
+                "request",
+                request_id=request_id,
+                tuples=pending.tuples,
+                priority=int(request.priority),
+                plan=request.plan.describe(),
+            )
+            span.start_s = now
+            pending.span = span
+        self.metrics.increment("submitted")
+        self.metrics.increment("plans_submitted")
+        if not self.queue.offer(pending, int(request.priority), pending.tuples):
+            retry_after = self.queue.retry_after_hint()
+            self.metrics.increment("rejected")
+            if pending.span is not None:
+                pending.span.set_attributes(status="rejected")
+                pending.span.end(self._clock())
+            if raise_on_reject:
+                raise QueueFullError(len(self.queue), retry_after)
+            ticket._resolve(
+                PartitionResponse(
+                    request_id=request_id,
+                    status=RequestStatus.REJECTED,
+                    retry_after=retry_after,
+                )
+            )
+            return ticket
+        self.metrics.increment("admitted")
+        self.metrics.set_gauge("queue_depth", len(self.queue))
+        return ticket
+
     def _decide(self, request: PartitionRequest):
         """Consult the optimizer for one request's execution plan.
 
@@ -516,7 +614,10 @@ class PartitionService:
             split=batch.split,
             spill=batch.spill,
         ):
-            if batch.spill:
+            if isinstance(live[0].request, PlanRequest):
+                # plan signatures are unique, so a plan batch is solo
+                self._execute_plan(live[0])
+            elif batch.spill:
                 self._execute_spill(live)
             else:
                 self._execute_live(batch, live, total_tuples)
@@ -717,6 +818,94 @@ class PartitionService:
                     backend="spill",
                     spill=spill,
                     attempts=1,
+                    batch_size=1,
+                    queue_wait_s=max(
+                        0.0, now - execute_s - entry.submitted_at
+                    ),
+                    execute_s=execute_s,
+                    total_s=now - entry.submitted_at,
+                )
+            )
+
+    def _execute_plan(self, entry: _Pending) -> None:
+        """Run one :class:`PlanRequest` through the fused executor.
+
+        A fused failure degrades to the staged pipeline (recorded on
+        the response, like the FPGA→CPU failover); a staged failure is
+        terminal.
+        """
+        from repro.plan import execute_plan
+
+        request: PlanRequest = entry.request
+        started = self._clock()
+        degraded = False
+        degrade_reason: Optional[str] = None
+        result = None
+        error: Optional[str] = None
+        with self.tracer.span("execute", backend="plan") as exec_span:
+            try:
+                result = execute_plan(
+                    request.plan,
+                    engine=self._engine_spec,
+                    fused=request.fused,
+                    tracer=self.tracer,
+                    optimizer=self.optimizer,
+                )
+            except Exception as exc:  # noqa: BLE001 - degrade, then fail
+                if request.fused:
+                    degraded = True
+                    degrade_reason = f"{type(exc).__name__}: {exc}"
+                    try:
+                        result = execute_plan(
+                            request.plan,
+                            engine=self._engine_spec,
+                            fused=False,
+                            tracer=self.tracer,
+                            optimizer=self.optimizer,
+                        )
+                    except Exception as staged_exc:  # noqa: BLE001
+                        error = f"{type(staged_exc).__name__}: {staged_exc}"
+                else:
+                    error = f"{type(exc).__name__}: {exc}"
+            backend = (
+                None if result is None
+                else ("fused" if result.fused else "staged")
+            )
+            exec_span.set_attributes(
+                backend=backend, degraded=degraded,
+                degrade_reason=degrade_reason,
+            )
+        execute_s = self._clock() - started
+
+        with self.tracer.span("resolve", requests=1):
+            now = self._clock()
+            if result is None:
+                self._resolve_failed([entry], attempts=1, error=error)
+                return
+            self.metrics.increment("plans_completed")
+            self.metrics.increment(
+                "plans_fused" if result.fused else "plans_staged"
+            )
+            if degraded:
+                self.metrics.increment("degraded")
+            self.metrics.increment("completed")
+            self.metrics.observe("execute", execute_s)
+            self.metrics.observe("total", now - entry.submitted_at)
+            if entry.span is not None:
+                entry.span.set_attributes(
+                    status="ok", backend=backend, degraded=degraded,
+                    batch_size=1,
+                )
+                entry.span.end(now)
+            entry.ticket._resolve(
+                PartitionResponse(
+                    request_id=entry.ticket.request_id,
+                    status=RequestStatus.OK,
+                    result=result,
+                    backend=backend,
+                    degraded=degraded,
+                    degrade_reason=degrade_reason,
+                    attempts=2 if degraded else 1,
                     batch_size=1,
                     queue_wait_s=max(
                         0.0, now - execute_s - entry.submitted_at

@@ -112,14 +112,17 @@ def test_hash_only_native_equals_numpy(keys, num_partitions, use_hash):
     num_partitions=st.sampled_from([2, 256, 1024, 1 << 17]),
     use_hash=st.booleans(),
     buffer_tuples=st.sampled_from([1, 3, 16]),
+    threads=st.sampled_from([1, 2, 5]),
 )
 @settings(max_examples=60, deadline=None)
 def test_scatters_native_equals_numpy(
-    keys, num_partitions, use_hash, buffer_tuples
+    keys, num_partitions, use_hash, buffer_tuples, threads
 ):
     """stable_scatter and swwc_scatter: same bytes on both backends,
     and byte-identical to each other (buffering must only change the
-    write schedule, never the destination slots)."""
+    write schedule, never the destination slots) — including the
+    multi-threaded SWWC flush, whose per-thread partition ownership
+    must not perturb a single byte."""
     n = keys.shape[0]
     payloads = np.arange(n, dtype=np.uint32)
     parts = np.empty(n, dtype=parts_dtype(num_partitions))
@@ -129,12 +132,12 @@ def test_scatters_native_equals_numpy(
     dest_base = np.zeros(num_partitions, dtype=np.int64)
     np.cumsum(hist[:-1], out=dest_base[1:])
 
-    def run(primitive, extra):
+    def run(primitive, extra, **kwargs):
         out_keys = np.empty(n, dtype=np.uint32)
         out_payloads = np.empty(n, dtype=np.uint32)
         primitive(
             keys, payloads, parts, dest_base, num_partitions,
-            *extra, out_keys, out_payloads,
+            *extra, out_keys, out_payloads, **kwargs,
         )
         return out_keys, out_payloads
 
@@ -144,16 +147,124 @@ def test_scatters_native_equals_numpy(
     swwc_native, swwc_numpy = _both_backends(
         lambda: run(kernels.swwc_scatter, (buffer_tuples,))
     )
+    swwc_mt_native, swwc_mt_numpy = _both_backends(
+        lambda: run(kernels.swwc_scatter, (buffer_tuples,), threads=threads)
+    )
     reference = plain_numpy
     for label, got in [
         ("scatter/native", plain_native),
         ("swwc/native", swwc_native),
         ("swwc/numpy", swwc_numpy),
+        (f"swwc-mt{threads}/native", swwc_mt_native),
+        (f"swwc-mt{threads}/numpy", swwc_mt_numpy),
     ]:
         assert np.array_equal(got[0], reference[0]), label
         assert np.array_equal(got[1], reference[1]), label
     # the scatter is a permutation: nothing lost, nothing invented
     assert np.array_equal(np.sort(reference[0]), np.sort(keys))
+
+
+@needs_native
+@given(
+    build_keys=st.lists(
+        st.integers(min_value=0, max_value=50), min_size=1, max_size=200
+    ).map(lambda xs: np.array(xs, dtype=np.uint32)),
+    probe_keys=st.lists(
+        st.integers(min_value=0, max_value=50), min_size=0, max_size=300
+    ).map(lambda xs: np.array(xs, dtype=np.uint32)),
+    num_buckets=st.sampled_from([1, 2, 16, 256]),
+)
+@settings(max_examples=40, deadline=None)
+def test_bucket_join_native_equals_numpy(build_keys, probe_keys, num_buckets):
+    # Tiny key range on purpose: duplicates and bucket collisions are
+    # the interesting cases for chain construction and emission order.
+    (heads_n, nxt_n), (heads_f, nxt_f) = _both_backends(
+        lambda: kernels.bucket_build(build_keys, num_buckets)
+    )
+    assert np.array_equal(heads_n, heads_f)
+    assert np.array_equal(nxt_n, nxt_f)
+
+    def probe():
+        heads, nxt = kernels.bucket_build(build_keys, num_buckets)
+        return kernels.bucket_probe(
+            build_keys, heads, nxt, num_buckets, probe_keys
+        )
+
+    (p_n, b_n, hops_n), (p_f, b_f, hops_f) = _both_backends(probe)
+    # probe-major emission order and hop count are backend-invariant
+    assert np.array_equal(p_n, p_f)
+    assert np.array_equal(b_n, b_f)
+    assert hops_n == hops_f
+    # every emitted pair really matches; the full pair set is exactly
+    # the cross product of equal keys
+    assert np.array_equal(build_keys[b_n], probe_keys[p_n])
+    expected = sum(
+        int((build_keys == key).sum()) for key in probe_keys.tolist()
+    )
+    assert p_n.shape[0] == expected
+
+
+@needs_native
+def test_swwc_mt_flush_large_input_byte_identical():
+    """A bulk-sized MT flush (multiple full buffers per partition and a
+    partial drain each) matches the serial flush and the plain scatter
+    for every thread count, including thread counts above the fan-out."""
+    rng = np.random.default_rng(21)
+    n, num_partitions, buffer_tuples = 300_000, 96, 8
+    keys = rng.integers(0, 2**32, size=n, dtype=np.uint64).astype(np.uint32)
+    payloads = rng.integers(0, 2**31, size=n, dtype=np.uint64).astype(
+        np.uint32
+    )
+    parts = np.empty(n, dtype=parts_dtype(num_partitions))
+    with kernels.using_backend("native"):
+        _, hist, _ = kernels.hash_histogram(
+            keys, num_partitions, True, parts_out=parts
+        )
+        dest_base = np.zeros(num_partitions, dtype=np.int64)
+        np.cumsum(hist[:-1], out=dest_base[1:])
+        ref_keys = np.empty(n, dtype=np.uint32)
+        ref_payloads = np.empty(n, dtype=np.uint32)
+        kernels.stable_scatter(
+            keys, payloads, parts, dest_base, num_partitions,
+            ref_keys, ref_payloads,
+        )
+        for threads in (1, 2, 4, 96, 200):
+            out_keys = np.empty(n, dtype=np.uint32)
+            out_payloads = np.empty(n, dtype=np.uint32)
+            kernels.swwc_scatter(
+                keys, payloads, parts, dest_base, num_partitions,
+                buffer_tuples, out_keys, out_payloads, threads=threads,
+            )
+            assert np.array_equal(out_keys, ref_keys), threads
+            assert np.array_equal(out_payloads, ref_payloads), threads
+
+
+@needs_native
+def test_swwc_partition_threads_match_engine_arrangement():
+    """swwc_partition with the MT native flush produces the exact bytes
+    of the numpy backend at the same thread count (the per-thread chunk
+    arrangement is part of the contract, so thread counts must agree)."""
+    from repro.cpu.swwc_buffers import swwc_partition
+
+    rng = np.random.default_rng(22)
+    keys = rng.integers(0, 2**32, size=120_000, dtype=np.uint64).astype(
+        np.uint32
+    )
+    payloads = np.arange(keys.shape[0], dtype=np.uint32)
+    for threads in (2, 4):
+        with kernels.using_backend("native"):
+            nat = swwc_partition(
+                keys, payloads, 64, use_hash=True, threads=threads
+            )
+        with kernels.using_backend("numpy"):
+            ref = swwc_partition(
+                keys, payloads, 64, use_hash=True, threads=threads
+            )
+        assert np.array_equal(nat[2], ref[2])
+        for a, b in zip(nat[0], ref[0]):
+            assert np.array_equal(a, b)
+        for a, b in zip(nat[1], ref[1]):
+            assert np.array_equal(a, b)
 
 
 @needs_native
