@@ -9,6 +9,10 @@ Four kinds of commands:
   verify the result (see ``docs/STORAGE.md``);
 * ``serve`` — drive the partitioning service layer with a synthetic
   request workload and print its metrics (see ``docs/SERVICE.md``);
+* ``gateway`` — the async streaming network front-end: ``serve`` runs
+  the TCP server until SIGTERM drains it, ``bench`` drives an
+  in-process server with concurrent client streams, optional
+  mid-stream kills and byte-identity checks (``docs/GATEWAY.md``);
 * ``trace`` — the same, under a :class:`~repro.obs.tracing.Tracer`:
   dump the span log (JSONL), optionally a Prometheus exposition, and
   print the per-stage critical-path summary (``docs/OBSERVABILITY.md``);
@@ -462,11 +466,17 @@ def cmd_serve(args) -> int:
     )
     import time as _time
 
-    with service:
+    # graceful drain rather than plain stop: in-flight tickets complete,
+    # late submits would get ServiceDrainingError (same path the gateway's
+    # SIGTERM handler exercises)
+    service.start()
+    try:
         start = _time.perf_counter()
         tickets = [service.submit(request) for request in requests]
         responses = [ticket.result(timeout=600) for ticket in tickets]
         elapsed = _time.perf_counter() - start
+    finally:
+        service.drain()
     outcomes = {status: 0 for status in RequestStatus}
     for response in responses:
         outcomes[response.status] += 1
@@ -888,6 +898,259 @@ def cmd_pipeline(args) -> int:
     return 0 if identical else 1
 
 
+def _gateway_backend(args):
+    """Start the gateway's backend: a service, or a shard cluster."""
+    if getattr(args, "cluster", 0):
+        from repro.cluster import ShardRouter
+
+        router = ShardRouter(args.cluster, seed=args.seed)
+        router.start()
+        return None, router
+    from repro.service import PartitionService
+
+    service = PartitionService(max_queue_requests=args.queue)
+    service.start()
+    return service, None
+
+
+def _fd_count() -> int:
+    """Open file descriptors of this process (-1 when unknowable)."""
+    import os
+
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return -1
+
+
+async def _gateway_serve(args) -> int:
+    """Run the gateway until SIGTERM/SIGINT drains it."""
+    import asyncio
+
+    from repro.gateway import GatewayServer
+    from repro.obs import Tracer
+
+    tracer = Tracer() if args.prometheus_out else None
+    optimizer = None
+    if args.optimize:
+        from repro.optimize import AdaptiveOptimizer
+
+        optimizer = AdaptiveOptimizer(seed=args.seed)
+    service, router = _gateway_backend(args)
+    server = GatewayServer(
+        service=service,
+        router=router,
+        host=args.host,
+        port=args.port,
+        chunk_tuples=args.chunk_tuples,
+        credits=args.credits,
+        tracer=tracer,
+        optimizer=optimizer,
+        drain_backend=True,
+    )
+    await server.start()
+    server.install_signal_handlers(asyncio.get_running_loop())
+    backend = f"{args.cluster}-shard cluster" if args.cluster else "service"
+    print(f"gateway listening on {args.host}:{server.port} "
+          f"({backend} backend, {args.credits}-chunk credit window, "
+          f"{args.chunk_tuples} tuples/chunk; SIGTERM drains)",
+          flush=True)
+    await server.serve_forever()
+    snap = server.metrics.to_dict()
+    counters = snap["counters"]
+    print("gateway drained")
+    print(f"  connections       : {counters['connections_opened']}")
+    print(f"  streams           : {counters['streams_completed']} completed, "
+          f"{counters['streams_drained']} drained, "
+          f"{counters['streams_failed']} failed")
+    print(f"  chunks in/out     : {counters['chunks_in']} / "
+          f"{counters['chunks_out']} "
+          f"({counters['tuples_in']} tuples)")
+    print(f"  backpressure      : {counters['backpressure_stalls']} stalls")
+    if args.prometheus_out:
+        from repro.obs import prometheus_from_spans
+
+        text = server.metrics.to_prometheus()
+        text += prometheus_from_spans(tracer.export())
+        with open(args.prometheus_out, "w") as handle:
+            handle.write(text)
+        print(f"wrote Prometheus exposition to {args.prometheus_out}")
+    return 0
+
+
+async def _gateway_bench(args) -> int:
+    """In-process gateway + N concurrent client streams (CI smoke)."""
+    import asyncio
+    import dataclasses
+
+    from repro.gateway import (
+        GatewayClient,
+        GatewayServer,
+        outputs_identical,
+    )
+
+    config = dataclasses.replace(
+        _parse_mode(args.mode), num_partitions=args.partitions
+    )
+    relations = [
+        make_relation(
+            args.tuples, args.distribution, seed=args.seed + i,
+            zipf_factor=args.zipf,
+        ).keys
+        for i in range(args.streams)
+    ]
+
+    optimizer = None
+    if args.optimize:
+        from repro.optimize import AdaptiveOptimizer
+
+        optimizer = AdaptiveOptimizer(seed=args.seed)
+    service, router = _gateway_backend(args)
+    server = GatewayServer(
+        service=service,
+        router=router,
+        chunk_tuples=args.chunk_tuples,
+        credits=args.credits,
+        optimizer=optimizer,
+        drain_backend=True,
+    )
+    await server.start()
+    fd_baseline = _fd_count()
+    loop = asyncio.get_running_loop()
+
+    async def run_stream(index: int) -> dict:
+        keys = relations[index]
+        from repro.gateway.chunking import iter_chunks
+
+        chunks = iter_chunks(keys, None, args.chunk_tuples)
+        kill_at = (
+            max(1, len(chunks) // 2)
+            if index == args.kill_stream
+            else None
+        )
+        offsets = None
+        if args.arrival != "closed":
+            from repro.workloads import generate_arrivals
+
+            offsets = generate_arrivals(
+                args.arrival, len(chunks), args.rate,
+                seed=args.seed + index,
+            )
+        client = await GatewayClient.connect("127.0.0.1", server.port)
+        try:
+            stream = await client.open_stream(
+                config, on_overflow=args.on_overflow
+            )
+            started = loop.time()
+            for j, (chunk_keys, _) in enumerate(chunks):
+                if kill_at is not None and j == kill_at:
+                    # mid-stream kill: drop the connection with chunks
+                    # in flight; the server must clean up and the other
+                    # streams must stay byte-identical
+                    client.abort()
+                    return {"stream": index, "killed": True, "chunks": j}
+                if offsets is not None:
+                    delay = started + offsets[j] - loop.time()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                await stream.send(chunk_keys)
+            output = await stream.finish()
+            return {
+                "stream": index,
+                "killed": False,
+                "chunks": len(chunks),
+                "elapsed": loop.time() - started,
+                "stalls": len(stream.stalls),
+                "output": output,
+            }
+        finally:
+            await client.close()
+
+    arrival = (
+        "closed loop" if args.arrival == "closed"
+        else f"open loop, {args.arrival} arrivals at {args.rate:g} chunks/s"
+    )
+    backend = f"{args.cluster}-shard cluster" if args.cluster else "service"
+    print(f"gateway bench: {args.streams} streams x {args.tuples} "
+          f"{args.distribution} tuples ({config.mode_label}, "
+          f"{args.partitions} partitions, {args.chunk_tuples} tuples/chunk, "
+          f"{backend} backend, {arrival})")
+    results = await asyncio.gather(
+        *(run_stream(i) for i in range(args.streams)),
+        return_exceptions=True,
+    )
+    await server.drain()
+
+    failures = 0
+    survivors = []
+    for i, result in enumerate(results):
+        if isinstance(result, BaseException):
+            print(f"  stream-{i} : FAILED ({result})")
+            failures += 1
+        elif result["killed"]:
+            print(f"  stream-{i} : killed mid-stream "
+                  f"after {result['chunks']} chunks")
+        else:
+            rate = args.tuples / max(result["elapsed"], 1e-9) / 1e6
+            print(f"  stream-{i} : {rate:6.2f} Mt/s, "
+                  f"{result['chunks']} chunks, "
+                  f"{result['stalls']} backpressure stalls")
+            survivors.append(result)
+
+    mismatches = 0
+    if args.check_identity:
+        for result in survivors:
+            partitioner = FpgaPartitioner(config)
+            try:
+                reference = partitioner.partition(
+                    relations[result["stream"]],
+                    on_overflow=args.on_overflow,
+                )
+            finally:
+                partitioner.close()
+            if not outputs_identical(result["output"], reference):
+                mismatches += 1
+                print(f"  stream-{result['stream']} : "
+                      f"IDENTITY MISMATCH vs offline partition()")
+        print(f"  byte-identity     : "
+              f"{len(survivors) - mismatches}/{len(survivors)} surviving "
+              f"streams identical to offline partition()")
+
+    counters = server.metrics.to_dict()["counters"]
+    print(f"  backpressure      : "
+          f"{counters['backpressure_stalls']} admission stalls, "
+          f"{counters['errors_sent']} errors sent")
+    current = asyncio.current_task()
+    leaked_tasks = [
+        task for task in asyncio.all_tasks()
+        if task is not current and not task.done()
+    ]
+    fd_final = _fd_count()
+    leaked_fds = (
+        max(0, fd_final - fd_baseline)
+        if fd_baseline >= 0 and fd_final >= 0
+        else 0
+    )
+    print(f"  leaked tasks      : {len(leaked_tasks)}")
+    print(f"  leaked fds        : {leaked_fds}")
+    if args.prometheus_out:
+        with open(args.prometheus_out, "w") as handle:
+            handle.write(server.metrics.to_prometheus())
+        print(f"wrote Prometheus exposition to {args.prometheus_out}")
+    if failures or mismatches or leaked_tasks or leaked_fds:
+        return 1
+    return 0
+
+
+def cmd_gateway(args) -> int:
+    """Async streaming gateway: run the front-end, or bench it."""
+    import asyncio
+
+    if args.action == "serve":
+        return asyncio.run(_gateway_serve(args))
+    return asyncio.run(_gateway_bench(args))
+
+
 # ---------------------------------------------------------------------------
 
 
@@ -1096,6 +1359,60 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None, help="morsel execution engine")
     p.add_argument("--seed", type=int, default=0)
 
+    p = sub.add_parser(
+        "gateway",
+        help="async streaming gateway: network front-end for "
+             "unbounded partition streams",
+    )
+    p.add_argument("action", choices=["serve", "bench"],
+                   help="serve: run the TCP front-end until SIGTERM "
+                        "drains it; bench: in-process server + "
+                        "concurrent client streams (CI smoke)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (0 = pick a free one and print it)")
+    p.add_argument("--streams", type=int, default=4,
+                   help="concurrent client streams for 'bench'")
+    p.add_argument("--tuples", type=int, default=131072,
+                   help="tuples per bench stream")
+    p.add_argument("--partitions", type=int, default=64)
+    p.add_argument("--mode", default="HIST/RID", help="e.g. PAD/VRID")
+    p.add_argument("--distribution", default="zipf")
+    p.add_argument("--zipf", type=float, default=1.1,
+                   help="Zipf factor for --distribution zipf")
+    p.add_argument("--chunk-tuples", type=int, default=8192,
+                   help="stream chunk size in tuples")
+    p.add_argument("--credits", type=int, default=4,
+                   help="per-stream flow-control window, in chunks")
+    p.add_argument("--queue", type=int, default=1024,
+                   help="backend admission-queue bound")
+    p.add_argument("--cluster", type=int, default=0,
+                   help="back the gateway with this many shards "
+                        "(0 = single partition service)")
+    p.add_argument("--kill-stream", type=int, default=None,
+                   help="abort this bench stream's connection halfway "
+                        "through (server-cleanup smoke)")
+    p.add_argument("--check-identity", action="store_true",
+                   help="verify every surviving bench stream against "
+                        "an offline partition() (exit 1 on mismatch)")
+    p.add_argument("--arrival", default="closed",
+                   choices=["closed", "poisson", "burst", "diurnal",
+                            "ramp"],
+                   help="bench pacing: closed loop, or open-loop "
+                        "arrival pattern for chunk sends")
+    p.add_argument("--rate", type=float, default=64.0,
+                   help="open-loop mean chunk rate per stream "
+                        "(chunks/s)")
+    p.add_argument("--on-overflow", default="hist",
+                   choices=["raise", "hist"],
+                   help="PAD overflow policy for bench streams")
+    p.add_argument("--optimize", action="store_true",
+                   help="feed per-stream ingest sketches to the "
+                        "adaptive optimizer mid-stream")
+    p.add_argument("--prometheus-out", default=None,
+                   help="write the gateway Prometheus exposition here")
+    p.add_argument("--seed", type=int, default=0)
+
     p = sub.add_parser("simulate", help="cycle-level circuit run")
     p.add_argument("--tuples", type=int, default=2048)
     p.add_argument("--partitions", type=int, default=16)
@@ -1121,6 +1438,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "spill": cmd_spill,
     "cluster": cmd_cluster,
+    "gateway": cmd_gateway,
     "pipeline": cmd_pipeline,
     "simulate": cmd_simulate,
     "report": cmd_report,

@@ -83,6 +83,16 @@ class PartitionSlices(collections.abc.Sequence):
             self._overrides = {}
         self._overrides[index] = value
 
+    def contiguous(self) -> Optional[np.ndarray]:
+        """The backing column while it is still exactly the
+        concatenation of every partition slice (no overrides applied),
+        else ``None``.  Lets bulk consumers (the gateway's CHUNK frame
+        encoder) copy one contiguous array instead of materialising and
+        re-concatenating fan-out slice views."""
+        if self._overrides:
+            return None
+        return self._column[self._boundaries[0]:self._boundaries[-1]]
+
 
 @dataclasses.dataclass
 class PartitionedOutput:

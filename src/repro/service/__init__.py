@@ -43,6 +43,7 @@ from repro.service.service import (
     PartitionTicket,
     Priority,
     RequestStatus,
+    ServiceDrainingError,
 )
 
 __all__ = [
@@ -61,6 +62,7 @@ __all__ = [
     "Priority",
     "QueueFullError",
     "RequestStatus",
+    "ServiceDrainingError",
     "ServiceMetrics",
     "TokenBucket",
     "request_signature",

@@ -52,6 +52,17 @@ from repro.service.scheduler import Batch, BatchingScheduler, request_signature
 from repro.workloads.relations import Relation
 
 
+class ServiceDrainingError(ReproError):
+    """Submits are refused because the service is draining.
+
+    Raised by :meth:`PartitionService.submit`/:meth:`submit_plan` once
+    :meth:`PartitionService.drain` has begun: the service is completing
+    already-admitted work but accepts nothing new.  Distinct from the
+    generic not-running error so network front-ends (the gateway) can
+    surface a structured "draining" outcome instead of a hard failure.
+    """
+
+
 class Priority(enum.IntEnum):
     """Admission-queue priority; higher dequeues first."""
 
@@ -333,6 +344,7 @@ class PartitionService:
         self._dispatcher: Optional[threading.Thread] = None
         self._started = False
         self._stopped = False
+        self._draining = False
 
     # -- lifecycle ------------------------------------------------------
 
@@ -349,6 +361,40 @@ class PartitionService:
             )
             self._dispatcher.start()
         return self
+
+    def drain(self, timeout: Optional[float] = 30.0) -> None:
+        """Graceful shutdown: refuse new work, finish admitted work.
+
+        Three phases, in order:
+
+        1. new :meth:`submit`/:meth:`submit_plan` calls raise
+           :class:`ServiceDrainingError` immediately (a *clear* refusal
+           — clients should fail over, not retry this instance);
+        2. every already-admitted request runs to its normal terminal
+           state (OK / TIMED_OUT / FAILED) and resolves its ticket;
+        3. the dispatcher exits and the partitioner pools close.
+
+        Idempotent, and :meth:`stop` afterwards is a no-op.  Used by
+        ``repro serve`` and the gateway's SIGTERM handler.
+        """
+        if self._stopped:
+            return
+        self._draining = True
+        if not self._started:
+            self.stop(timeout)
+            return
+        # close() stops admission but leaves queued entries drainable;
+        # the dispatch loop exits once the closed queue runs dry
+        self.queue.close()
+        assert self._dispatcher is not None
+        self._dispatcher.join(timeout)
+        self._stopped = True
+        self._close_partitioners()
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has begun refusing new work."""
+        return self._draining
 
     def stop(self, timeout: Optional[float] = 30.0) -> None:
         """Stop admitting, drain queued work, join the dispatcher."""
@@ -389,6 +435,11 @@ class PartitionService:
         ``raise_on_reject=True`` a
         :class:`~repro.service.queue.QueueFullError` is raised instead.
         """
+        if self._draining:
+            raise ServiceDrainingError(
+                "service is draining; new submissions are refused "
+                "(in-flight work will still complete)"
+            )
         if not self._started or self._stopped:
             raise ReproError("service is not running (use start() or `with`)")
         with self._sequence_lock:
@@ -465,6 +516,11 @@ class PartitionService:
         """
         if not isinstance(request, PlanRequest):
             request = PlanRequest(plan=request)
+        if self._draining:
+            raise ServiceDrainingError(
+                "service is draining; new submissions are refused "
+                "(in-flight work will still complete)"
+            )
         if not self._started or self._stopped:
             raise ReproError("service is not running (use start() or `with`)")
         with self._sequence_lock:

@@ -14,6 +14,14 @@ from repro.workloads.distributions import (
     zipf_keys,
     generate_keys,
 )
+from repro.workloads.arrivals import (
+    ArrivalPattern,
+    burst_arrivals,
+    diurnal_arrivals,
+    generate_arrivals,
+    poisson_arrivals,
+    ramp_arrivals,
+)
 from repro.workloads.relations import (
     Relation,
     Workload,
@@ -23,6 +31,12 @@ from repro.workloads.relations import (
 )
 
 __all__ = [
+    "ArrivalPattern",
+    "burst_arrivals",
+    "diurnal_arrivals",
+    "generate_arrivals",
+    "poisson_arrivals",
+    "ramp_arrivals",
     "KeyDistribution",
     "linear_keys",
     "random_keys",

@@ -26,6 +26,7 @@ import threading
 import time
 
 import numpy as np
+import pytest
 
 from repro.core.modes import PartitionerConfig
 from repro.core.partitioner import FpgaPartitioner
@@ -149,3 +150,139 @@ def test_stress_mixed_priority_clients():
 
     # with 8 concurrent clients the scheduler should actually coalesce
     assert service.metrics.mean_batch_size() > 1.0
+
+
+def test_concurrent_submit_snapshot_and_export():
+    """Metrics readers race the writers without tearing (satellite of
+    the gateway PR): ``snapshot()`` and the Prometheus exporter are
+    called continuously from reader threads while writer threads
+    submit, and every sampled snapshot must be internally consistent
+    and monotone in time."""
+    from repro.obs.export import prometheus_from_snapshot
+
+    writer_threads = 4
+    reader_threads = 3
+    errors = []
+    samples = []
+    stop = threading.Event()
+    deadline = time.monotonic() + min(STRESS_BUDGET_S, 20.0)
+
+    def writer(writer_id, service):
+        rng = np.random.default_rng(2000 + writer_id)
+        try:
+            for i in range(60):
+                if time.monotonic() > deadline:
+                    break
+                keys = rng.integers(
+                    0, 2**32, size=int(rng.integers(64, 2048)),
+                    dtype=np.uint64,
+                ).astype(np.uint32)
+                ticket = service.submit(
+                    PartitionRequest(relation=keys, config=CONFIGS[0])
+                )
+                response = ticket.result(timeout=RESULT_TIMEOUT_S)
+                assert response.status in (
+                    RequestStatus.OK, RequestStatus.REJECTED,
+                )
+        except Exception as exc:  # noqa: BLE001
+            errors.append(("writer", writer_id, repr(exc)))
+
+    def reader(reader_id, service):
+        try:
+            while not stop.is_set():
+                snap = service.snapshot()
+                counters = snap["counters"]
+                # a torn read would let completed outrun admitted
+                assert counters["completed"] <= counters["admitted"]
+                assert (
+                    counters["admitted"] + counters["rejected"]
+                    <= counters["submitted"]
+                )
+                text = prometheus_from_snapshot(snap)
+                assert "repro_service_submitted_total" in text
+                samples.append(counters["submitted"])
+        except Exception as exc:  # noqa: BLE001
+            errors.append(("reader", reader_id, repr(exc)))
+
+    with PartitionService(max_queue_requests=256) as service:
+        readers = [
+            threading.Thread(target=reader, args=(i, service))
+            for i in range(reader_threads)
+        ]
+        writers = [
+            threading.Thread(target=writer, args=(i, service))
+            for i in range(writer_threads)
+        ]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join(timeout=RESULT_TIMEOUT_S * 2)
+            assert not thread.is_alive(), "writer hung"
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=30)
+            assert not thread.is_alive(), "reader hung"
+        final = service.snapshot()["counters"]
+
+    assert not errors, errors
+    assert samples, "readers never sampled a snapshot"
+    assert final["submitted"] == max(samples)
+    # submitted never decreases across samples *per reader*; the global
+    # list interleaves readers, so check the weaker global invariant
+    assert final["submitted"] >= samples[0]
+
+
+def test_drain_under_concurrent_load():
+    """``drain()`` while writers are mid-flight: every ticket issued
+    before the drain resolves, and late submits fail with
+    :class:`ServiceDrainingError` — never a hang or a lost ticket."""
+    from repro.service import ServiceDrainingError
+
+    errors = []
+    resolved = []
+    drained = threading.Event()
+
+    def writer(writer_id, service):
+        rng = np.random.default_rng(3000 + writer_id)
+        try:
+            while not drained.is_set():
+                keys = rng.integers(
+                    0, 2**32, size=256, dtype=np.uint64
+                ).astype(np.uint32)
+                try:
+                    ticket = service.submit(
+                        PartitionRequest(relation=keys, config=CONFIGS[0])
+                    )
+                except ServiceDrainingError:
+                    return  # the documented refusal
+                response = ticket.result(timeout=RESULT_TIMEOUT_S)
+                resolved.append(response.status)
+        except Exception as exc:  # noqa: BLE001
+            errors.append((writer_id, repr(exc)))
+
+    service = PartitionService(max_queue_requests=256)
+    service.start()
+    threads = [
+        threading.Thread(target=writer, args=(i, service))
+        for i in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.3)  # let the writers build up in-flight work
+    service.drain()
+    drained.set()
+    for thread in threads:
+        thread.join(timeout=RESULT_TIMEOUT_S)
+        assert not thread.is_alive(), "writer hung across drain()"
+    assert not errors, errors
+    assert resolved, "no request resolved before the drain"
+    assert all(
+        status in (RequestStatus.OK, RequestStatus.REJECTED)
+        for status in resolved
+    )
+    with pytest.raises(ServiceDrainingError):
+        service.submit(
+            PartitionRequest(
+                relation=np.arange(64, dtype=np.uint32), config=CONFIGS[0]
+            )
+        )
